@@ -1,0 +1,532 @@
+package dft
+
+// One benchmark per paper table/figure (regenerating the underlying
+// computation), plus the ablation benches DESIGN.md calls out. Run
+// with: go test -bench=. -benchmem .
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/atpg"
+	"dft/internal/autonomous"
+	"dft/internal/bilbo"
+	"dft/internal/bridge"
+	"dft/internal/circuits"
+	"dft/internal/cmos"
+	"dft/internal/diagnose"
+	"dft/internal/experiments"
+	"dft/internal/fault"
+	"dft/internal/lfsr"
+	"dft/internal/logic"
+	"dft/internal/lssd"
+	"dft/internal/plaatpg"
+	"dft/internal/ramtest"
+	"dft/internal/scanset"
+	"dft/internal/seqatpg"
+	"dft/internal/signature"
+	"dft/internal/sim"
+	"dft/internal/syndrome"
+	"dft/internal/testability"
+	"dft/internal/walsh"
+)
+
+// --- Figure/table regenerators ---
+
+func BenchmarkFig1StuckAt(b *testing.B) {
+	c := logic.New("and2")
+	a := c.AddInput("A")
+	bb := c.AddInput("B")
+	y := c.AddGate(logic.And, "C", a, bb)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	f := fault.Fault{Gate: y, Pin: 0, SA: logic.One}
+	pat := []bool{false, true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !fault.DetectsCombinational(c, pat, f) {
+			b.Fatal("lost the Fig. 1 test")
+		}
+	}
+}
+
+func BenchmarkEq1Sweep(b *testing.B) {
+	// The modern-flow side of the Eq. (1) sweep at one size.
+	c := circuits.ArrayMultiplier(4)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	view := atpg.PrimaryView(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atpg.Generate(c, view, cl.Reps, atpg.Config{Engine: atpg.EnginePodem, RandomFirst: 64})
+	}
+}
+
+func BenchmarkCollapse(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	c := circuits.RandomCircuit(rng, 20, 1000, 10, 2)
+	u := fault.Universe(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.CollapseEquiv(c, u)
+	}
+}
+
+func BenchmarkFig2Degating(b *testing.B) {
+	c := circuits.RippleAdder(16)
+	target, _ := c.NetByName("C16")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := testability.AddControlPoint(c, target)
+		testability.Analyze(mod)
+	}
+}
+
+func BenchmarkFig5InCircuitTest(b *testing.B) {
+	adder := circuits.RippleAdder(4)
+	mod := &boardModule{c: adder}
+	pats := make([][]bool, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range pats {
+		p := make([]bool, 9)
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pats {
+			mod.eval(p)
+		}
+	}
+}
+
+type boardModule struct{ c *logic.Circuit }
+
+func (m *boardModule) eval(p []bool) []bool {
+	vals := sim.Eval(m.c, p, nil)
+	out := make([]bool, len(m.c.POs))
+	for i, po := range m.c.POs {
+		out[i] = vals[po]
+	}
+	return out
+}
+
+func BenchmarkFig7LFSR(b *testing.B) {
+	l := lfsr.New(3, []int{2, 3})
+	l.SetState(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Clock()
+	}
+}
+
+func BenchmarkFig8Signature(b *testing.B) {
+	l := lfsr.NewMaximal(16)
+	stream := make([]uint64, 512)
+	for i := range stream {
+		stream[i] = uint64(i>>3) & 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Signature(stream)
+	}
+}
+
+func BenchmarkFig8Diagnose(b *testing.B) {
+	brd := experimentsBoard()
+	a := signature.NewAnalyzer(16)
+	s1, _ := brd.C.NetByName("S1")
+	f := fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := brd.Diagnose(a, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func experimentsBoard() *signature.Board {
+	c := logic.New("benchboard")
+	en := c.AddInput("EN")
+	qs := make([]int, 4)
+	for i := range qs {
+		qs[i] = c.AddDFF("Q"+string(rune('0'+i)), en)
+	}
+	carry := en
+	for i := 0; i < 4; i++ {
+		tnet := c.AddGate(logic.Xor, "T"+string(rune('0'+i)), qs[i], carry)
+		c.Gates[qs[i]].Fanin[0] = tnet
+		if i < 3 {
+			carry = c.AddGate(logic.And, "CA"+string(rune('0'+i)), carry, qs[i])
+		}
+	}
+	s1 := c.AddGate(logic.Xor, "S1", qs[1], qs[0])
+	p := c.AddGate(logic.Xor, "PAR", s1, qs[2], qs[3])
+	c.MarkOutput(p)
+	c.MustFinalize()
+	return &signature.Board{
+		C:        c,
+		Stimulus: signature.SelfStimulus(c, 50),
+		Modules: []signature.Module{
+			{Name: "uP", Outputs: qs},
+			{Name: "ALU", Outputs: []int{s1}, Feeds: []string{"uP"}},
+			{Name: "CHK", Outputs: []int{p}, Feeds: []string{"ALU"}},
+		},
+	}
+}
+
+func BenchmarkLSSDvsSequentialATPG(b *testing.B) {
+	c := circuits.Counter(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	view := atpg.FullScanView(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atpg.Generate(c, view, cl.Reps, atpg.Config{Engine: atpg.EnginePodem})
+	}
+}
+
+func BenchmarkLSSDScanApplication(b *testing.B) {
+	d := lssd.NewDesign(circuits.Counter(8), lssd.StyleLSSD)
+	st := lssd.ScanTest{State: make([]bool, 8), PI: []bool{true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunTest(st)
+	}
+}
+
+func BenchmarkFig13RacelessShift(b *testing.B) {
+	ch := lssd.NewChain(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Shift(i&1 == 0)
+	}
+}
+
+func BenchmarkFig15ScanSetSnapshot(b *testing.B) {
+	c := circuits.Counter(16)
+	m := sim.NewMachine(c)
+	ss := scanset.New(m, c.DFFs, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Snapshot()
+	}
+}
+
+func BenchmarkFig20BILBO(b *testing.B) {
+	st := bilbo.NewSelfTest(circuits.RippleAdder(3), circuits.ParityTree(8), 8, 8, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.GoodSignatures()
+	}
+}
+
+func BenchmarkFig22PLARandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pla := circuits.RandomPLA(rng, 20, 8, 4, 20)
+	faults := fault.CollapseEquiv(pla, fault.Universe(pla)).Reps
+	pats := make([][]bool, 256)
+	for i := range pats {
+		p := make([]bool, 20)
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.SimulatePatterns(pla, faults, pats)
+	}
+}
+
+func BenchmarkSyndrome(b *testing.B) {
+	c := circuits.RippleAdder(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syndrome.Syndromes(c)
+	}
+}
+
+func BenchmarkWalsh(b *testing.B) {
+	c := circuits.ALU74181()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walsh.CAll(c, 0, nil)
+	}
+}
+
+func BenchmarkFig33SensitizedPartitioning(b *testing.B) {
+	c := circuits.ALU74181()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		autonomous.RunSensitized74181(c)
+	}
+}
+
+func BenchmarkSCOAP(b *testing.B) {
+	c := circuits.ArrayMultiplier(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testability.Analyze(c)
+	}
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+// Ablation 1: fault collapsing on/off — effect on fault-simulation time.
+func BenchmarkAblationSimCollapsed(b *testing.B) {
+	c := circuits.ArrayMultiplier(6)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.SimulatePatterns(c, cl.Reps, pats)
+	}
+}
+
+func BenchmarkAblationSimUncollapsed(b *testing.B) {
+	c := circuits.ArrayMultiplier(6)
+	u := fault.Universe(c)
+	pats := benchPatterns(c, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.SimulatePatterns(c, u, pats)
+	}
+}
+
+// Ablation 2: bit-parallel vs serial fault simulation.
+func BenchmarkAblationSimParallel(b *testing.B) {
+	c := circuits.ArrayMultiplier(5)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.SimulateNoDrop(c, cl.Reps, pats)
+	}
+}
+
+func BenchmarkAblationSimSerial(b *testing.B) {
+	c := circuits.ArrayMultiplier(5)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range cl.Reps {
+			for _, p := range pats {
+				fault.DetectsCombinational(c, p, f)
+			}
+		}
+	}
+}
+
+// Ablation 3: D-algorithm vs PODEM vs random+compaction.
+func BenchmarkAblationEnginePodem(b *testing.B) {
+	benchEngine(b, atpg.EnginePodem, 0)
+}
+
+func BenchmarkAblationEngineDAlg(b *testing.B) {
+	benchEngine(b, atpg.EngineDAlg, 0)
+}
+
+func BenchmarkAblationEngineRandomFirst(b *testing.B) {
+	benchEngine(b, atpg.EnginePodem, 256)
+}
+
+func benchEngine(b *testing.B, e atpg.Engine, randomFirst int) {
+	b.Helper()
+	c := circuits.RippleAdder(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	view := atpg.PrimaryView(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := atpg.Generate(c, view, cl.Reps, atpg.Config{Engine: e, RandomFirst: randomFirst})
+		if res.Coverage < 1.0 {
+			b.Fatalf("coverage %.3f", res.Coverage)
+		}
+	}
+}
+
+// Ablation 4: scan vs no-scan ATPG on the same machine.
+func BenchmarkAblationATPGNoScan(b *testing.B) {
+	c := circuits.Counter(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	view := atpg.PrimaryView(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atpg.Generate(c, view, cl.Reps, atpg.Config{Engine: atpg.EnginePodem, MaxBacktracks: 200})
+	}
+}
+
+func BenchmarkAblationATPGFullScan(b *testing.B) {
+	c := circuits.Counter(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	view := atpg.FullScanView(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atpg.Generate(c, view, cl.Reps, atpg.Config{Engine: atpg.EnginePodem, MaxBacktracks: 200})
+	}
+}
+
+// Ablation 5: BILBO pattern count vs coverage (time per session size).
+func BenchmarkAblationBILBO64(b *testing.B)  { benchBILBO(b, 64) }
+func BenchmarkAblationBILBO255(b *testing.B) { benchBILBO(b, 255) }
+
+func benchBILBO(b *testing.B, patterns int) {
+	b.Helper()
+	c1 := circuits.RippleAdder(3)
+	c2 := circuits.ParityTree(8)
+	cl := fault.CollapseEquiv(c1, fault.Universe(c1))
+	st := bilbo.NewSelfTest(c1, c2, 8, 8, patterns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MeasureCoverage(cl.Reps)
+	}
+}
+
+// Ablation 6: LFSR width vs aliasing (signature cost by width).
+func BenchmarkAblationLFSRWidth8(b *testing.B)  { benchSigWidth(b, 8) }
+func BenchmarkAblationLFSRWidth24(b *testing.B) { benchSigWidth(b, 24) }
+
+func benchSigWidth(b *testing.B, w int) {
+	b.Helper()
+	l := lfsr.NewMaximal(w)
+	stream := make([]uint64, 1024)
+	for i := range stream {
+		stream[i] = uint64(i) & 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Signature(stream)
+	}
+}
+
+// BenchmarkExperimentRegistry keeps the full regeneration honest: one
+// iteration runs every fast experiment end to end.
+func BenchmarkExperimentRegistry(b *testing.B) {
+	skip := map[string]bool{"eq1": true}
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if skip[e.ID] {
+				continue
+			}
+			_ = e.Run().Render()
+		}
+	}
+}
+
+func benchPatterns(c *logic.Circuit, n int) [][]bool {
+	rng := rand.New(rand.NewSource(9))
+	out := make([][]bool, n)
+	for i := range out {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// --- Extension benches ---
+
+func BenchmarkBridgingGrade(b *testing.B) {
+	c := circuits.RippleAdder(6)
+	rng := rand.New(rand.NewSource(9))
+	bridges := bridge.Universe(c, 1, 100, rng)
+	pats := benchPatterns(c, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bridge.Grade(c, bridges, pats)
+	}
+}
+
+func BenchmarkCMOSTwoPattern(b *testing.B) {
+	c := circuits.C17()
+	u := cmos.Universe(c)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmos.GradeTwoPattern(c, u, rng)
+	}
+}
+
+func BenchmarkSeqATPGUnroll(b *testing.B) {
+	c := circuits.Counter(4)
+	t2, _ := c.NetByName("T2")
+	f := fault.Fault{Gate: t2, Pin: fault.Stem, SA: logic.Zero}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seqatpg.Generate(c, f, seqatpg.Config{MaxFrames: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSimDeductive(b *testing.B) {
+	c := circuits.ArrayMultiplier(5)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fault.SimulateDeductive(c, cl.Reps, pats)
+	}
+}
+
+func BenchmarkDictionaryBuild(b *testing.B) {
+	c := circuits.RippleAdder(4)
+	u := fault.Universe(c)
+	pats := benchPatterns(c, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diagnose.Build(c, u, pats)
+	}
+}
+
+func BenchmarkHazardAnalysis(b *testing.B) {
+	c := circuits.ALU74181()
+	p1 := benchPatterns(c, 2)[0]
+	p2 := benchPatterns(c, 2)[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.HazardAnalysis(c, p1, p2)
+	}
+}
+
+func BenchmarkMarchCMinus(b *testing.B) {
+	r := ramtest.New(1024, 8)
+	m := ramtest.MarchCMinus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Run(r) {
+			b.Fatal("healthy RAM failed")
+		}
+	}
+}
+
+func BenchmarkFlushTest(b *testing.B) {
+	d := lssd.NewDesign(circuits.Counter(16), lssd.StyleMuxScan)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.FlushTest().Pass {
+			b.Fatal("flush failed")
+		}
+	}
+}
+
+func BenchmarkPLADeterministic(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := plaatpg.Spec{NIn: 18}
+	for t := 0; t < 6; t++ {
+		cube := make(circuits.Cube, s.NIn)
+		perm := rng.Perm(s.NIn)
+		for _, i := range perm[:16] {
+			cube[i] = 1
+		}
+		s.Cubes = append(s.Cubes, cube)
+	}
+	s.Outputs = [][]int{{0, 2, 4}, {1, 3, 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plaatpg.BuildAndTest("bench_pla", s)
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"dft/internal/atpg"
+	"dft/internal/bridge"
+	"dft/internal/cmos"
+	"dft/internal/core"
+	"dft/internal/diagnose"
+	"dft/internal/fault"
+	"dft/internal/seqatpg"
+)
+
+// cmdBridge grades a stuck-at test set against a sampled bridging-fault
+// universe.
+func cmdBridge(args []string) error {
+	fs := flag.NewFlagSet("bridge", flag.ContinueOnError)
+	limit := fs.Int("limit", 200, "bridge pairs to sample")
+	window := fs.Int("window", 1, "level-adjacency window")
+	seed := fs.Int64("seed", 9, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bridge needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	gen := d.Generate(defaultGenOptions())
+	rng := rand.New(rand.NewSource(*seed))
+	bridges := bridge.Universe(d.Circuit, *window, *limit, rng)
+	res := bridge.Grade(d.Circuit, bridges, gen.Patterns)
+	fmt.Printf("stuck-at coverage of generated set: %.2f%%\n", gen.RawCover*100)
+	fmt.Printf("bridging faults detected: %d/%d (%.1f%%)\n",
+		res.Detected, res.Total, res.Coverage()*100)
+	return nil
+}
+
+// cmdCMOS reports stuck-open behavior and two-pattern coverage.
+func cmdCMOS(args []string) error {
+	fs := flag.NewFlagSet("cmos", flag.ContinueOnError)
+	seed := fs.Int64("seed", 5, "search seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cmos needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	u := cmos.Universe(d.Circuit)
+	if len(u) == 0 {
+		return fmt.Errorf("no NAND/NOR/NOT gates: the stuck-open model has nothing to do")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	det, gen := cmos.GradeTwoPattern(d.Circuit, u, rng)
+	fmt.Printf("stuck-open universe: %d faults\n", len(u))
+	fmt.Printf("two-pattern tests generated: %d, detecting: %d\n", gen, det)
+	return nil
+}
+
+// cmdSeqTest runs bounded time-frame-expansion ATPG on an unscanned
+// sequential circuit.
+func cmdSeqTest(args []string) error {
+	fs := flag.NewFlagSet("seqtest", flag.ContinueOnError)
+	frames := fs.Int("frames", 8, "maximum unrolling depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("seqtest needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !d.Circuit.IsSequential() {
+		return fmt.Errorf("seqtest needs a sequential circuit; use atpg for combinational ones")
+	}
+	cl := fault.CollapseEquiv(d.Circuit, fault.Universe(d.Circuit))
+	det, depths := seqatpg.CoverageWithinFrames(d.Circuit, cl.Reps, seqatpg.Config{MaxFrames: *frames})
+	fmt.Printf("faults testable within %d frames: %d/%d\n", *frames, det, len(cl.Reps))
+	for depth := 1; depth <= *frames; depth++ {
+		if n := depths[depth]; n > 0 {
+			fmt.Printf("  depth %2d: %d faults\n", depth, n)
+		}
+	}
+	return nil
+}
+
+// cmdDiagnose builds a fault dictionary and reports its resolution.
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	patterns := fs.Int("patterns", 64, "random patterns for the dictionary")
+	seed := fs.Int64("seed", 6, "pattern seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("diagnose needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	u := fault.Universe(d.Circuit)
+	rng := rand.New(rand.NewSource(*seed))
+	pats := make([][]bool, *patterns)
+	for i := range pats {
+		p := make([]bool, len(d.Circuit.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	dict := diagnose.Build(d.Circuit, u, pats)
+	r := dict.Resolution()
+	fmt.Printf("faults: %d, patterns: %d\n", len(u), *patterns)
+	fmt.Printf("diagnosis classes: %d (mean size %.2f, max %d, invisible %d)\n",
+		r.Classes, r.MeanSize, r.MaxSize, r.Undetected)
+	return nil
+}
+
+func defaultGenOptions() core.GenerateOptions {
+	return core.GenerateOptions{Engine: atpg.EnginePodem, RandomFirst: 128, Seed: 1}
+}

@@ -1,0 +1,412 @@
+// Command dftc is the toolkit's command-line front end: circuit
+// inspection, SCOAP testability analysis, ATPG, fault simulation, scan
+// insertion, BILBO self-test planning, syndrome/Walsh measurement,
+// LFSR utilities, and regeneration of every paper experiment.
+//
+// Usage:
+//
+//	dftc info      <file.bench>
+//	dftc scoap     <file.bench> [-top N]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan]
+//	dftc scan      <file.bench> [-style lssd|mux]
+//	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
+//	dftc syndrome  <file.bench>
+//	dftc walsh     <file.bench> [-out K]
+//	dftc lfsr      [-width N] [-clocks K]
+//	dftc bench     <generator> [args...]   (emit a library circuit as .bench)
+//	dftc experiments [id]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dft/internal/atpg"
+	"dft/internal/bilbo"
+	"dft/internal/circuits"
+	"dft/internal/core"
+	"dft/internal/experiments"
+	"dft/internal/fault"
+	"dft/internal/lfsr"
+	"dft/internal/logic"
+	"dft/internal/lssd"
+	"dft/internal/syndrome"
+	"dft/internal/walsh"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dftc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "info":
+		return cmdInfo(rest)
+	case "scoap":
+		return cmdScoap(rest)
+	case "atpg":
+		return cmdATPG(rest)
+	case "faultsim":
+		return cmdFaultSim(rest)
+	case "scan":
+		return cmdScan(rest)
+	case "bilbo":
+		return cmdBILBO(rest)
+	case "syndrome":
+		return cmdSyndrome(rest)
+	case "walsh":
+		return cmdWalsh(rest)
+	case "lfsr":
+		return cmdLFSR(rest)
+	case "bench":
+		return cmdBench(rest)
+	case "bridge":
+		return cmdBridge(rest)
+	case "cmos":
+		return cmdCMOS(rest)
+	case "seqtest":
+		return cmdSeqTest(rest)
+	case "diagnose":
+		return cmdDiagnose(rest)
+	case "experiments":
+		return cmdExperiments(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dftc — design-for-testability toolkit (Williams & Parker 1982 reproduction)
+
+subcommands:
+  info <f.bench>                      structural summary
+  scoap <f.bench> [-top N]            SCOAP testability analysis
+  atpg <f.bench> [flags]              deterministic test generation
+  faultsim <f.bench> [flags]          random-pattern fault grading
+  scan <f.bench> [-style lssd|mux]    scan insertion, emits .bench
+  bilbo <c1> <c2> [-patterns N]       BILBO self-test coverage
+  syndrome <f.bench>                  syndrome measurement per output
+  walsh <f.bench> [-out K]            C0 / C_all measurement
+  lfsr [-width N] [-clocks K]         maximal LFSR state sequence
+  bench <gen> [args...]               emit a library circuit (c17, adder,
+                                      mult, parity, decoder, mux, cmp, maj,
+                                      alu74181, alu74181x, counter, shift,
+                                      johnson, gray)
+  bridge <f.bench> [flags]            bridging-fault coverage of an SSA set
+  cmos <f.bench>                      stuck-open two-pattern testing
+  seqtest <f.bench> [-frames N]       sequential ATPG (time-frame expansion)
+  diagnose <f.bench> [flags]          fault-dictionary resolution
+  experiments [id]                    regenerate paper tables/figures`)
+}
+
+func loadDesign(path string) (*core.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(path, f)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.Circuit.Stats())
+	fmt.Printf("collapsed fault targets: %d\n", len(d.Faults()))
+	return nil
+}
+
+func cmdScoap(args []string) error {
+	fs := flag.NewFlagSet("scoap", flag.ContinueOnError)
+	top := fs.Int("top", 10, "hardest nets to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scoap needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sum, hardest := d.Analyze(*top)
+	fmt.Println(sum)
+	fmt.Printf("%-20s %8s %8s %8s\n", "net", "CC0", "CC1", "CO")
+	for _, h := range hardest {
+		fmt.Printf("%-20s %8d %8d %8d\n", h.Name, h.CC0, h.CC1, h.CO)
+	}
+	return nil
+}
+
+func cmdATPG(args []string) error {
+	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
+	engine := fs.String("engine", "podem", "podem or dalg")
+	scan := fs.Bool("scan", false, "assume full scan (LSSD view)")
+	random := fs.Int("random", 0, "random-first pattern budget")
+	compact := fs.Bool("compact", false, "reverse-order compaction")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("atpg needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *scan {
+		if err := d.ApplyScan(core.StyleLSSD); err != nil {
+			return err
+		}
+	}
+	e := atpg.EnginePodem
+	if *engine == "dalg" {
+		e = atpg.EngineDAlg
+	} else if *engine != "podem" {
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	ts := d.Generate(core.GenerateOptions{
+		Engine: e, RandomFirst: *random, Seed: *seed, Compact: *compact,
+	})
+	fmt.Print(d.BuildReport(ts))
+	if ts.Untestable > 0 {
+		fmt.Printf("untestable (redundant) faults: %d\n", ts.Untestable)
+	}
+	if ts.Aborted > 0 {
+		fmt.Printf("aborted faults: %d\n", ts.Aborted)
+	}
+	return nil
+}
+
+func cmdFaultSim(args []string) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	n := fs.Int("patterns", 1024, "random patterns to grade")
+	seed := fs.Int64("seed", 1, "random seed")
+	scan := fs.Bool("scan", false, "assume full scan view")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("faultsim needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *scan {
+		if err := d.ApplyScan(core.StyleLSSD); err != nil {
+			return err
+		}
+	}
+	ts := d.RandomTests(*n, *seed)
+	fmt.Printf("applied %d random patterns: coverage %.2f%% with %d kept patterns\n",
+		*n, ts.Coverage*100, len(ts.Patterns))
+	return nil
+}
+
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	style := fs.String("style", "lssd", "lssd or mux")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scan needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := core.StyleLSSD
+	if *style == "mux" {
+		st = core.StyleMuxScan
+	} else if *style != "lssd" {
+		return fmt.Errorf("unknown style %q", *style)
+	}
+	if err := d.ApplyScan(st); err != nil {
+		return err
+	}
+	sc := d.Scan()
+	fmt.Fprintf(os.Stderr, "chain length %d, overhead %.1f%%\n",
+		sc.ChainLength(), 100*lssd.Overhead(d.Circuit, sc.Scanned))
+	return logic.WriteBench(os.Stdout, sc.Scanned)
+}
+
+func cmdBILBO(args []string) error {
+	fs := flag.NewFlagSet("bilbo", flag.ContinueOnError)
+	patterns := fs.Int("patterns", 255, "PN patterns per session")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("bilbo needs two .bench files")
+	}
+	d1, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d2, err := loadDesign(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	cs, err := core.SelfTestPlan(d1.Circuit, d2.Circuit, *patterns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BILBO self-test, %d patterns: %d/%d faults (%.2f%%)\n",
+		cs.Patterns, cs.Detected, cs.Total, cs.Coverage()*100)
+	scanBits, bilboBits := bilbo.DataVolume(len(d1.Circuit.PIs), *patterns)
+	fmt.Printf("test data volume: %d bits via scan vs %d bits via BILBO\n", scanBits, bilboBits)
+	return nil
+}
+
+func cmdSyndrome(args []string) error {
+	fs := flag.NewFlagSet("syndrome", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("syndrome needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	counts, syn := syndrome.Syndromes(d.Circuit)
+	for j := range counts {
+		fmt.Printf("output %-16s K=%-8d S=%.4f\n", d.Circuit.NameOf(d.Circuit.POs[j]), counts[j], syn[j])
+	}
+	cl := fault.CollapseEquiv(d.Circuit, fault.Universe(d.Circuit))
+	un := syndrome.Untestable(syndrome.Classify(d.Circuit, cl.Reps))
+	fmt.Printf("syndrome-untestable fault classes: %d of %d\n", len(un), len(cl.Reps))
+	return nil
+}
+
+func cmdWalsh(args []string) error {
+	fs := flag.NewFlagSet("walsh", flag.ContinueOnError)
+	out := fs.Int("out", 0, "output index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("walsh needs one .bench file")
+	}
+	d, err := loadDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *out < 0 || *out >= len(d.Circuit.POs) {
+		return fmt.Errorf("output %d out of range", *out)
+	}
+	fmt.Printf("C_0   = %d\n", walsh.C0(d.Circuit, *out, nil))
+	fmt.Printf("C_all = %d\n", walsh.CAll(d.Circuit, *out, nil))
+	checked, detected, goodCAll := walsh.InputFaultTheorem(d.Circuit, *out)
+	fmt.Printf("input stuck-at faults detected via C_all: %d/%d (C_all=%d)\n", detected, checked, goodCAll)
+	return nil
+}
+
+func cmdLFSR(args []string) error {
+	fs := flag.NewFlagSet("lfsr", flag.ContinueOnError)
+	width := fs.Int("width", 3, "register width")
+	clocks := fs.Int("clocks", 10, "clocks to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l := lfsr.NewMaximal(*width)
+	l.SetState(1)
+	taps, _ := lfsr.MaximalTaps(*width)
+	fmt.Printf("width %d, taps %v, period %d\n", *width, taps, (1<<uint(*width))-1)
+	for i := 0; i < *clocks; i++ {
+		l.Clock()
+		fmt.Printf("%0*b\n", *width, l.State())
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("bench needs a generator name")
+	}
+	gen, rest := args[0], args[1:]
+	argN := func(def int) int {
+		if len(rest) > 0 {
+			if v, err := strconv.Atoi(rest[0]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	var c *logic.Circuit
+	switch gen {
+	case "c17":
+		c = circuits.C17()
+	case "adder":
+		c = circuits.RippleAdder(argN(8))
+	case "mult":
+		c = circuits.ArrayMultiplier(argN(4))
+	case "parity":
+		c = circuits.ParityTree(argN(8))
+	case "decoder":
+		c = circuits.Decoder(argN(3))
+	case "mux":
+		c = circuits.Mux(argN(2))
+	case "cmp":
+		c = circuits.Comparator(argN(4))
+	case "maj":
+		c = circuits.Majority(argN(3))
+	case "alu74181":
+		c = circuits.ALU74181()
+	case "alu74181x":
+		c = circuits.Cascade74181(argN(2))
+	case "counter":
+		c = circuits.Counter(argN(8))
+	case "shift":
+		c = circuits.ShiftRegister(argN(8))
+	case "johnson":
+		c = circuits.JohnsonCounter(argN(4))
+	case "gray":
+		c = circuits.GrayCounter(argN(4))
+	default:
+		return fmt.Errorf("unknown generator %q", gen)
+	}
+	return logic.WriteBench(os.Stdout, c)
+}
+
+func cmdExperiments(args []string) error {
+	if len(args) == 1 {
+		e, ok := experiments.ByID(args[0])
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: dftc experiments)", args[0])
+		}
+		fmt.Println(e.Run().Render())
+		return nil
+	}
+	for _, e := range experiments.All() {
+		fmt.Println(e.Run().Render())
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package dft is a from-scratch Go reproduction of Williams & Parker,
+// "Design for Testability — A Survey" (DAC 1982 / Proc. IEEE 1983): a
+// complete design-for-testability toolkit covering the stuck-at fault
+// model, fault simulation, the D-algorithm and PODEM, SCOAP testability
+// measures, LSSD / Scan Path / Scan-Set / Random-Access Scan, Signature
+// Analysis, BILBO self-test, Syndrome and Walsh-coefficient testing,
+// and autonomous testing with multiplexer and sensitized partitioning.
+//
+// The implementation lives under internal/; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-versus-measured
+// record. The repository-root tests and benchmarks regenerate every
+// table and figure of the paper.
+package dft

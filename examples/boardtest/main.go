@@ -1,0 +1,108 @@
+// Boardtest exercises the board-level, ad hoc half of the paper on a
+// self-stimulating "microprocessor board": signature analysis with a
+// 16-bit analyzer (Fig. 8), kernel-first fault isolation, the closed-
+// loop rule, and the bus-isolation ambiguity of Fig. 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dft/internal/board"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/signature"
+)
+
+// buildBoard assembles a counter kernel ("the microprocessor"), an
+// increment ALU, and a parity checker as one netlist with a module map.
+func buildBoard() *signature.Board {
+	c := logic.New("demo-board")
+	en := c.AddInput("EN")
+	qs := make([]int, 4)
+	for i := range qs {
+		qs[i] = c.AddDFF(fmt.Sprintf("Q%d", i), en)
+	}
+	carry := en
+	for i := 0; i < 4; i++ {
+		t := c.AddGate(logic.Xor, fmt.Sprintf("T%d", i), qs[i], carry)
+		c.Gates[qs[i]].Fanin[0] = t
+		if i < 3 {
+			carry = c.AddGate(logic.And, fmt.Sprintf("CA%d", i), carry, qs[i])
+		}
+	}
+	s0 := c.AddGate(logic.Not, "S0", qs[0])
+	c1 := c.AddGate(logic.And, "C1x", qs[0], qs[0])
+	s1 := c.AddGate(logic.Xor, "S1", qs[1], c1)
+	c2 := c.AddGate(logic.And, "C2x", qs[1], c1)
+	s2 := c.AddGate(logic.Xor, "S2", qs[2], c2)
+	c3 := c.AddGate(logic.And, "C3x", qs[2], c2)
+	s3 := c.AddGate(logic.Xor, "S3", qs[3], c3)
+	par := c.AddGate(logic.Xor, "PAR", s0, s1, s2, s3)
+	c.MarkOutput(par)
+	c.MustFinalize()
+	return &signature.Board{
+		C:        c,
+		Stimulus: signature.SelfStimulus(c, 50),
+		Modules: []signature.Module{
+			{Name: "uP", Outputs: qs},
+			{Name: "ALU", Outputs: []int{s0, s1, s2, s3}, Feeds: []string{"uP"}},
+			{Name: "CHK", Outputs: []int{par}, Feeds: []string{"ALU"}},
+		},
+	}
+}
+
+func main() {
+	b := buildBoard()
+	analyzer := signature.NewAnalyzer(16)
+
+	// Golden signatures for a few interesting nets.
+	q3, _ := b.C.NetByName("Q3")
+	s1, _ := b.C.NetByName("S1")
+	par, _ := b.C.NetByName("PAR")
+	golden := b.GoldenSignatures(analyzer, []int{q3, s1, par})
+	fmt.Println("golden signatures (16-bit, 50-cycle session):")
+	for _, n := range []int{q3, s1, par} {
+		fmt.Printf("  %-4s %#06x\n", b.C.NameOf(n), golden[n])
+	}
+
+	// Inject a fault in the ALU module and isolate it kernel-first.
+	f := fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One}
+	diag, err := b.Diagnose(analyzer, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninjected %s\n", f.Name(b.C))
+	fmt.Printf("kernel-first probing found module %q in %d probes (bad nets: %d)\n",
+		diag.Culprit, diag.Probes, len(diag.BadNets))
+
+	// The closed-loop rule: close the loop, watch the refusal, break it.
+	for i := range b.Modules {
+		if b.Modules[i].Name == "uP" {
+			b.Modules[i].Feeds = append(b.Modules[i].Feeds, "CHK")
+		}
+	}
+	if _, err := b.Diagnose(analyzer, f); err != nil {
+		fmt.Printf("\nclosed loop detected: %v\n", err)
+	}
+	if err := b.BreakLoop("uP", "CHK"); err != nil {
+		log.Fatal(err)
+	}
+	if diag, err = b.Diagnose(analyzer, f); err == nil {
+		fmt.Printf("after jumper break: culprit %q again\n", diag.Culprit)
+	}
+
+	// Fig. 6: bus isolation and its stuck-trace ambiguity.
+	mk := func(v bool) func() bool { return func() bool { return v } }
+	bus := &board.Bus{Drivers: []*board.BusDriver{
+		{Name: "CPU", Drive: mk(true)}, {Name: "ROM", Drive: mk(true)},
+		{Name: "RAM", Drive: mk(true)}, {Name: "IO", Drive: mk(true)},
+	}}
+	expected := map[string]bool{"CPU": true, "ROM": true, "RAM": true, "IO": true}
+	failing, _ := bus.IsolateAndTest(expected)
+	fmt.Printf("\nhealthy bus isolation: %d failures\n", len(failing))
+	stuck := false
+	bus.Stuck = &stuck
+	failing, _ = bus.IsolateAndTest(expected)
+	fmt.Printf("stuck-at-0 trace     : %s\n", board.DiagnoseBus(failing, len(bus.Drivers)))
+}

@@ -1,0 +1,85 @@
+package dft
+
+// Root-level assertions for the extension experiments: the paper's
+// §I.A caveats (bridging faults, CMOS stuck-opens), sequential ATPG by
+// time-frame expansion, and random-pattern testability prediction.
+
+import (
+	"testing"
+
+	"dft/internal/experiments"
+)
+
+func TestExpBridging(t *testing.T) {
+	r := experiments.Bridging().(experiments.BridgeResult)
+	if r.SSACoverage < 1.0 {
+		t.Fatalf("setup: SSA coverage %.3f", r.SSACoverage)
+	}
+	cov := float64(r.BridgeDetected) / float64(r.BridgeTotal)
+	if cov < 0.9 {
+		t.Fatalf("bridge coverage %.3f; the paper's claim needs 'high 90s' behavior", cov)
+	}
+	render(t, "bridging")
+}
+
+func TestExpCMOS(t *testing.T) {
+	r := experiments.CMOSStuckOpen().(experiments.CMOSResult)
+	if r.BestOrderMiss == 0 {
+		t.Skip("no ordering of this SSA set missed a stuck-open (rare but possible)")
+	}
+	if r.TwoPatternFound < r.Universe*9/10 {
+		t.Fatalf("two-pattern generation found %d of %d", r.TwoPatternFound, r.Universe)
+	}
+	if r.TwoPatternHit != r.TwoPatternFound {
+		t.Fatalf("generated tests failed to detect: %d/%d", r.TwoPatternHit, r.TwoPatternFound)
+	}
+	render(t, "cmos")
+}
+
+func TestExpSeqATPG(t *testing.T) {
+	r := experiments.SequentialATPG().(experiments.SeqATPGResult)
+	t.Log("\n" + r.Render())
+	if !r.DeepFailed {
+		t.Fatal("the deep counter bit must defeat a 4-frame bound")
+	}
+	if float64(r.Detected)/float64(r.Faults) < 0.8 {
+		t.Fatalf("bounded sequential ATPG covered %d/%d", r.Detected, r.Faults)
+	}
+	multi := 0
+	for d, n := range r.Depths {
+		if d > 1 {
+			multi += n
+		}
+	}
+	if multi == 0 {
+		t.Fatal("expected multi-frame tests")
+	}
+}
+
+func TestExpProbability(t *testing.T) {
+	r := experiments.Probability().(experiments.ProbResult)
+	if r.PLAExpected < 1e5 {
+		t.Fatalf("PLA expected patterns %.3g, want ≈2^20", r.PLAExpected)
+	}
+	if r.AdderExpected > 1e3 {
+		t.Fatalf("adder expected patterns %.3g, want small", r.AdderExpected)
+	}
+	if !r.WeightsHigh || !r.WeightedWins {
+		t.Fatalf("weight derivation failed: %+v", r)
+	}
+	render(t, "probability")
+}
+
+func TestExpPLAATPG(t *testing.T) {
+	r := experiments.PLAATPG().(experiments.PLAATPGResult)
+	if r.DetCoverage < 0.95 {
+		t.Fatalf("deterministic PLA coverage %.3f", r.DetCoverage)
+	}
+	if r.RandCoverage > r.DetCoverage/2 {
+		t.Fatalf("random %.3f too close to deterministic %.3f", r.RandCoverage, r.DetCoverage)
+	}
+	if float64(r.Deterministic) > r.Exhaustive/100 {
+		t.Fatalf("deterministic set %d not ≪ exhaustive %.0f", r.Deterministic, r.Exhaustive)
+	}
+	render(t, "plaatpg")
+}

@@ -1,0 +1,3 @@
+module dft
+
+go 1.22

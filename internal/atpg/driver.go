@@ -1,0 +1,152 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// Engine selects the deterministic test-generation algorithm.
+type Engine int
+
+const (
+	EnginePodem Engine = iota
+	EngineDAlg
+)
+
+// GenerateResult reports a full ATPG run.
+type GenerateResult struct {
+	Tests      []Test
+	Patterns   [][]bool // fully-specified test vectors, X filled
+	Detected   []bool   // per fault in the collapsed target list
+	Untestable []fault.Fault
+	Aborted    []fault.Fault
+	Coverage   float64 // detected / (targets - untestable): testable coverage
+	RawCover   float64 // detected / targets
+	Elapsed    time.Duration
+}
+
+// Config controls the ATPG driver.
+type Config struct {
+	Engine        Engine
+	MaxBacktracks int
+	RandomSeed    int64
+	// RandomFirst applies this many random patterns (with fault
+	// dropping) before any deterministic generation; 0 disables.
+	RandomFirst int
+}
+
+// Generate runs the classical ATPG flow over the collapsed fault list:
+// optional random-pattern phase, then one deterministic test per
+// remaining fault, fault-simulating every new test against the
+// remaining faults so each test is credited with everything it catches.
+func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *GenerateResult {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.RandomSeed + 1))
+	res := &GenerateResult{Detected: make([]bool, len(targets))}
+	h := newHarness(c, view, targets)
+
+	if cfg.RandomFirst > 0 {
+		applied := 0
+		for applied < cfg.RandomFirst && h.remaining() > 0 {
+			block := make([][]bool, 0, 64)
+			for k := 0; k < 64 && applied+len(block) < cfg.RandomFirst; k++ {
+				p := make([]bool, len(view.Inputs))
+				for i := range p {
+					p[i] = rng.Intn(2) == 1
+				}
+				block = append(block, p)
+			}
+			for _, p := range h.applyBlock(block, res.Detected) {
+				res.Patterns = append(res.Patterns, p)
+				tv := make([]logic.V, len(p))
+				for i, b := range p {
+					tv[i] = logic.FromBool(b)
+				}
+				res.Tests = append(res.Tests, Test{Values: tv})
+			}
+			applied += len(block)
+		}
+	}
+
+	pcfg := PodemConfig{MaxBacktracks: cfg.MaxBacktracks}
+	gen := func(f fault.Fault) (Test, error) {
+		if cfg.Engine == EngineDAlg {
+			return DAlg(c, view, f, pcfg)
+		}
+		return Podem(c, view, f, pcfg)
+	}
+
+	for fi, f := range targets {
+		if res.Detected[fi] {
+			continue
+		}
+		t, err := gen(f)
+		switch err {
+		case nil:
+		case ErrUntestable:
+			res.Untestable = append(res.Untestable, f)
+			continue
+		default:
+			res.Aborted = append(res.Aborted, f)
+			continue
+		}
+		// Fill X positions randomly: free fault coverage.
+		full := make([]bool, len(t.Values))
+		for i, v := range t.Values {
+			switch v {
+			case logic.One:
+				full[i] = true
+			case logic.Zero:
+				full[i] = false
+			default:
+				full[i] = rng.Intn(2) == 1
+			}
+		}
+		res.Tests = append(res.Tests, t)
+		res.Patterns = append(res.Patterns, full)
+		h.applyBlock([][]bool{full}, res.Detected)
+		if !res.Detected[fi] {
+			// The filled vector must detect its target; a miss means the
+			// generator and simulator disagree — fail loudly in tests.
+			res.Aborted = append(res.Aborted, f)
+		}
+	}
+
+	caught := 0
+	for _, d := range res.Detected {
+		if d {
+			caught++
+		}
+	}
+	res.RawCover = float64(caught) / float64(len(targets))
+	testable := len(targets) - len(res.Untestable)
+	if testable > 0 {
+		res.Coverage = float64(caught) / float64(testable)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Compact performs reverse-order fault-simulation compaction: patterns
+// are re-simulated newest first with fault dropping and only the ones
+// that detect something new are kept. Typical shrink is 2–5× on
+// deterministic test sets.
+func Compact(c *logic.Circuit, view View, targets []fault.Fault, patterns [][]bool) [][]bool {
+	h := newHarness(c, view, targets)
+	detected := make([]bool, len(targets))
+	var kept [][]bool
+	for i := len(patterns) - 1; i >= 0; i-- {
+		useful := h.applyBlock([][]bool{patterns[i]}, detected)
+		if len(useful) > 0 {
+			kept = append(kept, patterns[i])
+		}
+	}
+	// Restore original relative order.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	return kept
+}

@@ -1,0 +1,298 @@
+package atpg
+
+import (
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// MultiFault is a set of stuck-at sites that belong to one physical
+// defect — the situation time-frame expansion creates, where a single
+// fault appears once per frame of the unrolled circuit. All sites
+// share one polarity semantics: each site is stuck independently at
+// its own SA value, and the "faulty machine" carries all of them.
+type MultiFault []fault.Fault
+
+// msim is the multi-site five-valued simulator: sim5 generalized to a
+// set of injection sites.
+type msim struct {
+	c       *logic.Circuit
+	view    View
+	fs      MultiFault
+	stemSrc map[int]logic.V         // source-element stem injections
+	stemGat map[int]logic.V         // combinational-gate stem injections
+	branch  map[int]map[int]logic.V // gate -> pin -> sa
+	vals    []logic.V
+	assign  []logic.V
+	inIndex map[int]int
+	isIn    []bool
+	scratch []logic.V
+}
+
+func newMsim(c *logic.Circuit, view View, fs MultiFault) *msim {
+	s := &msim{
+		c:       c,
+		view:    view,
+		fs:      fs,
+		stemSrc: map[int]logic.V{},
+		stemGat: map[int]logic.V{},
+		branch:  map[int]map[int]logic.V{},
+		vals:    make([]logic.V, c.NumNets()),
+		assign:  make([]logic.V, len(view.Inputs)),
+		inIndex: make(map[int]int, len(view.Inputs)),
+		isIn:    make([]bool, c.NumNets()),
+		scratch: make([]logic.V, c.MaxFanin()),
+	}
+	for i, n := range view.Inputs {
+		s.inIndex[n] = i
+		s.isIn[n] = true
+		s.assign[i] = logic.X
+	}
+	for _, f := range fs {
+		if f.Pin == fault.Stem {
+			if c.Gates[f.Gate].Type.IsCombinational() {
+				s.stemGat[f.Gate] = f.SA
+			} else {
+				s.stemSrc[f.Gate] = f.SA
+			}
+		} else {
+			m := s.branch[f.Gate]
+			if m == nil {
+				m = map[int]logic.V{}
+				s.branch[f.Gate] = m
+			}
+			m[f.Pin] = f.SA
+		}
+	}
+	return s
+}
+
+func (s *msim) run() {
+	c := s.c
+	for i, n := range s.view.Inputs {
+		s.vals[n] = s.assign[i]
+	}
+	for _, n := range c.PIs {
+		if !s.isIn[n] {
+			s.vals[n] = logic.X
+		}
+	}
+	for _, n := range c.DFFs {
+		if !s.isIn[n] {
+			s.vals[n] = logic.X
+		}
+	}
+	for n, sa := range s.stemSrc {
+		s.vals[n] = inject(s.vals[n], sa)
+	}
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		in := s.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			in[i] = s.vals[src]
+		}
+		if m, ok := s.branch[id]; ok {
+			for pin, sa := range m {
+				in[pin] = inject(in[pin], sa)
+			}
+		}
+		v := g.Type.Eval(in)
+		if sa, ok := s.stemGat[id]; ok {
+			v = inject(v, sa)
+		}
+		s.vals[id] = v
+	}
+}
+
+func (s *msim) detected() bool {
+	for _, o := range s.view.Outputs {
+		if s.vals[o].IsError() {
+			return true
+		}
+	}
+	return false
+}
+
+// siteStates classifies activation across the sites: anyX (some site
+// could still activate) and anyActive (some site already carries an
+// error).
+func (s *msim) siteStates() (anyX, anyActive bool) {
+	for _, f := range s.fs {
+		good := s.vals[f.Site(s.c)].Good()
+		switch {
+		case good == logic.X:
+			anyX = true
+		case good != f.SA:
+			anyActive = true
+		}
+	}
+	return
+}
+
+// PodemMulti generates a single test cube detecting the multi-site
+// fault, using the PODEM search over view inputs. The semantics match
+// Podem exactly when the set has one site.
+func PodemMulti(c *logic.Circuit, view View, fs MultiFault, cfg PodemConfig) (Test, error) {
+	maxBT := cfg.MaxBacktracks
+	if maxBT <= 0 {
+		maxBT = DefaultBacktracks
+	}
+	s := newMsim(c, view, fs)
+
+	type decision struct {
+		idx     int
+		val     logic.V
+		flipped bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	for {
+		s.run()
+		if s.detected() {
+			return Test{Values: append([]logic.V(nil), s.assign...)}, nil
+		}
+		obj, objVal, feasible := s.objective()
+		if feasible {
+			if idx, v, ok := s.backtrace(obj, objVal); ok {
+				s.assign[idx] = v
+				stack = append(stack, decision{idx: idx, val: v})
+				continue
+			}
+		}
+		for {
+			if len(stack) == 0 {
+				return Test{}, ErrUntestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.Not()
+				s.assign[top.idx] = top.val
+				backtracks++
+				if backtracks > maxBT {
+					return Test{}, ErrAborted
+				}
+				break
+			}
+			s.assign[top.idx] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+func (s *msim) objective() (net int, val logic.V, feasible bool) {
+	anyX, anyActive := s.siteStates()
+	if !anyActive {
+		if !anyX {
+			return 0, logic.X, false // every site pinned at its stuck value
+		}
+		// Activate the first still-open site.
+		for _, f := range s.fs {
+			site := f.Site(s.c)
+			if s.vals[site].Good() == logic.X {
+				return site, f.SA.Not(), true
+			}
+		}
+		return 0, logic.X, false
+	}
+	// Advance the D-frontier.
+	for _, id := range s.c.Order {
+		g := &s.c.Gates[id]
+		if s.vals[id] != logic.X {
+			continue
+		}
+		hasD := false
+		for _, src := range g.Fanin {
+			if s.vals[src].IsError() {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			if m, ok := s.branch[id]; ok {
+				for pin, sa := range m {
+					src := g.Fanin[pin]
+					if s.vals[src].Good() != logic.X && s.vals[src].Good() != sa {
+						hasD = true
+						break
+					}
+				}
+			}
+		}
+		if !hasD || !s.xPath(id) {
+			continue
+		}
+		for pin, src := range g.Fanin {
+			if s.vals[src] != logic.X {
+				continue
+			}
+			if m, ok := s.branch[id]; ok {
+				if _, isFaultPin := m[pin]; isFaultPin {
+					continue
+				}
+			}
+			cv, has := g.Type.ControllingValue()
+			want := logic.Zero
+			if has {
+				want = cv.Not()
+			}
+			return src, want, true
+		}
+	}
+	return 0, logic.X, false
+}
+
+func (s *msim) xPath(net int) bool {
+	for _, o := range s.view.Outputs {
+		if o == net {
+			return true
+		}
+	}
+	for _, reader := range s.c.Fanout[net] {
+		if !s.c.Gates[reader].Type.IsCombinational() {
+			continue
+		}
+		if s.vals[reader] == logic.X && s.xPath(reader) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *msim) backtrace(net int, val logic.V) (idx int, v logic.V, ok bool) {
+	c := s.c
+	for {
+		if i, isIn := s.inIndex[net]; isIn {
+			if s.assign[i] != logic.X {
+				return 0, logic.X, false
+			}
+			return i, val, true
+		}
+		g := &c.Gates[net]
+		if !g.Type.IsCombinational() || len(g.Fanin) == 0 {
+			return 0, logic.X, false
+		}
+		if g.Type.Inverting() {
+			val = val.Not()
+		}
+		next := -1
+		for _, src := range g.Fanin {
+			if s.vals[src] == logic.X {
+				next = src
+				break
+			}
+		}
+		if next < 0 {
+			return 0, logic.X, false
+		}
+		net = next
+	}
+}
+
+// VerifyMulti checks that a test cube detects the multi-site fault.
+func VerifyMulti(c *logic.Circuit, view View, fs MultiFault, t Test) bool {
+	s := newMsim(c, view, fs)
+	copy(s.assign, t.Values)
+	s.run()
+	return s.detected()
+}

@@ -1,0 +1,106 @@
+package atpg
+
+import (
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+func TestPodemMultiSingleSiteOnC17(t *testing.T) {
+	c := circuits.C17()
+	view := PrimaryView(c)
+	for _, f := range fault.Universe(c) {
+		cube, err := PodemMulti(c, view, MultiFault{f}, PodemConfig{})
+		if err != nil {
+			t.Fatalf("fault %s: %v", f.Name(c), err)
+		}
+		if !VerifyMulti(c, view, MultiFault{f}, cube) {
+			t.Fatalf("fault %s: cube fails verification", f.Name(c))
+		}
+		if !Verify(c, view, f, cube) {
+			t.Fatalf("fault %s: multi cube disagrees with single-fault verify", f.Name(c))
+		}
+	}
+}
+
+func TestPodemMultiTwoSites(t *testing.T) {
+	// One physical defect hitting two stems: any test distinguishing
+	// the doubly-faulty machine counts.
+	c := circuits.C17()
+	view := PrimaryView(c)
+	g10, _ := c.NetByName("G10")
+	g19, _ := c.NetByName("G19")
+	mf := MultiFault{
+		{Gate: g10, Pin: fault.Stem, SA: logic.One},
+		{Gate: g19, Pin: fault.Stem, SA: logic.One},
+	}
+	cube, err := PodemMulti(c, view, mf, PodemConfig{})
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	if !VerifyMulti(c, view, mf, cube) {
+		t.Fatal("cube fails multi verification")
+	}
+}
+
+// TestPodemMultiSelfMasking: two sites that exactly cancel through an
+// XOR are jointly undetectable, although each alone is testable.
+func TestPodemMultiSelfMasking(t *testing.T) {
+	c := logic.New("mask")
+	a := c.AddInput("a")
+	b1 := c.AddGate(logic.Buf, "b1", a)
+	b2 := c.AddGate(logic.Buf, "b2", a)
+	y := c.AddGate(logic.Xor, "y", b1, b2)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	view := PrimaryView(c)
+	f1 := fault.Fault{Gate: b1, Pin: fault.Stem, SA: logic.One}
+	f2 := fault.Fault{Gate: b2, Pin: fault.Stem, SA: logic.One}
+	// Each alone is testable (a=0 exposes it).
+	if _, err := PodemMulti(c, view, MultiFault{f1}, PodemConfig{}); err != nil {
+		t.Fatalf("single site 1: %v", err)
+	}
+	if _, err := PodemMulti(c, view, MultiFault{f2}, PodemConfig{}); err != nil {
+		t.Fatalf("single site 2: %v", err)
+	}
+	// Together they cancel: XOR(1,1) = XOR(a,a) = 0 for every input.
+	if _, err := PodemMulti(c, view, MultiFault{f1, f2}, PodemConfig{}); err != ErrUntestable {
+		t.Fatalf("joint fault: err = %v, want ErrUntestable", err)
+	}
+}
+
+func TestPodemMultiBranchSites(t *testing.T) {
+	// Branch faults on two different gates reading the same stem.
+	c := circuits.C17()
+	view := PrimaryView(c)
+	g16, _ := c.NetByName("G16")
+	g19, _ := c.NetByName("G19")
+	mf := MultiFault{
+		{Gate: g16, Pin: 1, SA: logic.Zero}, // G11 branch into G16
+		{Gate: g19, Pin: 0, SA: logic.Zero}, // G11 branch into G19
+	}
+	cube, err := PodemMulti(c, view, mf, PodemConfig{})
+	if err != nil {
+		t.Fatalf("branch multi: %v", err)
+	}
+	if !VerifyMulti(c, view, mf, cube) {
+		t.Fatal("branch multi cube fails verification")
+	}
+}
+
+func TestVerifyMultiRejectsNonTest(t *testing.T) {
+	c := circuits.C17()
+	view := PrimaryView(c)
+	g22, _ := c.NetByName("G22")
+	mf := MultiFault{{Gate: g22, Pin: fault.Stem, SA: logic.One}}
+	// All-X cube cannot claim detection.
+	blank := Test{Values: make([]logic.V, len(view.Inputs))}
+	for i := range blank.Values {
+		blank.Values[i] = logic.X
+	}
+	if VerifyMulti(c, view, mf, blank) {
+		t.Fatal("blank cube verified")
+	}
+}

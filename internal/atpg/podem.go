@@ -1,0 +1,185 @@
+package atpg
+
+import (
+	"errors"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// ErrUntestable is returned when the search space is exhausted without
+// finding a test: the fault is redundant under the given view.
+var ErrUntestable = errors.New("atpg: fault is untestable (redundant)")
+
+// ErrAborted is returned when the backtrack limit is reached before the
+// search concludes.
+var ErrAborted = errors.New("atpg: backtrack limit exceeded")
+
+// PodemConfig tunes the PODEM search.
+type PodemConfig struct {
+	MaxBacktracks int // 0 means DefaultBacktracks
+}
+
+// DefaultBacktracks bounds the search effort per fault.
+const DefaultBacktracks = 10000
+
+// Podem generates a test for the fault using the PODEM algorithm:
+// branch-and-bound over view-input assignments only, with objectives
+// backtraced from the fault site and D-frontier.
+func Podem(c *logic.Circuit, view View, f fault.Fault, cfg PodemConfig) (Test, error) {
+	maxBT := cfg.MaxBacktracks
+	if maxBT <= 0 {
+		maxBT = DefaultBacktracks
+	}
+	s := newSim5(c, view, f)
+
+	type decision struct {
+		idx     int // index into view.Inputs
+		val     logic.V
+		flipped bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	for {
+		s.run()
+		if s.detected() {
+			return s.test(), nil
+		}
+		obj, objVal, feasible := objective(s)
+		if feasible {
+			if idx, v, ok := backtrace(s, obj, objVal); ok {
+				s.assign[idx] = v
+				stack = append(stack, decision{idx: idx, val: v})
+				continue
+			}
+			// No X path to an input: treat as a dead end.
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return Test{}, ErrUntestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.Not()
+				s.assign[top.idx] = top.val
+				backtracks++
+				if backtracks > maxBT {
+					return Test{}, ErrAborted
+				}
+				break
+			}
+			s.assign[top.idx] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// objective returns the next (net, value) goal: activate the fault if
+// not yet activated, otherwise advance the D-frontier. feasible=false
+// signals a provable dead end under the current assignment.
+func objective(s *sim5) (net int, val logic.V, feasible bool) {
+	site := s.f.Site(s.c)
+	sv := s.siteValue()
+	switch {
+	case sv == logic.X:
+		// Activate: drive the site to the complement of the stuck value.
+		return site, s.f.SA.Not(), true
+	case sv == s.f.SA:
+		// Site pinned at the stuck value: no activation possible here.
+		return 0, logic.X, false
+	}
+	// Activated: find a D-frontier gate with an X-path to an output.
+	for _, id := range s.c.Order {
+		g := &s.c.Gates[id]
+		if s.vals[id] != logic.X {
+			continue
+		}
+		hasD := false
+		for _, src := range g.Fanin {
+			if s.vals[src].IsError() {
+				hasD = true
+				break
+			}
+		}
+		// A branch fault's injected D is invisible in vals: the faulted
+		// gate itself is on the D-frontier once the site is activated.
+		if !hasD && s.f.Pin != fault.Stem && id == s.f.Gate {
+			hasD = true
+		}
+		if !hasD || !xPath(s, id) {
+			continue
+		}
+		// Objective: set an X input to the non-controlling value.
+		for pin, src := range g.Fanin {
+			if s.vals[src] != logic.X {
+				continue
+			}
+			if s.f.Pin != fault.Stem && id == s.f.Gate && pin == s.f.Pin {
+				continue // the faulty branch itself is not settable
+			}
+			cv, has := g.Type.ControllingValue()
+			want := logic.Zero
+			if has {
+				want = cv.Not()
+			}
+			return src, want, true
+		}
+	}
+	return 0, logic.X, false
+}
+
+// xPath reports whether net can still reach an observable net through
+// X-valued nets (the classical X-path check).
+func xPath(s *sim5, net int) bool {
+	for _, o := range s.view.Outputs {
+		if o == net {
+			return true
+		}
+	}
+	for _, reader := range s.c.Fanout[net] {
+		if !s.c.Gates[reader].Type.IsCombinational() {
+			continue
+		}
+		if s.vals[reader] == logic.X && xPath(s, reader) {
+			return true
+		}
+	}
+	return false
+}
+
+// backtrace walks an objective back to an unassigned view input,
+// flipping the target value through inverting gates. It returns the
+// input index and value to try.
+func backtrace(s *sim5, net int, val logic.V) (idx int, v logic.V, ok bool) {
+	c := s.c
+	for {
+		if i, isIn := s.inIndex[net]; isIn {
+			if s.assign[i] != logic.X {
+				return 0, logic.X, false
+			}
+			return i, val, true
+		}
+		g := &c.Gates[net]
+		if !g.Type.IsCombinational() || len(g.Fanin) == 0 {
+			return 0, logic.X, false // uncontrollable source (const, unscanned DFF)
+		}
+		if g.Type.Inverting() {
+			val = val.Not()
+		}
+		// Choose an X-valued fanin to pursue.
+		next := -1
+		for _, src := range g.Fanin {
+			if s.vals[src] == logic.X {
+				next = src
+				break
+			}
+		}
+		if next < 0 {
+			return 0, logic.X, false
+		}
+		net = next
+	}
+}

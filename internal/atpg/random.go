@@ -1,0 +1,192 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// RandomResult reports a random-pattern generation run.
+type RandomResult struct {
+	Patterns [][]bool // the patterns that detected at least one new fault
+	Applied  int      // total patterns simulated
+	Coverage float64
+	Detected []bool // per fault in the given list
+}
+
+// RandomGenerate applies random patterns (each view-input bit set with
+// probability 0.5) in 64-pattern blocks with fault dropping, keeping
+// the useful ones, until target coverage is reached or maxPatterns have
+// been applied. This is the paper's baseline "combinational logic is
+// highly susceptible to random patterns" engine.
+func RandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
+	target float64, maxPatterns int, rng *rand.Rand) *RandomResult {
+	weights := make([]float64, len(view.Inputs))
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	return WeightedRandomGenerate(c, view, faults, target, maxPatterns, weights, rng)
+}
+
+// WeightedRandomGenerate is RandomGenerate with a per-input probability
+// of driving a 1 — the weighted random patterns of Schnurmann et al.
+// [95]. Weights skewed toward the values that exercise deep AND/OR
+// structures dramatically improve coverage on biased circuits.
+func WeightedRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
+	target float64, maxPatterns int, weights []float64, rng *rand.Rand) *RandomResult {
+	if len(weights) != len(view.Inputs) {
+		panic("atpg: weight count mismatch")
+	}
+	h := newHarness(c, view, faults)
+	res := &RandomResult{Detected: make([]bool, len(faults))}
+	for res.Applied < maxPatterns {
+		block := make([][]bool, 0, 64)
+		for k := 0; k < 64 && res.Applied+len(block) < maxPatterns; k++ {
+			p := make([]bool, len(view.Inputs))
+			for i := range p {
+				p[i] = rng.Float64() < weights[i]
+			}
+			block = append(block, p)
+		}
+		useful := h.applyBlock(block, res.Detected)
+		res.Patterns = append(res.Patterns, useful...)
+		res.Applied += len(block)
+		res.Coverage = h.coverage()
+		if res.Coverage >= target {
+			break
+		}
+	}
+	return res
+}
+
+// AdaptiveRandomGenerate implements adaptive random test generation in
+// the spirit of Parker [87]: input weights start uniform and adapt
+// toward the bit values of recently-detecting patterns, so the
+// generator drifts into the useful corners of the input space.
+func AdaptiveRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
+	target float64, maxPatterns int, rng *rand.Rand) *RandomResult {
+	n := len(view.Inputs)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	h := newHarness(c, view, faults)
+	res := &RandomResult{Detected: make([]bool, len(faults))}
+	const alpha = 0.15 // adaptation rate
+	for res.Applied < maxPatterns {
+		block := make([][]bool, 0, 64)
+		for k := 0; k < 64 && res.Applied+len(block) < maxPatterns; k++ {
+			p := make([]bool, n)
+			for i := range p {
+				p[i] = rng.Float64() < weights[i]
+			}
+			block = append(block, p)
+		}
+		useful := h.applyBlock(block, res.Detected)
+		res.Patterns = append(res.Patterns, useful...)
+		res.Applied += len(block)
+		res.Coverage = h.coverage()
+		// Adapt toward detecting patterns; relax toward 0.5 when a
+		// block was useless (escape dead regions).
+		if len(useful) > 0 {
+			for _, p := range useful {
+				for i, b := range p {
+					targetW := 0.0
+					if b {
+						targetW = 1.0
+					}
+					weights[i] += alpha * (targetW - weights[i])
+				}
+			}
+		} else {
+			for i := range weights {
+				weights[i] += alpha * (0.5 - weights[i])
+			}
+		}
+		// Clamp away from degenerate 0/1 weights.
+		for i := range weights {
+			if weights[i] < 0.05 {
+				weights[i] = 0.05
+			}
+			if weights[i] > 0.95 {
+				weights[i] = 0.95
+			}
+		}
+		if res.Coverage >= target {
+			break
+		}
+	}
+	return res
+}
+
+// harness runs view-level fault simulation with dropping over an
+// explicit fault list, backed by the 64-way parallel-pattern simulator
+// so the same fast path serves scan views and plain combinational
+// circuits.
+type harness struct {
+	c      *logic.Circuit
+	view   View
+	faults []fault.Fault
+	ps     *fault.ParallelSim
+	live   []int
+	caught int
+}
+
+func newHarness(c *logic.Circuit, view View, faults []fault.Fault) *harness {
+	h := &harness{
+		c: c, view: view, faults: faults,
+		ps: fault.NewParallelSimView(c, view.Inputs, view.Outputs),
+	}
+	h.live = make([]int, len(faults))
+	for i := range h.live {
+		h.live[i] = i
+	}
+	return h
+}
+
+// applyBlock simulates a block of up to 64 patterns against all live
+// faults (with dropping), marks detections, and returns the subset of
+// patterns that were the first detector of some fault.
+func (h *harness) applyBlock(block [][]bool, detected []bool) [][]bool {
+	k := h.ps.LoadBlock(block)
+	mask := ^uint64(0)
+	if k < 64 {
+		mask = 1<<uint(k) - 1
+	}
+	usefulIdx := make(map[int]bool)
+	next := h.live[:0]
+	for _, fi := range h.live {
+		det := h.ps.FaultMask(h.faults[fi]) & mask
+		if det == 0 {
+			next = append(next, fi)
+			continue
+		}
+		first := 0
+		for det&1 == 0 {
+			det >>= 1
+			first++
+		}
+		detected[fi] = true
+		h.caught++
+		usefulIdx[first] = true
+	}
+	h.live = next
+	var useful [][]bool
+	for i := 0; i < len(block); i++ {
+		if usefulIdx[i] {
+			useful = append(useful, block[i])
+		}
+	}
+	return useful
+}
+
+// remaining reports the number of still-undetected faults.
+func (h *harness) remaining() int { return len(h.live) }
+
+func (h *harness) coverage() float64 {
+	if len(h.faults) == 0 {
+		return 0
+	}
+	return float64(h.caught) / float64(len(h.faults))
+}

@@ -1,0 +1,232 @@
+// Package atpg implements the test-generation algorithms the paper
+// builds on: the D-algorithm (Roth [93]), PODEM, and random / weighted /
+// adaptive-random pattern generation ([87],[95],[98]), plus test-set
+// compaction and a driver that combines deterministic generation with
+// fault-simulation-based dropping.
+//
+// All algorithms run against a View, which abstracts what the tester
+// can control and observe. For a combinational circuit the view is the
+// primary inputs/outputs; for a full-scan (LSSD, Scan Path, Random-
+// Access Scan) design the flip-flops join the view on both sides —
+// that single change is how the structured techniques "reduce the test
+// generation problem to one of generating tests for combinational
+// logic".
+package atpg
+
+import (
+	"fmt"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// View lists the nets test generation may control and observe.
+type View struct {
+	Inputs  []int // controllable element nets (Input or DFF elements)
+	Outputs []int // observable nets
+}
+
+// PrimaryView is the view of a tester at the package pins only.
+func PrimaryView(c *logic.Circuit) View {
+	return View{
+		Inputs:  append([]int(nil), c.PIs...),
+		Outputs: append([]int(nil), c.POs...),
+	}
+}
+
+// FullScanView models a scan design: every flip-flop is directly
+// controllable (scan-in) and its D input directly observable
+// (scan-out), in addition to the primary pins.
+func FullScanView(c *logic.Circuit) View {
+	v := PrimaryView(c)
+	for _, d := range c.DFFs {
+		v.Inputs = append(v.Inputs, d)
+		v.Outputs = append(v.Outputs, c.Gates[d].Fanin[0])
+	}
+	return v
+}
+
+// PartialScanView exposes only the listed flip-flops, modeling Scan/Set
+// style partial observability/controllability.
+func PartialScanView(c *logic.Circuit, scanned []int) View {
+	v := PrimaryView(c)
+	inScan := map[int]bool{}
+	for _, d := range scanned {
+		inScan[d] = true
+	}
+	for _, d := range c.DFFs {
+		if inScan[d] {
+			v.Inputs = append(v.Inputs, d)
+			v.Outputs = append(v.Outputs, c.Gates[d].Fanin[0])
+		}
+	}
+	return v
+}
+
+// Test is one generated test: values for each View input, in order.
+// Unassigned positions hold logic.X and may be filled arbitrarily.
+type Test struct {
+	Values []logic.V
+}
+
+// Filled returns a copy with X positions replaced by fill.
+func (t Test) Filled(fill logic.V) []logic.V {
+	out := make([]logic.V, len(t.Values))
+	for i, v := range t.Values {
+		if v == logic.X {
+			out[i] = fill
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Bools converts a fully specified test to booleans, filling X with
+// false.
+func (t Test) Bools() []bool {
+	out := make([]bool, len(t.Values))
+	for i, v := range t.Values {
+		out[i] = v == logic.One
+	}
+	return out
+}
+
+// String renders the cube in 01X notation.
+func (t Test) String() string {
+	b := make([]byte, len(t.Values))
+	for i, v := range t.Values {
+		switch v {
+		case logic.Zero:
+			b[i] = '0'
+		case logic.One:
+			b[i] = '1'
+		default:
+			b[i] = 'X'
+		}
+	}
+	return string(b)
+}
+
+// sim5 is a five-valued full-circuit simulator with one injected fault,
+// evaluating from a partial assignment on the view inputs.
+type sim5 struct {
+	c       *logic.Circuit
+	view    View
+	f       fault.Fault
+	vals    []logic.V
+	assign  []logic.V // per view-input assignment (X = free)
+	inIndex map[int]int
+	isIn    []bool
+	scratch []logic.V
+}
+
+func newSim5(c *logic.Circuit, view View, f fault.Fault) *sim5 {
+	s := &sim5{
+		c:       c,
+		view:    view,
+		f:       f,
+		vals:    make([]logic.V, c.NumNets()),
+		assign:  make([]logic.V, len(view.Inputs)),
+		inIndex: make(map[int]int, len(view.Inputs)),
+		isIn:    make([]bool, c.NumNets()),
+		scratch: make([]logic.V, c.MaxFanin()),
+	}
+	for i, n := range view.Inputs {
+		s.inIndex[n] = i
+		s.isIn[n] = true
+		s.assign[i] = logic.X
+	}
+	return s
+}
+
+// inject maps a good-machine value to the five-valued fault-effect
+// value for a stuck-at-sa site.
+func inject(good logic.V, sa logic.V) logic.V {
+	switch good.Good() {
+	case logic.X:
+		return logic.X
+	case logic.One:
+		if sa == logic.Zero {
+			return logic.D
+		}
+		return logic.One
+	default: // Zero
+		if sa == logic.One {
+			return logic.Dbar
+		}
+		return logic.Zero
+	}
+}
+
+// run performs a full forward pass with the current assignment and
+// fault injection; afterwards s.vals holds every net's value.
+func (s *sim5) run() {
+	c := s.c
+	for i, n := range s.view.Inputs {
+		s.vals[n] = s.assign[i]
+	}
+	for _, n := range c.PIs {
+		if !s.isIn[n] {
+			s.vals[n] = logic.X
+		}
+	}
+	for _, n := range c.DFFs {
+		if !s.isIn[n] {
+			s.vals[n] = logic.X // unscanned storage is unknown
+		}
+	}
+	// Stem fault at a source element.
+	if s.f.Pin == fault.Stem && !c.Gates[s.f.Gate].Type.IsCombinational() {
+		s.vals[s.f.Gate] = inject(s.vals[s.f.Gate], s.f.SA)
+	}
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		in := s.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			in[i] = s.vals[src]
+		}
+		if s.f.Pin != fault.Stem && s.f.Gate == id {
+			in[s.f.Pin] = inject(in[s.f.Pin], s.f.SA)
+		}
+		v := g.Type.Eval(in)
+		if s.f.Pin == fault.Stem && s.f.Gate == id {
+			v = inject(v, s.f.SA)
+		}
+		s.vals[id] = v
+	}
+}
+
+// detected reports whether a fault effect reaches an observable net.
+func (s *sim5) detected() bool {
+	for _, o := range s.view.Outputs {
+		if s.vals[o].IsError() {
+			return true
+		}
+	}
+	return false
+}
+
+// siteValue returns the pre-injection (good-machine) value at the
+// fault site.
+func (s *sim5) siteValue() logic.V {
+	return s.vals[s.f.Site(s.c)].Good()
+}
+
+// test converts the current assignment into a Test cube.
+func (s *sim5) test() Test {
+	return Test{Values: append([]logic.V(nil), s.assign...)}
+}
+
+// Verify checks that a test cube detects the fault under the view
+// (with X inputs left unknown). It is used by tests and by the driver
+// as a paranoia check on generated cubes.
+func Verify(c *logic.Circuit, view View, f fault.Fault, t Test) bool {
+	if len(t.Values) != len(view.Inputs) {
+		panic(fmt.Sprintf("atpg: test width %d != view width %d", len(t.Values), len(view.Inputs)))
+	}
+	s := newSim5(c, view, f)
+	copy(s.assign, t.Values)
+	s.run()
+	return s.detected()
+}

@@ -1,0 +1,277 @@
+package board
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// demoBoard: board inputs [a0..a3, b0..b3] → ADDER module → its sum
+// feeds a PARITY module; board outputs are the adder's sum/carry and
+// the parity bit.
+func demoBoard() *Board {
+	adder := circuits.RippleAdder(4) // PIs: A0..3,B0..3,CIN; POs: S0..3,COUT
+	par := circuits.ParityTree(4)
+	b := &Board{
+		Modules: []*Module{
+			{Name: "ADD", Logic: adder},
+			{Name: "PAR", Logic: par},
+		},
+		Inputs: 8,
+	}
+	// Board inputs to adder.
+	for i := 0; i < 8; i++ {
+		b.Wires = append(b.Wires, Wire{
+			Name: "in" + string(rune('0'+i)),
+			From: Port{Module: "", Pin: i},
+			To:   []Port{{Module: "ADD", Pin: i}},
+		})
+	}
+	// CIN tied to board input 0 for simplicity of wiring.
+	b.Wires = append(b.Wires, Wire{
+		Name: "cin",
+		From: Port{Module: "", Pin: 0},
+		To:   []Port{{Module: "ADD", Pin: 8}},
+	})
+	// Adder sums to parity module.
+	for i := 0; i < 4; i++ {
+		b.Wires = append(b.Wires, Wire{
+			Name: "s" + string(rune('0'+i)),
+			From: Port{Module: "ADD", Pin: i},
+			To:   []Port{{Module: "PAR", Pin: i}},
+		})
+	}
+	b.Outputs = []Port{
+		{Module: "ADD", Pin: 0}, {Module: "ADD", Pin: 1},
+		{Module: "ADD", Pin: 2}, {Module: "ADD", Pin: 3},
+		{Module: "ADD", Pin: 4}, {Module: "PAR", Pin: 0},
+	}
+	return b
+}
+
+func patterns(n int) [][]bool {
+	rng := rand.New(rand.NewSource(int64(n) * 7))
+	out := make([][]bool, 64)
+	for x := range out {
+		p := make([]bool, n)
+		for i := range p {
+			p[i] = rng.Intn(2) == 1
+		}
+		out[x] = p
+	}
+	return out
+}
+
+func TestBoardEval(t *testing.T) {
+	b := demoBoard()
+	outs, wires, err := b.Eval(make([]bool, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 6 {
+		t.Fatalf("%d outputs", len(outs))
+	}
+	if len(wires) != 13 {
+		t.Fatalf("%d wires", len(wires))
+	}
+	for _, o := range outs {
+		if o {
+			t.Fatal("all-zero inputs must give all-zero outputs")
+		}
+	}
+}
+
+func TestEdgeTestDetectsButCannotLocate(t *testing.T) {
+	golden := demoBoard()
+	uut := demoBoard()
+	s1, _ := uut.Modules[0].Logic.NetByName("S1")
+	uut.Modules[0].Fault = &fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One}
+	pass, err := EdgeTest(golden, uut, patterns(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Fatal("edge test missed the fault")
+	}
+	// Resolution: the edge test alone names no module — that is the
+	// bed-of-nails' job.
+}
+
+func TestInCircuitTestIsolatesModule(t *testing.T) {
+	uut := demoBoard()
+	s1, _ := uut.Modules[0].Logic.NetByName("S1")
+	uut.Modules[0].Fault = &fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One}
+	bn := &BedOfNails{B: uut}
+	pats := map[string][][]bool{
+		"ADD": patterns(9),
+		"PAR": patterns(4),
+	}
+	failing, err := bn.InCircuitTest(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failing) != 1 || failing[0] != "ADD" {
+		t.Fatalf("in-circuit test isolated %v, want [ADD]", failing)
+	}
+}
+
+func TestProbeAllGivesInternalVisibility(t *testing.T) {
+	b := demoBoard()
+	in := make([]bool, 8)
+	in[0] = true // A0=1, CIN=1
+	wires, err := (&BedOfNails{B: b}).ProbeAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wires["in0"] {
+		t.Fatal("input wire not visible")
+	}
+	if _, ok := wires["s0"]; !ok {
+		t.Fatal("internal wire s0 not probed")
+	}
+}
+
+func TestDegatedNetTruthTable(t *testing.T) {
+	cases := []struct {
+		degate, ctl, driver, want bool
+	}{
+		{false, false, true, true},   // transparent
+		{false, false, false, false}, // transparent
+		{true, false, true, false},   // blocked
+		{true, true, false, true},    // tester drives 1
+		{false, true, false, true},   // control dominates (OR)
+	}
+	for _, c := range cases {
+		d := DegatedNet{Degate: c.degate, Control: c.ctl}
+		if got := d.Value(c.driver); got != c.want {
+			t.Fatalf("degate=%v ctl=%v driver=%v: got %v", c.degate, c.ctl, c.driver, got)
+		}
+	}
+}
+
+func TestOscillatorDegatingMakesSessionsRepeatable(t *testing.T) {
+	c := circuits.Counter(4)
+	ins := make([][]bool, 30)
+	for i := range ins {
+		ins[i] = []bool{true}
+	}
+	// Free-running: two sessions with different hidden phases diverge.
+	t1 := SyncSession(c, NewOscillator(1), ins)
+	t2 := SyncSession(c, NewOscillator(2), ins)
+	same := true
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("free-running oscillator sessions should diverge")
+	}
+	// Degated: tester drives the pseudo-clock; sessions repeat exactly.
+	mk := func(seed int64) *Oscillator {
+		o := NewOscillator(seed)
+		o.Degate = true
+		o.Pseudo = true
+		return o
+	}
+	d1 := SyncSession(c, mk(1), ins)
+	d2 := SyncSession(c, mk(2), ins)
+	for i := range d1 {
+		for j := range d1[i] {
+			if d1[i][j] != d2[i][j] {
+				t.Fatal("degated sessions must be identical")
+			}
+		}
+	}
+}
+
+func TestBusIsolation(t *testing.T) {
+	mkDriver := func(name string, v bool) *BusDriver {
+		return &BusDriver{Name: name, Drive: func() bool { return v }}
+	}
+	bus := &Bus{Drivers: []*BusDriver{
+		mkDriver("CPU", true),
+		mkDriver("ROM", false),
+		mkDriver("RAM", true),
+		mkDriver("IO", false),
+	}}
+	expected := map[string]bool{"CPU": true, "ROM": false, "RAM": true, "IO": false}
+	failing, err := bus.IsolateAndTest(expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failing) != 0 {
+		t.Fatalf("healthy bus reported %v", failing)
+	}
+	// A defective module fails alone.
+	bus.Drivers[2].Drive = func() bool { return false }
+	failing, _ = bus.IsolateAndTest(expected)
+	if len(failing) != 1 || failing[0] != "RAM" {
+		t.Fatalf("isolation found %v, want [RAM]", failing)
+	}
+	if DiagnoseBus(failing, 4) != "module(s) [RAM] suspected" {
+		t.Fatalf("diagnosis %q", DiagnoseBus(failing, 4))
+	}
+}
+
+func TestBusStuckAmbiguity(t *testing.T) {
+	mkDriver := func(name string, v bool) *BusDriver {
+		return &BusDriver{Name: name, Drive: func() bool { return v }}
+	}
+	stuck := false
+	bus := &Bus{
+		Drivers: []*BusDriver{
+			mkDriver("CPU", true), mkDriver("ROM", true),
+			mkDriver("RAM", true), mkDriver("IO", true),
+		},
+		Stuck: &stuck,
+	}
+	expected := map[string]bool{"CPU": true, "ROM": true, "RAM": true, "IO": true}
+	failing, err := bus.IsolateAndTest(expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failing) != 4 {
+		t.Fatalf("stuck bus should fail all drivers, got %v", failing)
+	}
+	if got := DiagnoseBus(failing, 4); got != "bus trace suspected (all drivers fail; voltage test cannot resolve)" {
+		t.Fatalf("diagnosis %q", got)
+	}
+}
+
+func TestBusProtocolErrors(t *testing.T) {
+	b := &Bus{Drivers: []*BusDriver{
+		{Name: "A", Drive: func() bool { return true }},
+		{Name: "B", Drive: func() bool { return false }},
+	}}
+	if _, err := b.Read(); err != ErrFloating {
+		t.Fatalf("floating bus: %v", err)
+	}
+	b.Drivers[0].Enable = true
+	b.Drivers[1].Enable = true
+	if _, err := b.Read(); err != ErrContention {
+		t.Fatalf("contention: %v", err)
+	}
+	b.Drivers[1].Enable = false
+	if v, err := b.Read(); err != nil || !v {
+		t.Fatalf("single driver: %v %v", v, err)
+	}
+}
+
+func TestBoardErrorPaths(t *testing.T) {
+	b := demoBoard()
+	if _, _, err := b.Eval(make([]bool, 3)); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+	// Remove a wire: module never ready.
+	b2 := demoBoard()
+	b2.Wires = b2.Wires[1:]
+	if _, _, err := b2.Eval(make([]bool, 8)); err == nil {
+		t.Fatal("missing wire not reported")
+	}
+}

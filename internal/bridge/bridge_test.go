@@ -1,0 +1,178 @@
+package bridge
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/atpg"
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/sim"
+)
+
+func TestKindResolution(t *testing.T) {
+	c := logic.New("b")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ya := c.AddGate(logic.Buf, "ya", a)
+	yb := c.AddGate(logic.Buf, "yb", b)
+	c.MarkOutput(ya)
+	c.MarkOutput(yb)
+	c.MustFinalize()
+	fAND := Fault{A: ya, B: yb, Kind: WiredAND}
+	fOR := Fault{A: ya, B: yb, Kind: WiredOR}
+	// a=1, b=0: wired-AND pulls both to 0; wired-OR pulls both to 1.
+	v := EvalBridged(c, []bool{true, false}, fAND)
+	if v[ya] || v[yb] {
+		t.Fatalf("wired-AND: %v %v", v[ya], v[yb])
+	}
+	v = EvalBridged(c, []bool{true, false}, fOR)
+	if !v[ya] || !v[yb] {
+		t.Fatalf("wired-OR: %v %v", v[ya], v[yb])
+	}
+	// Agreeing nets are unaffected.
+	v = EvalBridged(c, []bool{true, true}, fAND)
+	if !v[ya] || !v[yb] {
+		t.Fatal("agreeing nets disturbed")
+	}
+	if !Detects(c, []bool{true, false}, fAND) {
+		t.Fatal("wired-AND bridge undetected at outputs")
+	}
+	if Detects(c, []bool{true, true}, fAND) {
+		t.Fatal("false detection on agreeing nets")
+	}
+}
+
+func TestFeedbackDetection(t *testing.T) {
+	c := circuits.C17()
+	g10, _ := c.NetByName("G10")
+	g22, _ := c.NetByName("G22")
+	g11, _ := c.NetByName("G11")
+	if !Feedback(c, g10, g22) {
+		t.Fatal("G22 is in G10's cone; bridge is feedback")
+	}
+	if Feedback(c, g10, g11) {
+		t.Fatal("G10 and G11 are parallel; no feedback")
+	}
+}
+
+func TestUniverseExcludesFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuits.RippleAdder(4)
+	u := Universe(c, 1, 50, rng)
+	if len(u) == 0 {
+		t.Fatal("empty bridge universe")
+	}
+	for _, f := range u {
+		if Feedback(c, f.A, f.B) {
+			t.Fatalf("feedback bridge %s in universe", f.Name(c))
+		}
+		if f.A == f.B {
+			t.Fatal("self bridge")
+		}
+	}
+	// Both polarities present.
+	kinds := map[Kind]bool{}
+	for _, f := range u {
+		kinds[f.Kind] = true
+	}
+	if !kinds[WiredAND] || !kinds[WiredOR] {
+		t.Fatal("missing a bridge polarity")
+	}
+}
+
+func TestEvalBridgedConvergence(t *testing.T) {
+	// The bridged evaluation must be a fixpoint: re-evaluating readers
+	// with the shared value changes nothing further.
+	rng := rand.New(rand.NewSource(3))
+	c := circuits.RippleAdder(4)
+	u := Universe(c, 1, 20, rng)
+	for _, f := range u[:10] {
+		for trial := 0; trial < 20; trial++ {
+			pi := make([]bool, len(c.PIs))
+			for i := range pi {
+				pi[i] = rng.Intn(2) == 1
+			}
+			v1 := EvalBridged(c, pi, f)
+			v2 := EvalBridged(c, pi, f)
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("non-deterministic bridged eval at net %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperClaimHighSSACoverageCatchesBridges is the §I.A experiment:
+// a test set with 100% stuck-at coverage detects the large majority of
+// bridging faults.
+func TestPaperClaimHighSSACoverageCatchesBridges(t *testing.T) {
+	c := circuits.RippleAdder(6)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	gen := atpg.Generate(c, atpg.PrimaryView(c), cl.Reps,
+		atpg.Config{Engine: atpg.EnginePodem, RandomFirst: 128})
+	if gen.RawCover < 1.0 {
+		t.Fatalf("setup: SSA coverage %.3f", gen.RawCover)
+	}
+	rng := rand.New(rand.NewSource(9))
+	bridges := Universe(c, 1, 200, rng)
+	res := Grade(c, bridges, gen.Patterns)
+	if res.Coverage() < 0.85 {
+		t.Fatalf("bridge coverage %.3f from a 100%%-SSA set; paper expects 'high 90 percent' behavior",
+			res.Coverage())
+	}
+	if res.Coverage() >= 1.0 {
+		t.Log("note: all sampled bridges covered; the claim only needs 'most'")
+	}
+}
+
+func TestBridgedOutputsObservable(t *testing.T) {
+	// A bridge touching a PO is observed at the PO itself.
+	c := circuits.C17()
+	g22, _ := c.NetByName("G22")
+	g23, _ := c.NetByName("G23")
+	if Feedback(c, g22, g23) {
+		t.Skip("structure changed")
+	}
+	f := Fault{A: g22, B: g23, Kind: WiredAND}
+	detected := false
+	for x := 0; x < 32; x++ {
+		pi := make([]bool, 5)
+		for i := range pi {
+			pi[i] = x>>uint(i)&1 == 1
+		}
+		if Detects(c, pi, f) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("output-to-output bridge never detected exhaustively")
+	}
+}
+
+func TestGradeAccounting(t *testing.T) {
+	c := circuits.C17()
+	rng := rand.New(rand.NewSource(4))
+	u := Universe(c, 2, 20, rng)
+	pats := [][]bool{}
+	for x := 0; x < 32; x++ {
+		p := make([]bool, 5)
+		for i := range p {
+			p[i] = x>>uint(i)&1 == 1
+		}
+		pats = append(pats, p)
+	}
+	res := Grade(c, u, pats)
+	if res.Total != len(u) || res.Detected > res.Total {
+		t.Fatalf("accounting: %+v", res)
+	}
+	if res.Coverage() < 0.5 {
+		t.Fatalf("exhaustive patterns should detect most sampled c17 bridges, got %.2f", res.Coverage())
+	}
+	// A good machine under its own vals: zero-bridge sanity via sim.
+	vals := sim.Eval(c, pats[7], nil)
+	_ = vals
+}

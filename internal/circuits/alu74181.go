@@ -1,0 +1,153 @@
+package circuits
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// ALU74181 returns a gate-level model of the SN74181 4-bit ALU /
+// function generator, the network McCluskey and Bozorgui-Nesbat
+// partition with "sensitized partitioning" in the paper's autonomous-
+// testing section (Figs. 33–34).
+//
+// Inputs (active-high data convention):
+//
+//	A0..A3, B0..B3  operands
+//	S0..S3          function select
+//	M               mode (1 = logic, 0 = arithmetic)
+//	CN              carry in (active low: CN=1 means "no carry")
+//
+// Outputs:
+//
+//	F0..F3  function outputs
+//	AEQB    comparator output (all F bits one)
+//	PBAR    group propagate (active low)
+//	GBAR    group generate (active low)
+//	CN4     carry out (active low)
+//
+// Structure follows the TI schematic: per-bit first-level networks N1
+// produce the internal L (S0/S1 side) and H (S2/S3 side) signals, and
+// the shared second-level network N2 implements the carry lookahead and
+// sum XORs. Paper usage: hold S2=S3=0 to sensitize the L outputs, hold
+// S0=S1=1 to sensitize the H outputs.
+func ALU74181() *logic.Circuit {
+	c := logic.New("alu74181")
+	a := make([]int, 4)
+	b := make([]int, 4)
+	s := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		s[i] = c.AddInput(fmt.Sprintf("S%d", i))
+	}
+	m := c.AddInput("M")
+	cn := c.AddInput("CN")
+
+	// N1 subnetworks: per bit i,
+	//   L_i = NOR(A_i, B_i·S0, S1·B̄_i)
+	//   H_i = NOR(A_i·B̄_i·S2, A_i·B_i·S3)
+	l := make([]int, 4)
+	h := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		nb := c.AddGate(logic.Not, fmt.Sprintf("NB%d", i), b[i])
+		t1 := c.AddGate(logic.And, fmt.Sprintf("LT1_%d", i), b[i], s[0])
+		t2 := c.AddGate(logic.And, fmt.Sprintf("LT2_%d", i), s[1], nb)
+		l[i] = c.AddGate(logic.Nor, fmt.Sprintf("L%d", i), a[i], t1, t2)
+		t3 := c.AddGate(logic.And, fmt.Sprintf("HT1_%d", i), a[i], nb, s[2])
+		t4 := c.AddGate(logic.And, fmt.Sprintf("HT2_%d", i), a[i], b[i], s[3])
+		h[i] = c.AddGate(logic.Nor, fmt.Sprintf("H%d", i), t3, t4)
+	}
+
+	// N2: carry lookahead kept in active-low form directly over the L/H
+	// nodes (De Morgan of g_i + p_i·c_i with g=NOT H, p=NOT L), which
+	// matches the part's AOI implementation and — unlike a naive
+	// OR(M, AND(M̄,c)) gating — contains no redundant logic, so every
+	// stuck-at fault in the carry network is testable.
+	nm := c.AddGate(logic.Not, "NM", m)
+	// nc[i] = active-low carry INTO bit i; nc[4] = active-low carry out.
+	nc := make([]int, 5)
+	nc[0] = cn
+	for i := 0; i < 4; i++ {
+		lp := c.AddGate(logic.Or, fmt.Sprintf("NCP%d", i), l[i], nc[i])
+		nc[i+1] = c.AddGate(logic.And, fmt.Sprintf("NC%d", i+1), h[i], lp)
+	}
+	for i := 0; i < 4; i++ {
+		// Sum-XOR carry node: NAND(M̄, nc_i) = 1 in logic mode, the
+		// active-high carry c_i in arithmetic mode.
+		cnode := c.AddGate(logic.Nand, fmt.Sprintf("CNODE%d", i), nm, nc[i])
+		lh := c.AddGate(logic.Xor, fmt.Sprintf("LH%d", i), l[i], h[i])
+		f := c.AddGate(logic.Xor, fmt.Sprintf("F%d", i), lh, cnode)
+		c.MarkOutput(f)
+	}
+
+	// AEQB: all F high (open-collector comparator on the real part).
+	f0, _ := c.NetByName("F0")
+	f1, _ := c.NetByName("F1")
+	f2, _ := c.NetByName("F2")
+	f3, _ := c.NetByName("F3")
+	c.MarkOutput(c.AddGate(logic.And, "AEQB", f0, f1, f2, f3))
+
+	// Group propagate (active low): NOT(∏ NOT l_i) = OR of the L nodes.
+	pbar := c.AddGate(logic.Or, "PBAR", l[0], l[1], l[2], l[3])
+	c.MarkOutput(pbar)
+	// Group generate (active low), again by De Morgan over L/H:
+	// NOT(g3 + p3·g2 + p3·p2·g1 + p3·p2·p1·g0)
+	//   = h3 · (l3+h2) · (l3+l2+h1) · (l3+l2+l1+h0).
+	gg1 := c.AddGate(logic.Or, "GG1", l[3], h[2])
+	gg2 := c.AddGate(logic.Or, "GG2", l[3], l[2], h[1])
+	gg3 := c.AddGate(logic.Or, "GG3", l[3], l[2], l[1], h[0])
+	gbar := c.AddGate(logic.And, "GBAR", h[3], gg1, gg2, gg3)
+	c.MarkOutput(gbar)
+	cn4 := c.AddGate(logic.Buf, "CN4", nc[4])
+	c.MarkOutput(cn4)
+	return c.MustFinalize()
+}
+
+// ALU74181Ref is a behavioral reference for the gate-level model,
+// computing all outputs from the same input convention. It mirrors the
+// defining equations rather than the gate structure, so tests can
+// cross-check the netlist. Inputs/outputs are packed little-endian.
+func ALU74181Ref(aIn, bIn, sIn uint, m, cnIn bool) (f uint, aeqb, pbar, gbar, cn4 bool) {
+	bit := func(x uint, i uint) bool { return x>>i&1 == 1 }
+	var l, h [4]bool
+	for i := uint(0); i < 4; i++ {
+		ai, bi := bit(aIn, i), bit(bIn, i)
+		l[i] = !(ai || (bi && bit(sIn, 0)) || (bit(sIn, 1) && !bi))
+		h[i] = !((ai && !bi && bit(sIn, 2)) || (ai && bi && bit(sIn, 3)))
+	}
+	carry := !cnIn // internal active-high carry
+	carryOut := carry
+	var fb [4]bool
+	for i := 0; i < 4; i++ {
+		p, g := !l[i], !h[i]
+		cnode := m || (!m && carryOut)
+		if m {
+			cnode = true
+		}
+		fb[i] = (l[i] != h[i]) != cnode
+		carryOut = g || (p && carryOut)
+	}
+	f = 0
+	aeqb = true
+	for i := uint(0); i < 4; i++ {
+		if fb[i] {
+			f |= 1 << i
+		} else {
+			aeqb = false
+		}
+	}
+	pAll := true
+	for i := 0; i < 4; i++ {
+		pAll = pAll && !l[i]
+	}
+	pbar = !pAll
+	gg := !h[3] || (!l[3] && !h[2]) || (!l[3] && !l[2] && !h[1]) || (!l[3] && !l[2] && !l[1] && !h[0])
+	gbar = !gg
+	cn4 = !carryOut
+	return
+}

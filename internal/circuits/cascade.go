@@ -1,0 +1,140 @@
+package circuits
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// Cascade74181 builds a 4n-bit ALU from n gate-level 74181 slices with
+// the carry rippled CN4→CN, the way real boards chained the part.
+// Inputs: A0..A(4n-1), B0.., S0..S3, M, CN; outputs F0..F(4n-1),
+// per-slice PBAR/GBAR, final CN4 and a global AEQB.
+func Cascade74181(n int) *logic.Circuit {
+	if n < 1 || n > 8 {
+		panic("circuits: Cascade74181 needs 1 <= n <= 8")
+	}
+	c := logic.New(fmt.Sprintf("alu74181x%d", n))
+	a := make([]int, 4*n)
+	b := make([]int, 4*n)
+	for i := range a {
+		a[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := range b {
+		b[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	s := make([]int, 4)
+	for i := range s {
+		s[i] = c.AddInput(fmt.Sprintf("S%d", i))
+	}
+	m := c.AddInput("M")
+	cn := c.AddInput("CN")
+
+	carry := cn // active-low ripple
+	var aeqbs []int
+	for slice := 0; slice < n; slice++ {
+		sl := func(name string) string { return fmt.Sprintf("U%d_%s", slice, name) }
+		// Per-bit N1 networks.
+		l := make([]int, 4)
+		h := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			bit := 4*slice + i
+			nb := c.AddGate(logic.Not, sl(fmt.Sprintf("NB%d", i)), b[bit])
+			t1 := c.AddGate(logic.And, sl(fmt.Sprintf("LT1_%d", i)), b[bit], s[0])
+			t2 := c.AddGate(logic.And, sl(fmt.Sprintf("LT2_%d", i)), s[1], nb)
+			l[i] = c.AddGate(logic.Nor, sl(fmt.Sprintf("L%d", i)), a[bit], t1, t2)
+			t3 := c.AddGate(logic.And, sl(fmt.Sprintf("HT1_%d", i)), a[bit], nb, s[2])
+			t4 := c.AddGate(logic.And, sl(fmt.Sprintf("HT2_%d", i)), a[bit], b[bit], s[3])
+			h[i] = c.AddGate(logic.Nor, sl(fmt.Sprintf("H%d", i)), t3, t4)
+		}
+		nm := c.AddGate(logic.Not, sl("NM"), m)
+		nc := make([]int, 5)
+		nc[0] = carry
+		for i := 0; i < 4; i++ {
+			lp := c.AddGate(logic.Or, sl(fmt.Sprintf("NCP%d", i)), l[i], nc[i])
+			nc[i+1] = c.AddGate(logic.And, sl(fmt.Sprintf("NC%d", i+1)), h[i], lp)
+		}
+		var fs []int
+		for i := 0; i < 4; i++ {
+			cnode := c.AddGate(logic.Nand, sl(fmt.Sprintf("CNODE%d", i)), nm, nc[i])
+			lh := c.AddGate(logic.Xor, sl(fmt.Sprintf("LH%d", i)), l[i], h[i])
+			f := c.AddGate(logic.Xor, fmt.Sprintf("F%d", 4*slice+i), lh, cnode)
+			c.MarkOutput(f)
+			fs = append(fs, f)
+		}
+		aeqbs = append(aeqbs, c.AddGate(logic.And, sl("AEQB"), fs...))
+		pbar := c.AddGate(logic.Or, sl("PBAR"), l[0], l[1], l[2], l[3])
+		c.MarkOutput(pbar)
+		gg1 := c.AddGate(logic.Or, sl("GG1"), l[3], h[2])
+		gg2 := c.AddGate(logic.Or, sl("GG2"), l[3], l[2], h[1])
+		gg3 := c.AddGate(logic.Or, sl("GG3"), l[3], l[2], l[1], h[0])
+		gbar := c.AddGate(logic.And, sl("GBAR"), h[3], gg1, gg2, gg3)
+		c.MarkOutput(gbar)
+		carry = nc[4]
+	}
+	c.MarkOutput(c.AddGate(logic.Buf, "CN4", carry))
+	if len(aeqbs) == 1 {
+		c.MarkOutput(c.AddGate(logic.Buf, "AEQB", aeqbs[0]))
+	} else {
+		c.MarkOutput(c.AddGate(logic.And, "AEQB", aeqbs...))
+	}
+	return c.MustFinalize()
+}
+
+// JohnsonCounter returns an n-stage Johnson (twisted-ring) counter:
+// the complement of the last stage feeds the first, giving a 2n-state
+// cycle with single-bit transitions. Output nets Q0..Q(n-1).
+func JohnsonCounter(n int) *logic.Circuit {
+	if n < 2 {
+		panic("circuits: JohnsonCounter needs n >= 2")
+	}
+	c := logic.New(fmt.Sprintf("johnson%d", n))
+	en := c.AddInput("EN")
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = c.AddDFF(fmt.Sprintf("Q%d", i), en) // patched below
+	}
+	nlast := c.AddGate(logic.Not, "NQL", qs[n-1])
+	nen := c.AddGate(logic.Not, "NEN", en)
+	feed := func(tag string, next, hold int) int {
+		adv := c.AddGate(logic.And, tag+"_a", next, en)
+		keep := c.AddGate(logic.And, tag+"_k", hold, nen)
+		return c.AddGate(logic.Or, tag, adv, keep)
+	}
+	c.Gates[qs[0]].Fanin[0] = feed("D0", nlast, qs[0])
+	for i := 1; i < n; i++ {
+		c.Gates[qs[i]].Fanin[0] = feed(fmt.Sprintf("D%d", i), qs[i-1], qs[i])
+	}
+	for _, q := range qs {
+		c.MarkOutput(q)
+	}
+	return c.MustFinalize()
+}
+
+// GrayCounter returns an n-bit Gray-code counter built as a binary
+// counter with an XOR output stage (G = B ⊕ B>>1). Outputs G0..G(n-1);
+// exactly one output toggles per enabled clock.
+func GrayCounter(n int) *logic.Circuit {
+	if n < 2 {
+		panic("circuits: GrayCounter needs n >= 2")
+	}
+	c := logic.New(fmt.Sprintf("gray%d", n))
+	en := c.AddInput("EN")
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = c.AddDFF(fmt.Sprintf("B%d", i), en) // patched below
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		tnet := c.AddGate(logic.Xor, fmt.Sprintf("T%d", i), qs[i], carry)
+		c.Gates[qs[i]].Fanin[0] = tnet
+		if i+1 < n {
+			carry = c.AddGate(logic.And, fmt.Sprintf("CA%d", i), carry, qs[i])
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		c.MarkOutput(c.AddGate(logic.Xor, fmt.Sprintf("G%d", i), qs[i], qs[i+1]))
+	}
+	c.MarkOutput(c.AddGate(logic.Buf, fmt.Sprintf("G%d", n-1), qs[n-1]))
+	return c.MustFinalize()
+}

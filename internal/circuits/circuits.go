@@ -1,0 +1,310 @@
+// Package circuits is a library of benchmark circuit generators used by
+// the experiments: the ISCAS-85 c17 network, parameterized datapath
+// blocks (adders, multipliers, parity trees, decoders, multiplexers,
+// comparators), the full gate-level SN74181 ALU the paper partitions in
+// its autonomous-testing section, PLA structures (Fig. 22), random
+// bounded-fan-in networks, and small sequential machines.
+//
+// Every generator returns a finalized *logic.Circuit with stable,
+// human-readable net names.
+package circuits
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// C17 returns the ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND
+// gates. It is the classic minimal ATPG example.
+func C17() *logic.Circuit {
+	c := logic.New("c17")
+	g1 := c.AddInput("G1")
+	g2 := c.AddInput("G2")
+	g3 := c.AddInput("G3")
+	g6 := c.AddInput("G6")
+	g7 := c.AddInput("G7")
+	g10 := c.AddGate(logic.Nand, "G10", g1, g3)
+	g11 := c.AddGate(logic.Nand, "G11", g3, g6)
+	g16 := c.AddGate(logic.Nand, "G16", g2, g11)
+	g19 := c.AddGate(logic.Nand, "G19", g11, g7)
+	c.MarkOutput(c.AddGate(logic.Nand, "G22", g10, g16))
+	c.MarkOutput(c.AddGate(logic.Nand, "G23", g16, g19))
+	return c.MustFinalize()
+}
+
+// RippleAdder returns an n-bit ripple-carry adder with inputs A0..,
+// B0.., CIN and outputs S0.., COUT. Each bit is a textbook full adder
+// (2 XOR, 2 AND, 1 OR), giving 5n gates.
+func RippleAdder(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: RippleAdder needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("adder%d", n))
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	carry := c.AddInput("CIN")
+	for i := 0; i < n; i++ {
+		axb := c.AddGate(logic.Xor, fmt.Sprintf("AXB%d", i), a[i], b[i])
+		s := c.AddGate(logic.Xor, fmt.Sprintf("S%d", i), axb, carry)
+		g := c.AddGate(logic.And, fmt.Sprintf("GEN%d", i), a[i], b[i])
+		p := c.AddGate(logic.And, fmt.Sprintf("PRP%d", i), axb, carry)
+		carry = c.AddGate(logic.Or, fmt.Sprintf("C%d", i+1), g, p)
+		c.MarkOutput(s)
+	}
+	cout := c.AddGate(logic.Buf, "COUT", carry)
+	c.MarkOutput(cout)
+	return c.MustFinalize()
+}
+
+// ArrayMultiplier returns an n×n array multiplier with inputs A0..,
+// B0.. and outputs P0..P(2n-1). It uses AND partial products summed by
+// ripple-carry rows — O(n²) gates, a convenient family for the
+// T = K·N³ scaling experiment.
+func ArrayMultiplier(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: ArrayMultiplier needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("mult%d", n))
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	// pp[i][j] = a[j] AND b[i]
+	pp := make([][]int, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = c.AddGate(logic.And, fmt.Sprintf("PP_%d_%d", i, j), a[j], b[i])
+		}
+	}
+	// Row-by-row accumulation. sum holds the running partial sum bits
+	// aligned at weight 0..; start with row 0.
+	sum := make([]int, n)
+	copy(sum, pp[0])
+	outs := make([]int, 0, 2*n)
+	outs = append(outs, sum[0]) // weight 0 settled
+	fullAdder := func(tag string, x, y, cin int) (s, cout int) {
+		xy := c.AddGate(logic.Xor, tag+"_xy", x, y)
+		s = c.AddGate(logic.Xor, tag+"_s", xy, cin)
+		g := c.AddGate(logic.And, tag+"_g", x, y)
+		p := c.AddGate(logic.And, tag+"_p", xy, cin)
+		cout = c.AddGate(logic.Or, tag+"_c", g, p)
+		return
+	}
+	halfAdder := func(tag string, x, y int) (s, cout int) {
+		s = c.AddGate(logic.Xor, tag+"_s", x, y)
+		cout = c.AddGate(logic.And, tag+"_c", x, y)
+		return
+	}
+	prevTop := -1 // carry out of the previous row's top position
+	for i := 1; i < n; i++ {
+		next := make([]int, n)
+		carry := -1
+		for j := 0; j < n; j++ {
+			// Add pp[i][j] (weight i+j) to the shifted partial sum; the
+			// top position takes the previous row's carry-out instead.
+			x := prevTop
+			if j+1 < n {
+				x = sum[j+1]
+			}
+			tag := fmt.Sprintf("FA_%d_%d", i, j)
+			switch {
+			case x < 0 && carry < 0:
+				next[j] = pp[i][j]
+			case x < 0:
+				next[j], carry = halfAdder(tag, pp[i][j], carry)
+			case carry < 0:
+				next[j], carry = halfAdder(tag, pp[i][j], x)
+			default:
+				next[j], carry = fullAdder(tag, pp[i][j], x, carry)
+			}
+		}
+		prevTop = carry
+		sum = next
+		outs = append(outs, sum[0])
+	}
+	for j := 1; j < n; j++ {
+		outs = append(outs, sum[j])
+	}
+	if prevTop >= 0 {
+		outs = append(outs, prevTop)
+	} else {
+		outs = append(outs, c.AddGate(logic.Const0, "PTOP"))
+	}
+	for k, id := range outs {
+		po := c.AddGate(logic.Buf, fmt.Sprintf("P%d", k), id)
+		c.MarkOutput(po)
+	}
+	return c.MustFinalize()
+}
+
+// ParityTree returns an n-input odd-parity tree built from 2-input XOR
+// gates, with inputs I0.. and one output PAR. Parity trees are the
+// classic random-pattern-friendly structure.
+func ParityTree(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: ParityTree needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("parity%d", n))
+	level := make([]int, n)
+	for i := 0; i < n; i++ {
+		level[i] = c.AddInput(fmt.Sprintf("I%d", i))
+	}
+	d := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, c.AddGate(logic.Xor, fmt.Sprintf("X%d_%d", d, i/2), level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		d++
+	}
+	c.MarkOutput(c.AddGate(logic.Buf, "PAR", level[0]))
+	return c.MustFinalize()
+}
+
+// Decoder returns an n-to-2^n decoder with inputs I0.. and outputs
+// Y0..Y(2^n-1), each an n-input AND of appropriate literals.
+func Decoder(n int) *logic.Circuit {
+	if n < 1 || n > 16 {
+		panic("circuits: Decoder needs 1 <= n <= 16")
+	}
+	c := logic.New(fmt.Sprintf("dec%d", n))
+	in := make([]int, n)
+	inv := make([]int, n)
+	for i := 0; i < n; i++ {
+		in[i] = c.AddInput(fmt.Sprintf("I%d", i))
+	}
+	for i := 0; i < n; i++ {
+		inv[i] = c.AddGate(logic.Not, fmt.Sprintf("NI%d", i), in[i])
+	}
+	for m := 0; m < 1<<uint(n); m++ {
+		lits := make([]int, n)
+		for i := 0; i < n; i++ {
+			if m>>uint(i)&1 == 1 {
+				lits[i] = in[i]
+			} else {
+				lits[i] = inv[i]
+			}
+		}
+		c.MarkOutput(c.AddGate(logic.And, fmt.Sprintf("Y%d", m), lits...))
+	}
+	return c.MustFinalize()
+}
+
+// Mux returns a 2^k:1 multiplexer with data inputs D0.., select inputs
+// S0.. and output Y.
+func Mux(k int) *logic.Circuit {
+	if k < 1 || k > 8 {
+		panic("circuits: Mux needs 1 <= k <= 8")
+	}
+	c := logic.New(fmt.Sprintf("mux%d", 1<<uint(k)))
+	d := make([]int, 1<<uint(k))
+	s := make([]int, k)
+	for i := range d {
+		d[i] = c.AddInput(fmt.Sprintf("D%d", i))
+	}
+	for i := range s {
+		s[i] = c.AddInput(fmt.Sprintf("S%d", i))
+	}
+	ns := make([]int, k)
+	for i := range s {
+		ns[i] = c.AddGate(logic.Not, fmt.Sprintf("NS%d", i), s[i])
+	}
+	terms := make([]int, len(d))
+	for m := range d {
+		lits := make([]int, 0, k+1)
+		lits = append(lits, d[m])
+		for i := 0; i < k; i++ {
+			if m>>uint(i)&1 == 1 {
+				lits = append(lits, s[i])
+			} else {
+				lits = append(lits, ns[i])
+			}
+		}
+		terms[m] = c.AddGate(logic.And, fmt.Sprintf("T%d", m), lits...)
+	}
+	c.MarkOutput(c.AddGate(logic.Or, "Y", terms...))
+	return c.MustFinalize()
+}
+
+// Comparator returns an n-bit equality comparator with inputs A0..,
+// B0.. and output EQ (plus GT for magnitude, computed MSB-first).
+func Comparator(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: Comparator needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("cmp%d", n))
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	eqs := make([]int, n)
+	for i := 0; i < n; i++ {
+		eqs[i] = c.AddGate(logic.Xnor, fmt.Sprintf("E%d", i), a[i], b[i])
+	}
+	c.MarkOutput(c.AddGate(logic.And, "EQ", eqs...))
+	// GT: a > b, scanning from the MSB.
+	var gtTerms []int
+	for i := n - 1; i >= 0; i-- {
+		nb := c.AddGate(logic.Not, fmt.Sprintf("NB%d", i), b[i])
+		lits := []int{a[i], nb}
+		for j := i + 1; j < n; j++ {
+			lits = append(lits, eqs[j])
+		}
+		gtTerms = append(gtTerms, c.AddGate(logic.And, fmt.Sprintf("GTT%d", i), lits...))
+	}
+	if len(gtTerms) == 1 {
+		c.MarkOutput(c.AddGate(logic.Buf, "GT", gtTerms[0]))
+	} else {
+		c.MarkOutput(c.AddGate(logic.Or, "GT", gtTerms...))
+	}
+	return c.MustFinalize()
+}
+
+// Majority returns an n-input majority voter (n odd): output M is 1
+// when more than half the inputs are 1. Built as a sum-of-products over
+// all ⌈n/2⌉-subsets for small n.
+func Majority(n int) *logic.Circuit {
+	if n < 3 || n%2 == 0 || n > 9 {
+		panic("circuits: Majority needs odd n in [3,9]")
+	}
+	c := logic.New(fmt.Sprintf("maj%d", n))
+	in := make([]int, n)
+	for i := range in {
+		in[i] = c.AddInput(fmt.Sprintf("I%d", i))
+	}
+	k := n/2 + 1
+	var terms []int
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) == k {
+			terms = append(terms, c.AddGate(logic.And, fmt.Sprintf("M%d", len(terms)), chosen...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(chosen, in[i]))
+		}
+	}
+	rec(0, nil)
+	c.MarkOutput(c.AddGate(logic.Or, "M", terms...))
+	return c.MustFinalize()
+}

@@ -1,0 +1,184 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dft/internal/logic"
+)
+
+// Cube is one product term of a PLA: Lits[i] gives the literal for
+// input i: +1 (true), -1 (complemented), or 0 (absent).
+type Cube []int8
+
+// PLA builds the two-level AND-OR structure of Fig. 22: a search (AND)
+// array of product terms over inputs I0.., and a read (OR) array
+// producing outputs Y0... outputs[k] lists the product-term indices
+// that feed output k.
+//
+// The characteristic testing property of PLAs — enormous AND fan-in
+// making them resistant to random patterns — falls straight out of this
+// structure.
+func PLA(name string, nIn int, cubes []Cube, outputs [][]int) *logic.Circuit {
+	c := logic.New(name)
+	in := make([]int, nIn)
+	for i := range in {
+		in[i] = c.AddInput(fmt.Sprintf("I%d", i))
+	}
+	inv := make([]int, nIn)
+	for i := range inv {
+		inv[i] = c.AddGate(logic.Not, fmt.Sprintf("NI%d", i), in[i])
+	}
+	products := make([]int, len(cubes))
+	for t, cube := range cubes {
+		if len(cube) != nIn {
+			panic(fmt.Sprintf("circuits: cube %d has %d literals for %d inputs", t, len(cube), nIn))
+		}
+		var lits []int
+		for i, l := range cube {
+			switch {
+			case l > 0:
+				lits = append(lits, in[i])
+			case l < 0:
+				lits = append(lits, inv[i])
+			}
+		}
+		if len(lits) == 0 {
+			products[t] = c.AddGate(logic.Const1, fmt.Sprintf("PT%d", t))
+		} else {
+			products[t] = c.AddGate(logic.And, fmt.Sprintf("PT%d", t), lits...)
+		}
+	}
+	for k, terms := range outputs {
+		var lits []int
+		for _, t := range terms {
+			lits = append(lits, products[t])
+		}
+		if len(lits) == 0 {
+			c.MarkOutput(c.AddGate(logic.Const0, fmt.Sprintf("Y%d", k)))
+		} else {
+			c.MarkOutput(c.AddGate(logic.Or, fmt.Sprintf("Y%d", k), lits...))
+		}
+	}
+	return c.MustFinalize()
+}
+
+// RandomPLA generates a PLA with nIn inputs, nProducts product terms of
+// exactly termWidth literals each, and nOut outputs each reading a
+// random nonempty subset of the products. With termWidth near nIn this
+// reproduces the paper's random-pattern-resistant search array (a
+// 20-literal term is exercised by a random pattern with probability
+// 2⁻²⁰).
+func RandomPLA(rng *rand.Rand, nIn, nProducts, nOut, termWidth int) *logic.Circuit {
+	if termWidth > nIn {
+		panic("circuits: termWidth exceeds input count")
+	}
+	cubes := make([]Cube, nProducts)
+	for t := range cubes {
+		cube := make(Cube, nIn)
+		perm := rng.Perm(nIn)
+		for _, i := range perm[:termWidth] {
+			if rng.Intn(2) == 0 {
+				cube[i] = 1
+			} else {
+				cube[i] = -1
+			}
+		}
+		cubes[t] = cube
+	}
+	outputs := make([][]int, nOut)
+	for k := range outputs {
+		for t := 0; t < nProducts; t++ {
+			if rng.Intn(2) == 0 {
+				outputs[k] = append(outputs[k], t)
+			}
+		}
+		if len(outputs[k]) == 0 {
+			outputs[k] = append(outputs[k], rng.Intn(nProducts))
+		}
+	}
+	return PLA(fmt.Sprintf("pla_%d_%d_%d_w%d", nIn, nProducts, nOut, termWidth), nIn, cubes, outputs)
+}
+
+// RandomCircuit generates a random combinational DAG with nIn inputs,
+// nGates gates of fanin up to maxFanin (chosen from AND/NAND/OR/NOR/
+// XOR/XNOR/NOT), and at least nOut outputs (every sink gate is marked
+// as an output so no logic is dead). The
+// generator guarantees every gate is reachable from the inputs; it is
+// the workload family for the Eq. (1) scaling and random-pattern
+// experiments ("random combinational logic networks with maximum
+// fan-in of 4 can do quite well with random patterns").
+func RandomCircuit(rng *rand.Rand, nIn, nGates, nOut, maxFanin int) *logic.Circuit {
+	return RandomCircuitTypes(rng, nIn, nGates, nOut, maxFanin,
+		[]logic.GateType{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor})
+}
+
+// RandomCircuitTypes is RandomCircuit with an explicit gate-type
+// palette. A NAND/NOR-only palette reproduces the 1982-era logic the
+// paper's fault-collapsing arithmetic ("6000 → about 3000") assumes;
+// XOR-bearing palettes collapse less because XOR pins have no
+// equivalent faults.
+func RandomCircuitTypes(rng *rand.Rand, nIn, nGates, nOut, maxFanin int, types []logic.GateType) *logic.Circuit {
+	if nIn < 1 || nGates < 1 || nOut < 1 || maxFanin < 2 {
+		panic("circuits: RandomCircuit parameter out of range")
+	}
+	if len(types) == 0 {
+		panic("circuits: empty gate palette")
+	}
+	c := logic.New(fmt.Sprintf("rand_%d_%d", nIn, nGates))
+	nets := make([]int, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		nets = append(nets, c.AddInput(fmt.Sprintf("I%d", i)))
+	}
+	for g := 0; g < nGates; g++ {
+		typ := types[rng.Intn(len(types))]
+		fanin := 2 + rng.Intn(maxFanin-1)
+		if rng.Intn(8) == 0 {
+			typ = logic.Not
+			fanin = 1
+		}
+		// Bias sources toward recent nets so depth grows with size.
+		lits := make([]int, fanin)
+		seen := map[int]bool{}
+		for i := range lits {
+			var src int
+			for {
+				if rng.Intn(3) > 0 && len(nets) > nIn {
+					lo := len(nets) - len(nets)/3 - 1
+					src = nets[lo+rng.Intn(len(nets)-lo)]
+				} else {
+					src = nets[rng.Intn(len(nets))]
+				}
+				if !seen[src] || len(seen) >= len(nets) {
+					break
+				}
+			}
+			seen[src] = true
+			lits[i] = src
+		}
+		nets = append(nets, c.AddGate(typ, fmt.Sprintf("G%d", g), lits...))
+	}
+	// Every sink gate becomes an output — otherwise its cone would be
+	// dead, unobservable logic and fault coverage would be meaningless.
+	// Additional random outputs are added if there are fewer sinks than
+	// requested.
+	used := make([]bool, c.NumNets())
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			used[f] = true
+		}
+	}
+	var sinks []int
+	for _, id := range nets[nIn:] {
+		if !used[id] {
+			sinks = append(sinks, id)
+		}
+	}
+	for len(sinks) < nOut {
+		sinks = append(sinks, nets[nIn+rng.Intn(nGates)])
+	}
+	for _, s := range sinks {
+		c.MarkOutput(s)
+	}
+	return c.MustFinalize()
+}

@@ -1,0 +1,169 @@
+package circuits
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// Counter returns an n-bit synchronous binary counter with an enable
+// input EN and outputs Q0..Q(n-1). Bit i toggles when EN and all lower
+// bits are 1 — the textbook ripple-enable structure. Counters are the
+// paper's canonical example of sequential test-generation difficulty:
+// observing the top bit requires 2^(n-1) clocks without DFT.
+func Counter(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: Counter needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("counter%d", n))
+	en := c.AddInput("EN")
+	qs := make([]int, n)
+	for i := 0; i < n; i++ {
+		qs[i] = c.AddDFF(fmt.Sprintf("Q%d", i), 0) // patched below
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		t := c.AddGate(logic.Xor, fmt.Sprintf("T%d", i), qs[i], carry)
+		c.Gates[qs[i]].Fanin[0] = t
+		if i+1 < n {
+			carry = c.AddGate(logic.And, fmt.Sprintf("CA%d", i), carry, qs[i])
+		}
+		c.MarkOutput(qs[i])
+	}
+	return c.MustFinalize()
+}
+
+// ShiftRegister returns an n-bit serial shift register with input SIN
+// and output SOUT (the last stage). All stages are observable through
+// SOUT only — maximal observability pain for sequential ATPG.
+func ShiftRegister(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: ShiftRegister needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("shift%d", n))
+	sin := c.AddInput("SIN")
+	prev := sin
+	var last int
+	for i := 0; i < n; i++ {
+		last = c.AddDFF(fmt.Sprintf("R%d", i), prev)
+		prev = last
+	}
+	c.MarkOutput(c.AddGate(logic.Buf, "SOUT", last))
+	return c.MustFinalize()
+}
+
+// LFSRCircuit returns an n-bit Fibonacci LFSR netlist with XOR feedback
+// from the given 1-based tap positions into stage 1, stages exposed as
+// outputs Q1..Qn. It reproduces Fig. 7's linear feedback shift register
+// as an actual circuit (taps {2,3} with n=3 gives the figure).
+func LFSRCircuit(n int, taps []int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: LFSRCircuit needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("lfsr%d", n))
+	// Placeholder target so the first DFF has a legal fanin before the
+	// feedback net exists; every DFF is re-pointed below.
+	tie := c.AddGate(logic.Const0, "TIE0")
+	stages := make([]int, n+1) // 1-based
+	for i := 1; i <= n; i++ {
+		stages[i] = c.AddDFF(fmt.Sprintf("Q%d", i), tie)
+	}
+	var fb int
+	switch len(taps) {
+	case 0:
+		panic("circuits: LFSRCircuit needs at least one tap")
+	case 1:
+		fb = c.AddGate(logic.Buf, "FB", stages[taps[0]])
+	default:
+		lits := make([]int, len(taps))
+		for i, t := range taps {
+			if t < 1 || t > n {
+				panic(fmt.Sprintf("circuits: tap %d out of range 1..%d", t, n))
+			}
+			lits[i] = stages[t]
+		}
+		fb = c.AddGate(logic.Xor, "FB", lits...)
+	}
+	c.Gates[stages[1]].Fanin[0] = fb
+	for i := 2; i <= n; i++ {
+		c.Gates[stages[i]].Fanin[0] = stages[i-1]
+	}
+	for i := 1; i <= n; i++ {
+		c.MarkOutput(stages[i])
+	}
+	return c.MustFinalize()
+}
+
+// SequencedALU wraps a combinational core (the n-bit adder) in input
+// and output registers, modeling the "sequential machine around
+// combinational logic" of the paper's Fig. 9: inputs are registered,
+// the core computes, results are registered. It is the standard victim
+// for the scan-vs-no-scan ATPG experiments.
+func SequencedALU(n int) *logic.Circuit {
+	if n < 1 {
+		panic("circuits: SequencedALU needs n >= 1")
+	}
+	c := logic.New(fmt.Sprintf("seqalu%d", n))
+	// Primary inputs.
+	av := make([]int, n)
+	bv := make([]int, n)
+	for i := 0; i < n; i++ {
+		av[i] = c.AddInput(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bv[i] = c.AddInput(fmt.Sprintf("B%d", i))
+	}
+	cin := c.AddInput("CIN")
+	// Input registers.
+	ar := make([]int, n)
+	br := make([]int, n)
+	for i := 0; i < n; i++ {
+		ar[i] = c.AddDFF(fmt.Sprintf("AR%d", i), av[i])
+	}
+	for i := 0; i < n; i++ {
+		br[i] = c.AddDFF(fmt.Sprintf("BR%d", i), bv[i])
+	}
+	cr := c.AddDFF("CR", cin)
+	// Ripple adder core over the registered operands.
+	carry := cr
+	sums := make([]int, n)
+	for i := 0; i < n; i++ {
+		axb := c.AddGate(logic.Xor, fmt.Sprintf("AXB%d", i), ar[i], br[i])
+		sums[i] = c.AddGate(logic.Xor, fmt.Sprintf("SM%d", i), axb, carry)
+		g := c.AddGate(logic.And, fmt.Sprintf("GEN%d", i), ar[i], br[i])
+		p := c.AddGate(logic.And, fmt.Sprintf("PRP%d", i), axb, carry)
+		carry = c.AddGate(logic.Or, fmt.Sprintf("CY%d", i+1), g, p)
+	}
+	// Output registers feeding primary outputs.
+	for i := 0; i < n; i++ {
+		sr := c.AddDFF(fmt.Sprintf("SR%d", i), sums[i])
+		c.MarkOutput(c.AddGate(logic.Buf, fmt.Sprintf("S%d", i), sr))
+	}
+	cor := c.AddDFF("COR", carry)
+	c.MarkOutput(c.AddGate(logic.Buf, "COUT", cor))
+	return c.MustFinalize()
+}
+
+// FSM returns a small Moore machine — a 2-bit sequence detector that
+// raises HIT after observing the serial input pattern 1,0,1. It gives
+// the sequential ATPG experiments a controllable state machine with
+// feedback (unlike the feed-forward SequencedALU).
+func FSM() *logic.Circuit {
+	c := logic.New("fsm101")
+	in := c.AddInput("SIN")
+	s0 := c.AddDFF("ST0", 0) // patched below
+	s1 := c.AddDFF("ST1", 0)
+	nin := c.AddGate(logic.Not, "NSIN", in)
+	ns0 := c.AddGate(logic.Not, "NST0", s0)
+	// States (s1 s0): 00 idle, 01 last char "1", 10 last chars "10",
+	// 11 just matched "101" (HIT). With overlap, the low state bit
+	// simply tracks the last input character.
+	next0 := c.AddGate(logic.Buf, "NEXT0", in)
+	t1 := c.AddGate(logic.And, "T1", nin, s0)     // ...1 then 0 -> "10"
+	t2 := c.AddGate(logic.And, "T2", in, s1, ns0) // "10" then 1 -> HIT
+	next1 := c.AddGate(logic.Or, "NEXT1", t1, t2)
+	c.Gates[s0].Fanin[0] = next0
+	c.Gates[s1].Fanin[0] = next1
+	c.MarkOutput(c.AddGate(logic.And, "HIT", s1, s0))
+	return c.MustFinalize()
+}

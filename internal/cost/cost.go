@@ -1,0 +1,156 @@
+// Package cost implements the paper's quantitative arguments: the
+// rule-of-ten escalation ($0.30 chip → $3 board → $30 system → $300
+// field), the T = K·Nˣ test-generation cost law of Eq. (1), the
+// 2^(N+M) exhaustive-testing wall, and the defect-level relation that
+// connects fault coverage to shipped quality.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level is a packaging level in the rule-of-ten.
+type Level int
+
+const (
+	Chip Level = iota
+	BoardLevel
+	System
+	Field
+)
+
+var levelNames = [...]string{"chip", "board", "system", "field"}
+
+// String names the level.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// RuleOfTen returns the cost to detect a fault at the given level,
+// anchored at baseCost for the chip level — the paper's
+// $0.30/$3/$30/$300 standard.
+func RuleOfTen(baseCost float64, l Level) float64 {
+	return baseCost * math.Pow(10, float64(l))
+}
+
+// RuleOfTenTable renders the full escalation.
+func RuleOfTenTable(baseCost float64) []float64 {
+	out := make([]float64, 4)
+	for l := Chip; l <= Field; l++ {
+		out[l] = RuleOfTen(baseCost, l)
+	}
+	return out
+}
+
+// EscapeSavings computes the cost avoided by catching nEscapes faults
+// at `caught` level instead of `escapedTo`.
+func EscapeSavings(baseCost float64, nEscapes int, caught, escapedTo Level) float64 {
+	return float64(nEscapes) * (RuleOfTen(baseCost, escapedTo) - RuleOfTen(baseCost, caught))
+}
+
+// Eq1 evaluates T = K·Nˣ (the paper uses x = 3 for generation plus
+// fault simulation, noting 2 as the optimistic alternative).
+func Eq1(k float64, n int, exponent float64) float64 {
+	return k * math.Pow(float64(n), exponent)
+}
+
+// FitPowerLaw fits T = K·Nˣ to measured (N, T) samples by least
+// squares in log-log space, returning K and x. It is used to check
+// measured ATPG/fault-simulation runtimes against Eq. (1).
+func FitPowerLaw(ns []int, ts []float64) (k, exponent float64, err error) {
+	if len(ns) != len(ts) || len(ns) < 2 {
+		return 0, 0, fmt.Errorf("cost: need at least two samples")
+	}
+	var sx, sy, sxx, sxy float64
+	m := 0
+	for i := range ns {
+		if ns[i] <= 0 || ts[i] <= 0 {
+			continue
+		}
+		x := math.Log(float64(ns[i]))
+		y := math.Log(ts[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		m++
+	}
+	if m < 2 {
+		return 0, 0, fmt.Errorf("cost: insufficient positive samples")
+	}
+	fm := float64(m)
+	den := fm*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("cost: degenerate samples")
+	}
+	exponent = (fm*sxy - sx*sy) / den
+	k = math.Exp((sy - exponent*sx) / fm)
+	return k, exponent, nil
+}
+
+// ExhaustivePatterns returns 2^(N+M) — the complete functional test
+// bound for N inputs and M latches — as a float (it overflows integers
+// immediately, which is the point).
+func ExhaustivePatterns(inputs, latches int) float64 {
+	return math.Pow(2, float64(inputs+latches))
+}
+
+// ExhaustiveTestSeconds converts a pattern count to tester time at the
+// given application rate (patterns per second).
+func ExhaustiveTestSeconds(patterns float64, ratePerSecond float64) float64 {
+	return patterns / ratePerSecond
+}
+
+// SecondsPerYear converts tester time to years.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// PaperExhaustiveExample reproduces the §I.B numbers: N=25, M=50 at
+// 1 µs per pattern.
+func PaperExhaustiveExample() (patterns, years float64) {
+	patterns = ExhaustivePatterns(25, 50)
+	years = ExhaustiveTestSeconds(patterns, 1e6) / SecondsPerYear
+	return
+}
+
+// DefectLevel is the Williams–Brown relation DL = 1 - Y^(1-T): the
+// fraction of shipped parts that are defective, given process yield Y
+// and fault coverage T. It quantifies why high coverage matters — the
+// economic engine behind DFT.
+func DefectLevel(yield, coverage float64) float64 {
+	if yield <= 0 || yield > 1 {
+		panic("cost: yield must be in (0,1]")
+	}
+	if coverage < 0 || coverage > 1 {
+		panic("cost: coverage must be in [0,1]")
+	}
+	return 1 - math.Pow(yield, 1-coverage)
+}
+
+// CoverageForDefectLevel inverts DefectLevel: the fault coverage
+// required to reach a target defect level at the given yield.
+func CoverageForDefectLevel(yield, target float64) float64 {
+	if target <= 0 {
+		return 1
+	}
+	return 1 - math.Log(1-target)/math.Log(yield)
+}
+
+// FaultCombinations returns 3^N, the full multiple-fault space the
+// single-fault assumption collapses ("a network with 100 nets would
+// contain 5×10^47 different combinations").
+func FaultCombinations(nets int) float64 {
+	return math.Pow(3, float64(nets))
+}
+
+// SingleFaultCount returns the single stuck-at universe size for g
+// two-input gates (6 per gate) before collapsing — the paper's
+// "1000 gates → 6000 faults".
+func SingleFaultCount(twoInputGates int) int { return 6 * twoInputGates }
+
+// SimulationWork models fault simulation as "3001 good machine
+// simulations": collapsed faults + 1 passes over the pattern set.
+func SimulationWork(collapsedFaults int) int { return collapsedFaults + 1 }

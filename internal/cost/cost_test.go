@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRuleOfTen(t *testing.T) {
+	table := RuleOfTenTable(0.30)
+	want := []float64{0.30, 3, 30, 300}
+	for i := range want {
+		if math.Abs(table[i]-want[i]) > 1e-9 {
+			t.Fatalf("level %d: $%.2f, want $%.2f", i, table[i], want[i])
+		}
+	}
+	if Chip.String() != "chip" || Field.String() != "field" {
+		t.Fatal("level names")
+	}
+}
+
+func TestEscapeSavings(t *testing.T) {
+	// Catching 100 faults at board instead of field saves 100·(300-3).
+	got := EscapeSavings(0.30, 100, BoardLevel, Field)
+	if math.Abs(got-29700) > 1e-6 {
+		t.Fatalf("savings %.2f, want 29700", got)
+	}
+}
+
+func TestEq1Growth(t *testing.T) {
+	// Doubling N with exponent 3 multiplies cost by 8 — the paper's
+	// "mechanical partition ... would reduce the test generation and
+	// fault simulation tasks by 8".
+	ratio := Eq1(1, 200, 3) / Eq1(1, 100, 3)
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Fatalf("ratio %.3f, want 8", ratio)
+	}
+}
+
+func TestFitPowerLawRecovers(t *testing.T) {
+	f := func(kSeed, xSeed uint8) bool {
+		k := 0.5 + float64(kSeed%50)/10
+		x := 1.5 + float64(xSeed%30)/10
+		ns := []int{50, 100, 200, 400, 800}
+		ts := make([]float64, len(ns))
+		for i, n := range ns {
+			ts[i] = Eq1(k, n, x)
+		}
+		gk, gx, err := FitPowerLaw(ns, ts)
+		return err == nil && math.Abs(gk-k) < 1e-6*k+1e-9 && math.Abs(gx-x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]int{1}, []float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, _, err := FitPowerLaw([]int{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate samples accepted")
+	}
+	if _, _, err := FitPowerLaw([]int{0, -1}, []float64{1, 1}); err == nil {
+		t.Fatal("nonpositive samples accepted")
+	}
+}
+
+func TestPaperExhaustiveExample(t *testing.T) {
+	patterns, years := PaperExhaustiveExample()
+	// 2^75 ≈ 3.78e22 patterns; ≈ 1.2e9 years at 1 µs/pattern.
+	if patterns < 3.7e22 || patterns > 3.9e22 {
+		t.Fatalf("patterns = %.3g, want ≈3.8e22", patterns)
+	}
+	if years < 1e9 || years > 1.5e9 {
+		t.Fatalf("years = %.3g, want over a billion", years)
+	}
+}
+
+func TestFaultCombinations(t *testing.T) {
+	// "A network with 100 nets would contain 5×10^47 combinations."
+	got := FaultCombinations(100)
+	if got < 5.1e47 || got > 5.2e47 {
+		t.Fatalf("3^100 = %.3g, want ≈5.15e47", got)
+	}
+}
+
+func TestSingleFaultAccounting(t *testing.T) {
+	if SingleFaultCount(1000) != 6000 {
+		t.Fatal("1000 gates must give 6000 pin faults")
+	}
+	if SimulationWork(3000) != 3001 {
+		t.Fatal("3000 collapsed faults must cost 3001 machine simulations")
+	}
+}
+
+func TestDefectLevel(t *testing.T) {
+	// Perfect coverage ships no defects regardless of yield.
+	if DefectLevel(0.5, 1.0) != 0 {
+		t.Fatal("full coverage must give zero defect level")
+	}
+	// Zero coverage ships exactly the process fallout.
+	if math.Abs(DefectLevel(0.5, 0)-0.5) > 1e-12 {
+		t.Fatal("zero coverage defect level must equal 1-yield")
+	}
+	// Monotone decreasing in coverage.
+	prev := 1.0
+	for c := 0.0; c <= 1.0; c += 0.1 {
+		dl := DefectLevel(0.6, c)
+		if dl > prev {
+			t.Fatalf("defect level not monotone at coverage %.1f", c)
+		}
+		prev = dl
+	}
+}
+
+func TestCoverageForDefectLevelInverts(t *testing.T) {
+	for _, y := range []float64{0.3, 0.6, 0.9} {
+		for _, dl := range []float64{0.001, 0.01, 0.1} {
+			c := CoverageForDefectLevel(y, dl)
+			back := DefectLevel(y, c)
+			if math.Abs(back-dl) > 1e-9 {
+				t.Fatalf("y=%.1f dl=%.3f: round trip %.6f", y, dl, back)
+			}
+		}
+	}
+	if CoverageForDefectLevel(0.5, 0) != 1 {
+		t.Fatal("zero target needs full coverage")
+	}
+}
+
+func TestDefectLevelValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { DefectLevel(0, 0.5) },
+		func() { DefectLevel(0.5, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

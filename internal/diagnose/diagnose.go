@@ -1,0 +1,237 @@
+// Package diagnose implements fault-dictionary diagnosis, the fault-
+// location counterpart of the paper's testing techniques ([52]-[68]):
+// pre-compute every fault's full failure response to a test set, then
+// look up an observed failing device to get the candidate fault set.
+// Resolution is bounded by response-equivalence — faults with identical
+// dictionaries cannot be distinguished at the pins, which is exactly
+// why the paper's bed-of-nails and signature probing exist.
+package diagnose
+
+import (
+	"hash/fnv"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// Response is a device's failure behavior on a test set: one word per
+// pattern, bit j set when primary output j differs from the good
+// machine.
+type Response [][]uint64
+
+// hashResponse produces a lookup key.
+func hashResponse(r Response) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, pat := range r {
+		for _, w := range pat {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(w >> uint(8*i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func equalResponse(a, b Response) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dictionary is a full-response fault dictionary.
+type Dictionary struct {
+	C        *logic.Circuit
+	Patterns [][]bool
+	Faults   []fault.Fault
+
+	responses []Response
+	byHash    map[uint64][]int
+	poWords   int
+}
+
+// Build simulates every fault against every pattern and stores the
+// full failure responses.
+func Build(c *logic.Circuit, faults []fault.Fault, patterns [][]bool) *Dictionary {
+	d := &Dictionary{
+		C:        c,
+		Patterns: patterns,
+		Faults:   faults,
+		byHash:   map[uint64][]int{},
+		poWords:  (len(c.POs) + 63) / 64,
+	}
+	d.responses = make([]Response, len(faults))
+	for i := range d.responses {
+		d.responses[i] = make(Response, len(patterns))
+		for p := range d.responses[i] {
+			d.responses[i][p] = make([]uint64, d.poWords)
+		}
+	}
+	ps := fault.NewParallelSim(c)
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		k := ps.LoadBlock(patterns[base:end])
+		for fi, f := range faults {
+			ps.FaultMask(f)
+			for j, po := range c.POs {
+				diff := ps.FaultyWord(po) ^ ps.GoodWord(po)
+				for b := 0; b < k; b++ {
+					if diff>>uint(b)&1 == 1 {
+						d.responses[fi][base+b][j/64] |= 1 << uint(j%64)
+					}
+				}
+			}
+		}
+	}
+	for fi := range d.responses {
+		h := hashResponse(d.responses[fi])
+		d.byHash[h] = append(d.byHash[h], fi)
+	}
+	return d
+}
+
+// ResponseOf returns the stored response for fault index fi.
+func (d *Dictionary) ResponseOf(fi int) Response { return d.responses[fi] }
+
+// Lookup returns the indices of faults whose dictionary entry matches
+// the observed response exactly.
+func (d *Dictionary) Lookup(obs Response) []int {
+	var out []int
+	for _, fi := range d.byHash[hashResponse(obs)] {
+		if equalResponse(d.responses[fi], obs) {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// ObserveMachine runs the test set against a defective device (the
+// faulty machine for f) and returns its response.
+func (d *Dictionary) ObserveMachine(f fault.Fault) Response {
+	obs := make(Response, len(d.Patterns))
+	for p := range obs {
+		obs[p] = make([]uint64, d.poWords)
+	}
+	ps := fault.NewParallelSim(d.C)
+	for base := 0; base < len(d.Patterns); base += 64 {
+		end := base + 64
+		if end > len(d.Patterns) {
+			end = len(d.Patterns)
+		}
+		k := ps.LoadBlock(d.Patterns[base:end])
+		ps.FaultMask(f)
+		for j, po := range d.C.POs {
+			diff := ps.FaultyWord(po) ^ ps.GoodWord(po)
+			for b := 0; b < k; b++ {
+				if diff>>uint(b)&1 == 1 {
+					obs[base+b][j/64] |= 1 << uint(j%64)
+				}
+			}
+		}
+	}
+	return obs
+}
+
+// Diagnose observes the defective device and returns the candidate
+// faults. The true fault is always among them (when it is in the
+// modeled list); the candidate set is its response-equivalence class.
+func (d *Dictionary) Diagnose(f fault.Fault) []fault.Fault {
+	idx := d.Lookup(d.ObserveMachine(f))
+	out := make([]fault.Fault, len(idx))
+	for i, fi := range idx {
+		out[i] = d.Faults[fi]
+	}
+	return out
+}
+
+// Resolution summarizes diagnostic power: the histogram of response-
+// equivalence class sizes and the mean candidates per detected fault.
+type Resolution struct {
+	Classes    int
+	MeanSize   float64
+	MaxSize    int
+	Undetected int // faults with an all-zero response (invisible)
+}
+
+// Resolution computes the summary.
+func (d *Dictionary) Resolution() Resolution {
+	var r Resolution
+	seen := map[uint64][]int{}
+	for fi := range d.responses {
+		zero := true
+	scan:
+		for _, pat := range d.responses[fi] {
+			for _, w := range pat {
+				if w != 0 {
+					zero = false
+					break scan
+				}
+			}
+		}
+		if zero {
+			r.Undetected++
+			continue
+		}
+		h := hashResponse(d.responses[fi])
+		seen[h] = append(seen[h], fi)
+	}
+	total := 0
+	for _, members := range seen {
+		// Split hash buckets into true classes.
+		var classes [][]int
+		for _, fi := range members {
+			placed := false
+			for ci := range classes {
+				if equalResponse(d.responses[fi], d.responses[classes[ci][0]]) {
+					classes[ci] = append(classes[ci], fi)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				classes = append(classes, []int{fi})
+			}
+		}
+		for _, cl := range classes {
+			r.Classes++
+			total += len(cl)
+			if len(cl) > r.MaxSize {
+				r.MaxSize = len(cl)
+			}
+		}
+	}
+	if r.Classes > 0 {
+		r.MeanSize = float64(total) / float64(r.Classes)
+	}
+	return r
+}
+
+// DistinguishingPattern searches the pattern set for an index on which
+// two faults respond differently (useful for adaptive diagnosis);
+// returns -1 when the test set cannot tell them apart.
+func (d *Dictionary) DistinguishingPattern(fi, fj int) int {
+	a, b := d.responses[fi], d.responses[fj]
+	for p := range a {
+		for w := range a[p] {
+			if a[p][w] != b[p][w] {
+				return p
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,146 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+)
+
+func exhaustive(n int) [][]bool {
+	out := make([][]bool, 1<<uint(n))
+	for x := range out {
+		p := make([]bool, n)
+		for i := range p {
+			p[i] = x>>uint(i)&1 == 1
+		}
+		out[x] = p
+	}
+	return out
+}
+
+func TestDiagnoseContainsTrueFault(t *testing.T) {
+	c := circuits.C17()
+	u := fault.Universe(c)
+	d := Build(c, u, exhaustive(5))
+	for _, f := range u {
+		cands := d.Diagnose(f)
+		found := false
+		for _, cf := range cands {
+			if cf == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("true fault %s missing from its own diagnosis", f.Name(c))
+		}
+	}
+}
+
+// TestDiagnosisClassesMatchEquivalence: with exhaustive patterns, two
+// faults share a dictionary entry iff they are functionally
+// response-equivalent; structural equivalence classes must land in one
+// diagnosis class together.
+func TestDiagnosisClassesMatchEquivalence(t *testing.T) {
+	c := circuits.C17()
+	u := fault.Universe(c)
+	cl := fault.CollapseEquiv(c, u)
+	d := Build(c, u, exhaustive(5))
+	for i, fi := range u {
+		for j, fj := range u {
+			if j <= i {
+				continue
+			}
+			if cl.ClassOf[fi] != cl.ClassOf[fj] {
+				continue
+			}
+			// Structurally equivalent faults must be indistinguishable.
+			if d.DistinguishingPattern(i, j) != -1 {
+				t.Fatalf("equivalent faults %s / %s distinguished", fi.Name(c), fj.Name(c))
+			}
+		}
+	}
+}
+
+func TestResolutionSummary(t *testing.T) {
+	c := circuits.RippleAdder(3)
+	u := fault.Universe(c)
+	d := Build(c, u, exhaustive(len(c.PIs)))
+	r := d.Resolution()
+	if r.Undetected != 0 {
+		t.Fatalf("%d faults invisible to exhaustive patterns on an irredundant adder", r.Undetected)
+	}
+	if r.Classes == 0 || r.MeanSize < 1 {
+		t.Fatalf("degenerate resolution %+v", r)
+	}
+	// Collapsing bound: diagnosis classes cannot be finer than 1 fault
+	// nor coarser than the whole universe.
+	if r.MaxSize >= len(u) {
+		t.Fatalf("one giant class of %d", r.MaxSize)
+	}
+	// Pin-level diagnosis should resolve most faults to small classes.
+	if r.MeanSize > 4 {
+		t.Fatalf("mean class size %.2f too coarse", r.MeanSize)
+	}
+}
+
+func TestDistinguishingPattern(t *testing.T) {
+	c := circuits.C17()
+	u := fault.Universe(c)
+	d := Build(c, u, exhaustive(5))
+	// Find two detected faults in different classes and check the
+	// distinguishing pattern actually separates their responses.
+	for i := range u {
+		for j := i + 1; j < len(u); j++ {
+			p := d.DistinguishingPattern(i, j)
+			if p < 0 {
+				continue
+			}
+			a, b := d.ResponseOf(i)[p], d.ResponseOf(j)[p]
+			same := true
+			for w := range a {
+				if a[w] != b[w] {
+					same = false
+				}
+			}
+			if same {
+				t.Fatalf("pattern %d does not distinguish %s / %s", p, u[i].Name(c), u[j].Name(c))
+			}
+			return
+		}
+	}
+	t.Fatal("no distinguishable pair found")
+}
+
+func TestDictionaryWithRandomPatterns(t *testing.T) {
+	// Fewer patterns → coarser resolution, but diagnosis stays sound.
+	c := circuits.RippleAdder(4)
+	u := fault.Universe(c)
+	rng := rand.New(rand.NewSource(6))
+	pats := make([][]bool, 32)
+	for i := range pats {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	d := Build(c, u, pats)
+	full := Build(c, u, exhaustive(len(c.PIs)))
+	if d.Resolution().Classes > full.Resolution().Classes {
+		t.Fatal("fewer patterns cannot give finer resolution")
+	}
+	for _, f := range u[:20] {
+		cands := d.Diagnose(f)
+		found := false
+		for _, cf := range cands {
+			if cf == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("true fault %s missing under random dictionary", f.Name(c))
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dft/internal/board"
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/testability"
+)
+
+// DegatingResult is the Fig. 2/3 partitioning demonstration.
+type DegatingResult struct {
+	TargetNet       string
+	CC1Before       int
+	CC1After        int
+	OscFreeRepeat   bool
+	OscDegateRepeat bool
+}
+
+// Render prints the controllability improvement and the oscillator
+// synchronization fix.
+func (r DegatingResult) Render() string {
+	t := &text{title: "Figs. 2–3 — degating for logical partitioning and oscillator control"}
+	t.addf("hardest net %s: CC1 %d before degating, %d through the control line",
+		r.TargetNet, r.CC1Before, r.CC1After)
+	t.addf("free-running oscillator: sessions repeatable = %v", r.OscFreeRepeat)
+	t.addf("degated pseudo-clock   : sessions repeatable = %v", r.OscDegateRepeat)
+	return t.Render()
+}
+
+// Fig2Degating runs the degating experiments.
+func Fig2Degating() Result {
+	c := circuits.RippleAdder(16)
+	m := testability.Analyze(c)
+	target, _ := c.NetByName("C16")
+	before := m.CC1[target]
+	mod := testability.AddControlPoint(c, target)
+	m2 := testability.Analyze(mod)
+	gated, _ := mod.NetByName("TPG_C16")
+
+	// Oscillator sessions.
+	cc := circuits.Counter(4)
+	ins := make([][]bool, 30)
+	for i := range ins {
+		ins[i] = []bool{true}
+	}
+	same := func(a, b [][]bool) bool {
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	free := same(
+		board.SyncSession(cc, board.NewOscillator(1), ins),
+		board.SyncSession(cc, board.NewOscillator(2), ins))
+	mk := func(seed int64) *board.Oscillator {
+		o := board.NewOscillator(seed)
+		o.Degate = true
+		o.Pseudo = true
+		return o
+	}
+	degated := same(
+		board.SyncSession(cc, mk(1), ins),
+		board.SyncSession(cc, mk(2), ins))
+	return DegatingResult{
+		TargetNet: "C16", CC1Before: before, CC1After: m2.CC1[gated],
+		OscFreeRepeat: free, OscDegateRepeat: degated,
+	}
+}
+
+// TestPointResult is Fig. 4.
+type TestPointResult struct {
+	Net      string
+	COBefore int
+	COAfter  int
+	Recs     int
+}
+
+// Render prints the observability improvement.
+func (r TestPointResult) Render() string {
+	t := &text{title: "Fig. 4 — test points as inputs and outputs"}
+	t.addf("worst-observability net %s: CO %d before, %d after an observation point",
+		r.Net, r.COBefore, r.COAfter)
+	t.addf("testability-measure program recommended %d test points", r.Recs)
+	return t.Render()
+}
+
+// Fig4TestPoints runs the test-point experiment.
+func Fig4TestPoints() Result {
+	c := circuits.ArrayMultiplier(5)
+	m := testability.Analyze(c)
+	worst, worstCO := -1, -1
+	for n := 0; n < c.NumNets(); n++ {
+		if m.CO[n] < testability.Inf && m.CO[n] > worstCO {
+			worst, worstCO = n, m.CO[n]
+		}
+	}
+	mod := testability.AddObservationPoint(c, worst)
+	m2 := testability.Analyze(mod)
+	recs := testability.Recommend(c, m, 5)
+	return TestPointResult{
+		Net: c.NameOf(worst), COBefore: worstCO, COAfter: m2.CO[worst], Recs: len(recs),
+	}
+}
+
+// BedOfNailsResult is Fig. 5.
+type BedOfNailsResult struct {
+	EdgePass   bool
+	InCircuit  []string
+	Resolution string
+}
+
+// Render prints the resolution comparison.
+func (r BedOfNailsResult) Render() string {
+	t := &text{title: "Fig. 5 — bed-of-nails and in-circuit testing"}
+	t.addf("edge-connector test: pass=%v (resolution: whole board)", r.EdgePass)
+	t.addf("in-circuit test    : failing modules %v (resolution: %s)", r.InCircuit, r.Resolution)
+	return t.Render()
+}
+
+// Fig5BedOfNails runs the diagnosis-resolution experiment.
+func Fig5BedOfNails() Result {
+	mk := func() *board.Board {
+		adder := circuits.RippleAdder(4)
+		par := circuits.ParityTree(4)
+		b := &board.Board{
+			Modules: []*board.Module{{Name: "ADD", Logic: adder}, {Name: "PAR", Logic: par}},
+			Inputs:  8,
+		}
+		for i := 0; i < 8; i++ {
+			b.Wires = append(b.Wires, board.Wire{
+				Name: fmt.Sprintf("in%d", i),
+				From: board.Port{Module: "", Pin: i},
+				To:   []board.Port{{Module: "ADD", Pin: i}},
+			})
+		}
+		b.Wires = append(b.Wires, board.Wire{
+			Name: "cin", From: board.Port{Module: "", Pin: 0},
+			To: []board.Port{{Module: "ADD", Pin: 8}},
+		})
+		for i := 0; i < 4; i++ {
+			b.Wires = append(b.Wires, board.Wire{
+				Name: fmt.Sprintf("s%d", i),
+				From: board.Port{Module: "ADD", Pin: i},
+				To:   []board.Port{{Module: "PAR", Pin: i}},
+			})
+		}
+		b.Outputs = []board.Port{{Module: "PAR", Pin: 0}, {Module: "ADD", Pin: 4}}
+		return b
+	}
+	golden := mk()
+	uut := mk()
+	s2, _ := uut.Modules[0].Logic.NetByName("S2")
+	uut.Modules[0].Fault = &fault.Fault{Gate: s2, Pin: fault.Stem, SA: logic.One}
+
+	pats := randomPatterns(8, 64, 77)
+	pass, _ := board.EdgeTest(golden, uut, pats)
+	bn := &board.BedOfNails{B: uut}
+	failing, _ := bn.InCircuitTest(map[string][][]bool{
+		"ADD": randomPatterns(9, 64, 78),
+		"PAR": randomPatterns(4, 16, 79),
+	})
+	return BedOfNailsResult{EdgePass: pass, InCircuit: failing, Resolution: "single chip"}
+}
+
+// BusResult is Fig. 6.
+type BusResult struct {
+	HealthyFailures []string
+	ModuleFailure   []string
+	StuckDiagnosis  string
+}
+
+// Render prints the isolation outcomes.
+func (r BusResult) Render() string {
+	t := &text{title: "Fig. 6 — bus-structured microcomputer isolation"}
+	t.addf("healthy bus, per-module isolation: failures %v", r.HealthyFailures)
+	t.addf("defective RAM driver             : failures %v", r.ModuleFailure)
+	t.addf("stuck bus trace                  : %s", r.StuckDiagnosis)
+	return t.Render()
+}
+
+// Fig6Bus runs the tri-state isolation experiment.
+func Fig6Bus() Result {
+	mk := func(v bool) func() bool { return func() bool { return v } }
+	expected := map[string]bool{"CPU": true, "ROM": false, "RAM": true, "IO": false}
+	bus := &board.Bus{Drivers: []*board.BusDriver{
+		{Name: "CPU", Drive: mk(true)}, {Name: "ROM", Drive: mk(false)},
+		{Name: "RAM", Drive: mk(true)}, {Name: "IO", Drive: mk(false)},
+	}}
+	healthy, _ := bus.IsolateAndTest(expected)
+	bus.Drivers[2].Drive = mk(false)
+	modFail, _ := bus.IsolateAndTest(expected)
+	// Stuck-at-0 trace: exercise the polarity the defect blocks (every
+	// driver attempts a 1) — all fail, and voltage measurements cannot
+	// say which driver or the trace itself is at fault.
+	for _, d := range bus.Drivers {
+		d.Drive = mk(true)
+	}
+	allOnes := map[string]bool{"CPU": true, "ROM": true, "RAM": true, "IO": true}
+	stuck := false
+	bus.Stuck = &stuck
+	stuckFail, _ := bus.IsolateAndTest(allOnes)
+	return BusResult{
+		HealthyFailures: healthy,
+		ModuleFailure:   modFail,
+		StuckDiagnosis:  board.DiagnoseBus(stuckFail, len(bus.Drivers)),
+	}
+}
+
+func init() {
+	register("fig02-03", "Figs. 2-3: degating / oscillator partitioning", Fig2Degating)
+	register("fig04", "Fig. 4: test points", Fig4TestPoints)
+	register("fig05", "Fig. 5: bed-of-nails / in-circuit testing", Fig5BedOfNails)
+	register("fig06", "Fig. 6: bus architecture isolation", Fig6Bus)
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dft/internal/autonomous"
+	"dft/internal/circuits"
+	"dft/internal/testability"
+)
+
+// ModuleResult covers Figs. 26–29.
+type ModuleResult struct {
+	NormalLoad string
+	GenStates  int
+	SigChanged bool
+}
+
+// Render prints the reconfigurable-module demonstrations.
+func (r ModuleResult) Render() string {
+	t := &text{title: "Figs. 26–29 — reconfigurable LFSR module"}
+	t.addf("N=1 normal operation: %s", r.NormalLoad)
+	t.addf("N=0,S=0 input generator: %d distinct nonzero states (maximal)", r.GenStates)
+	t.addf("N=0,S=1 signature analyzer: corrupted stream changes signature = %v", r.SigChanged)
+	return t.Render()
+}
+
+// Fig26Module runs the module-mode demonstrations.
+func Fig26Module() Result {
+	var r ModuleResult
+	m := autonomous.NewModule(3)
+	m.Clock(true, false, []bool{true, false, true})
+	r.NormalLoad = fmt.Sprintf("loaded %03b", m.QWord())
+
+	g := autonomous.NewModule(3)
+	g.SetQ([]bool{true, false, false})
+	seen := map[uint64]bool{}
+	for _, w := range g.Generate(7) {
+		seen[w] = true
+	}
+	r.GenStates = len(seen)
+
+	words := [][]bool{{true, false, true}, {false, true, true}, {true, true, false}}
+	s1 := autonomous.NewModule(3)
+	ref := s1.Compress(words)
+	words[1][0] = !words[1][0]
+	s2 := autonomous.NewModule(3)
+	r.SigChanged = s2.Compress(words) != ref
+	return r
+}
+
+// MuxPartResult covers Figs. 30–32.
+type MuxPartResult struct {
+	Before   int
+	After    int
+	Applied  int
+	Coverage float64
+}
+
+// Render prints the exhaustive cost reduction and the executed test.
+func (r MuxPartResult) Render() string {
+	t := &text{title: "Figs. 30–32 — autonomous testing with multiplexer partitioning"}
+	t.addf("exhaustive patterns unpartitioned: %d", r.Before)
+	t.addf("after multiplexer partition       : %d (sum of subnetwork spaces)", r.After)
+	t.addf("reduction factor                  : %.1fx", float64(r.Before)/float64(r.After))
+	t.addf("executed two-phase test           : %d patterns, %.1f%% stuck-at coverage",
+		r.Applied, r.Coverage*100)
+	return t.Render()
+}
+
+// Fig30Mux runs the multiplexer partitioning experiment: the cost
+// arithmetic plus the actual two-phase exhaustive test.
+func Fig30Mux() Result {
+	c := circuits.RippleAdder(8)
+	c4, _ := c.NetByName("C4")
+	mp := autonomous.PartitionWithMux(c, []int{c4})
+	before, after := mp.ExhaustiveCost(c)
+	cov, applied := mp.RunAutonomousTest(c)
+	return MuxPartResult{Before: before, After: after, Applied: applied, Coverage: cov}
+}
+
+// SensitizedResult covers Figs. 33–34.
+type SensitizedResult struct {
+	Report autonomous.SensitizedReport
+}
+
+// Render prints the 74181 sensitized-partitioning outcome.
+func (r SensitizedResult) Render() string {
+	t := &text{title: "Figs. 33–34 — sensitized partitioning of the 74181 ALU"}
+	t.addf("patterns applied : %d (exhaustive would need %d)", r.Report.Patterns, r.Report.ExhaustiveSize)
+	t.addf("N1 subnetworks   : %d/%d faults detected (%.1f%%)",
+		r.Report.N1Detected, r.Report.N1Faults, r.Report.N1Coverage()*100)
+	t.addf("whole circuit    : %d/%d faults detected (%.1f%%)",
+		r.Report.TotalDetected, r.Report.TotalFaults, r.Report.TotalCoverage()*100)
+	t.addf("\"far fewer than 2^n input patterns can be applied to the network to test it\"")
+	return t.Render()
+}
+
+// Fig33Sensitized runs the 74181 sensitized partitioning.
+func Fig33Sensitized() Result {
+	return SensitizedResult{Report: autonomous.RunSensitized74181(circuits.ALU74181())}
+}
+
+// SCOAPResult covers the §II controllability/observability programs.
+type SCOAPResult struct {
+	Rows []struct {
+		Circuit string
+		Summary testability.Summary
+	}
+}
+
+// Render prints per-circuit SCOAP summaries.
+func (r SCOAPResult) Render() string {
+	t := &text{title: "§II — controllability/observability measures (SCOAP)"}
+	tb := &table{header: []string{"circuit", "max CC0", "max CC1", "max CO", "mean CO", "max seq depth"}}
+	for _, row := range r.Rows {
+		tb.add(row.Circuit,
+			fmt.Sprint(row.Summary.MaxCC0), fmt.Sprint(row.Summary.MaxCC1),
+			fmt.Sprint(row.Summary.MaxCO), fmt.Sprintf("%.1f", row.Summary.MeanCO),
+			fmt.Sprint(row.Summary.MaxSD))
+	}
+	t.addTable(tb)
+	return t.Render()
+}
+
+// SCOAPMeasures runs the testability analysis over the library.
+func SCOAPMeasures() Result {
+	var r SCOAPResult
+	add := func(name string, s testability.Summary) {
+		r.Rows = append(r.Rows, struct {
+			Circuit string
+			Summary testability.Summary
+		}{name, s})
+	}
+	cs := []struct {
+		name string
+		s    testability.Summary
+	}{
+		{"c17", testability.Analyze(circuits.C17()).Summarize()},
+		{"adder16", testability.Analyze(circuits.RippleAdder(16)).Summarize()},
+		{"mult8", testability.Analyze(circuits.ArrayMultiplier(8)).Summarize()},
+		{"alu74181", testability.Analyze(circuits.ALU74181()).Summarize()},
+		{"counter12", testability.Analyze(circuits.Counter(12)).Summarize()},
+	}
+	for _, x := range cs {
+		add(x.name, x.s)
+	}
+	return r
+}
+
+func init() {
+	register("fig26-29", "Figs. 26-29: reconfigurable LFSR module", Fig26Module)
+	register("fig30-32", "Figs. 30-32: multiplexer partitioning", Fig30Mux)
+	register("fig33-34", "Figs. 33-34: sensitized partitioning of the 74181", Fig33Sensitized)
+	register("scoap", "§II: testability measures", SCOAPMeasures)
+}

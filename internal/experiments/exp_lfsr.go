@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dft/internal/fault"
+	"dft/internal/lfsr"
+	"dft/internal/logic"
+	"dft/internal/signature"
+)
+
+// randomPatterns is a shared deterministic pattern source.
+func randomPatterns(width, count int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]bool, count)
+	for i := range out {
+		p := make([]bool, width)
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Fig7Result is the LFSR counting table.
+type Fig7Result struct {
+	Seeds     []uint64
+	Sequences [][]uint64
+	Period    int
+}
+
+// Render prints the counting capabilities table of Fig. 7.
+func (r Fig7Result) Render() string {
+	t := &text{title: "Fig. 7 — counting capabilities of the 3-bit LFSR (taps Q2⊕Q3)"}
+	tb := &table{header: []string{"seed Q1Q2Q3", "sequence (Q1Q2Q3 per clock)"}}
+	for i, s := range r.Seeds {
+		var cells []string
+		for _, w := range r.Sequences[i] {
+			cells = append(cells, fmt.Sprintf("%d%d%d", w&1, w>>1&1, w>>2&1))
+		}
+		tb.add(fmt.Sprintf("%d%d%d", s&1, s>>1&1, s>>2&1), fmt.Sprint(cells))
+	}
+	t.addTable(tb)
+	t.addf("period from every nonzero seed: %d (maximal, 2^3-1)", r.Period)
+	return t.Render()
+}
+
+// Fig7LFSR regenerates the counting table.
+func Fig7LFSR() Result {
+	r := Fig7Result{Period: 0}
+	for seed := uint64(1); seed < 8; seed++ {
+		l := lfsr.New(3, []int{2, 3})
+		l.SetState(seed)
+		r.Seeds = append(r.Seeds, seed)
+		r.Sequences = append(r.Sequences, l.Sequence(7))
+		l2 := lfsr.New(3, []int{2, 3})
+		l2.SetState(seed)
+		if p := l2.Period(8); r.Period == 0 || p == r.Period {
+			r.Period = p
+		}
+	}
+	return r
+}
+
+// Fig8Result is the signature-analysis experiment.
+type Fig8Result struct {
+	Widths      []int
+	CatchRates  []float64
+	Theory      []float64
+	Culprit     string
+	Probes      int
+	LoopRefusal bool
+}
+
+// Render prints detection probability vs register width and the
+// diagnosis outcome.
+func (r Fig8Result) Render() string {
+	t := &text{title: "Fig. 8 — signature analysis: detection probability and fault isolation"}
+	tb := &table{header: []string{"LFSR width", "measured miss rate", "theory 2^-k"}}
+	for i, w := range r.Widths {
+		tb.add(fmt.Sprint(w), fmt.Sprintf("%.5f", 1-r.CatchRates[i]), fmt.Sprintf("%.5f", r.Theory[i]))
+	}
+	t.addTable(tb)
+	t.addf("kernel-first diagnosis located module %q in %d probes", r.Culprit, r.Probes)
+	t.addf("closed-loop board refused until jumper break: %v", r.LoopRefusal)
+	return t.Render()
+}
+
+// Fig8Signature measures aliasing vs width and runs a diagnosis.
+func Fig8Signature() Result {
+	res := Fig8Result{}
+	// Aliasing: random nonzero error streams into the analyzer register.
+	rng := rand.New(rand.NewSource(42))
+	for _, w := range []int{3, 8, 16} {
+		l := lfsr.NewMaximal(w)
+		trials, missed := 30000, 0
+		for i := 0; i < trials; i++ {
+			stream := make([]uint64, 50)
+			nz := false
+			for k := range stream {
+				stream[k] = uint64(rng.Intn(2))
+				nz = nz || stream[k] == 1
+			}
+			if !nz {
+				stream[0] = 1
+			}
+			if l.Signature(stream) == 0 {
+				missed++
+			}
+		}
+		res.Widths = append(res.Widths, w)
+		res.CatchRates = append(res.CatchRates, 1-float64(missed)/float64(trials))
+		res.Theory = append(res.Theory, lfsr.AliasingProbability(w))
+	}
+	// Diagnosis on the board used in the signature package tests.
+	b := demoSignatureBoard()
+	a := signature.NewAnalyzer(16)
+	s1, _ := b.C.NetByName("S1")
+	diag, err := b.Diagnose(a, fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One})
+	if err == nil {
+		res.Culprit = diag.Culprit
+		res.Probes = diag.Probes
+	}
+	// Loop refusal.
+	lb := demoSignatureBoard()
+	for i := range lb.Modules {
+		if lb.Modules[i].Name == "uP" {
+			lb.Modules[i].Feeds = append(lb.Modules[i].Feeds, "CHK")
+		}
+	}
+	_, lerr := lb.Diagnose(a, fault.Fault{Gate: s1, Pin: fault.Stem, SA: logic.One})
+	res.LoopRefusal = lerr != nil
+	return res
+}
+
+// demoSignatureBoard builds the kernel→ALU→checker board.
+func demoSignatureBoard() *signature.Board {
+	c := logic.New("sigboard")
+	en := c.AddInput("EN")
+	qs := make([]int, 4)
+	for i := range qs {
+		qs[i] = c.AddDFF(fmt.Sprintf("Q%d", i), en)
+	}
+	carry := en
+	for i := 0; i < 4; i++ {
+		tnet := c.AddGate(logic.Xor, fmt.Sprintf("T%d", i), qs[i], carry)
+		c.Gates[qs[i]].Fanin[0] = tnet
+		if i < 3 {
+			carry = c.AddGate(logic.And, fmt.Sprintf("CA%d", i), carry, qs[i])
+		}
+	}
+	s0 := c.AddGate(logic.Not, "S0", qs[0])
+	c1 := c.AddGate(logic.And, "C1x", qs[0], qs[0])
+	s1 := c.AddGate(logic.Xor, "S1", qs[1], c1)
+	c2 := c.AddGate(logic.And, "C2x", qs[1], c1)
+	s2 := c.AddGate(logic.Xor, "S2", qs[2], c2)
+	c3 := c.AddGate(logic.And, "C3x", qs[2], c2)
+	s3 := c.AddGate(logic.Xor, "S3", qs[3], c3)
+	p := c.AddGate(logic.Xor, "PAR", s0, s1, s2, s3)
+	c.MarkOutput(p)
+	c.MustFinalize()
+	return &signature.Board{
+		C:        c,
+		Stimulus: signature.SelfStimulus(c, 50),
+		Modules: []signature.Module{
+			{Name: "uP", Outputs: qs},
+			{Name: "ALU", Outputs: []int{s0, s1, s2, s3}, Feeds: []string{"uP"}},
+			{Name: "CHK", Outputs: []int{p}, Feeds: []string{"ALU"}},
+		},
+	}
+}
+
+func init() {
+	register("fig07", "Fig. 7: LFSR counting sequences", Fig7LFSR)
+	register("fig08", "Fig. 8: signature analysis", Fig8Signature)
+}

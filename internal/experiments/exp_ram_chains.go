@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dft/internal/circuits"
+	"dft/internal/delay"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/lssd"
+	"dft/internal/ramtest"
+)
+
+// RAMResult covers the embedded-RAM procedures of [20].
+type RAMResult struct {
+	Words        int
+	Width        uint
+	Faults       int
+	Checkerboard float64
+	MATSPlus     float64
+	MarchCMinus  float64
+	LenCB        int
+	LenMATS      int
+	LenMC        int
+}
+
+// Render prints the procedure comparison.
+func (r RAMResult) Render() string {
+	t := &text{title: "Embedded RAM ([20]) — march tests vs checkerboard"}
+	t.addf("RAM %d×%d, %d modeled faults (stuck, transition, coupling, decoder)",
+		r.Words, r.Width, r.Faults)
+	tb := &table{header: []string{"procedure", "operations", "fault coverage"}}
+	tb.add("checkerboard", fmt.Sprint(r.LenCB), fmt.Sprintf("%.1f%%", r.Checkerboard*100))
+	tb.add("MATS+ (5N)", fmt.Sprint(r.LenMATS), fmt.Sprintf("%.1f%%", r.MATSPlus*100))
+	tb.add("March C- (10N)", fmt.Sprint(r.LenMC), fmt.Sprintf("%.1f%%", r.MarchCMinus*100))
+	t.addTable(tb)
+	t.addf("the paper: scan cannot absorb embedded RAM — \"additional procedures are required\"")
+	return t.Render()
+}
+
+// RAMTest runs the march-test experiment.
+func RAMTest() Result {
+	const words, width = 64, 8
+	rng := rand.New(rand.NewSource(4))
+	faults := ramtest.Universe(words, width, rng, 400)
+	return RAMResult{
+		Words:        words,
+		Width:        width,
+		Faults:       len(faults),
+		Checkerboard: ramtest.Coverage(words, width, faults, ramtest.Checkerboard),
+		MATSPlus:     ramtest.Coverage(words, width, faults, ramtest.MATSPlus().Run),
+		MarchCMinus:  ramtest.Coverage(words, width, faults, ramtest.MarchCMinus().Run),
+		LenCB:        4 * words,
+		LenMATS:      ramtest.MATSPlus().Length(words),
+		LenMC:        ramtest.MarchCMinus().Length(words),
+	}
+}
+
+// ChainsResult covers flush tests and multi-chain scan.
+type ChainsResult struct {
+	FlushPass   bool
+	BreakCaught bool
+	Cycles1     int
+	Cycles4     int
+}
+
+// Render prints the chain-integrity and cycle results.
+func (r ChainsResult) Render() string {
+	t := &text{title: "Scan-chain integrity and multiple chains"}
+	t.addf("0011 flush through the gate-level chain: pass=%v; severed chain caught=%v",
+		r.FlushPass, r.BreakCaught)
+	t.addf("10 tests on a 12-FF design: 1 chain = %d cycles, 4 chains = %d cycles (%.1fx)",
+		r.Cycles1, r.Cycles4, float64(r.Cycles1)/float64(r.Cycles4))
+	return t.Render()
+}
+
+// ScanChains runs the chain experiments.
+func ScanChains() Result {
+	orig := circuits.Counter(12)
+	d := lssd.NewDesign(orig, lssd.StyleMuxScan)
+	flush := d.FlushTest().Pass
+
+	d2 := lssd.NewDesign(orig, lssd.StyleMuxScan)
+	scn, _ := d2.Scanned.NetByName("Q5_scn")
+	caught := lssd.ChainFaultCaught(orig, lssd.StyleMuxScan,
+		fault.Fault{Gate: scn, Pin: fault.Stem, SA: logic.Zero})
+
+	_, p1 := lssd.InsertChains(orig, 1)
+	_, p4 := lssd.InsertChains(orig, 4)
+	return ChainsResult{
+		FlushPass:   flush,
+		BreakCaught: caught,
+		Cycles1:     lssd.MultiChainCycles(p1, 10),
+		Cycles4:     lssd.MultiChainCycles(p4, 10),
+	}
+}
+
+func init() {
+	register("ramtest", "embedded RAM march tests ([20])", RAMTest)
+	register("scanchains", "scan-chain flush tests and multiple chains", ScanChains)
+	register("delay", "transition-fault two-pattern testing ([81],[108])", DelayTest)
+}
+
+// DelayResult covers transition-fault (delay) testing ([81],[108]).
+type DelayResult struct {
+	Universe      int
+	PairsDetected int
+	SeqDetected   int
+}
+
+// Render prints the delay-test comparison.
+func (r DelayResult) Render() string {
+	t := &text{title: "Delay testing ([81],[108]) — transition faults need two-pattern tests"}
+	t.addf("transition-fault universe (4-bit adder): %d", r.Universe)
+	t.addf("dedicated (launch,capture) pairs detect : %d", r.PairsDetected)
+	t.addf("an 8-pattern stuck-at set as pairs      : %d", r.SeqDetected)
+	return t.Render()
+}
+
+// DelayTest runs the transition-fault experiment.
+func DelayTest() Result {
+	c := circuits.RippleAdder(4)
+	u := delay.Universe(c)
+	rng := rand.New(rand.NewSource(5))
+	det, _ := delay.GradeTwoPattern(c, u, rng)
+	pats := [][]bool{}
+	for x := 0; x < 8; x++ {
+		p := make([]bool, len(c.PIs))
+		for i := range p {
+			p[i] = (x>>uint(i%3))&1 == 1
+		}
+		pats = append(pats, p)
+	}
+	return DelayResult{
+		Universe:      len(u),
+		PairsDetected: det,
+		SeqDetected:   delay.GradeSequence(c, u, pats),
+	}
+}

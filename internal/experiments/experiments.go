@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the
+// paper's survey as an executable experiment. Each experiment returns
+// a structured result with a Render method that prints the same rows
+// or series the paper reports; the package-level Registry drives the
+// `dftc experiments` command, and the repository-root tests assert the
+// quantitative claims (who wins, by what factor, where crossovers
+// fall).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	Render() string
+}
+
+// Experiment couples a paper artifact with its regenerator.
+type Experiment struct {
+	ID    string // e.g. "fig7", "tableI", "eq1"
+	Title string
+	Run   func() Result
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a tiny fixed-width table renderer shared by the results.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// text is a Result made of plain prose plus optional tables.
+type text struct {
+	title string
+	body  []string
+}
+
+func (t *text) addf(format string, args ...interface{}) {
+	t.body = append(t.body, fmt.Sprintf(format, args...))
+}
+
+func (t *text) addTable(tb *table) {
+	t.body = append(t.body, tb.String())
+}
+
+func (t *text) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.title)
+	for _, line := range t.body {
+		b.WriteString(line)
+		if !strings.HasSuffix(line, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig01", "universe", "eq1", "exhaustive", "ruleoften",
+		"fig02-03", "fig04", "fig05", "fig06",
+		"fig07", "fig08",
+		"fig09-12", "fig13-14", "fig15", "fig16-18",
+		"fig19-21", "fig22", "fig23", "tableI",
+		"fig26-29", "fig30-32", "fig33-34", "scoap",
+		"bridging", "cmos", "seqatpg", "probability", "plaatpg",
+		"ramtest", "scanchains", "delay",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+// TestAllExperimentsRender runs the fast experiments end to end. The
+// heavyweight ones (eq1) are covered by the repository-root tests.
+func TestAllExperimentsRender(t *testing.T) {
+	skip := map[string]bool{"eq1": true}
+	for _, e := range All() {
+		if skip[e.ID] {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Run().Render()
+			if !strings.Contains(out, "==") || len(out) < 40 {
+				t.Fatalf("suspicious render for %s:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	tb := &table{header: []string{"a", "long-header"}}
+	tb.add("xxxx", "y")
+	s := tb.String()
+	if !strings.Contains(s, "a     long-header") {
+		t.Fatalf("alignment broken:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d", len(lines))
+	}
+}
+
+func TestFig1Values(t *testing.T) {
+	r := Fig1().(Fig1Result)
+	if !r.IsTest || r.GoodOut != false || r.FaultyOut != true {
+		t.Fatalf("Fig. 1 result wrong: %+v", r)
+	}
+}
+
+func TestFig7Exact(t *testing.T) {
+	r := Fig7LFSR().(Fig7Result)
+	if r.Period != 7 || len(r.Seeds) != 7 {
+		t.Fatalf("Fig. 7: %+v", r)
+	}
+	// Seed 100 (Q1=1): first step is 010.
+	if r.Sequences[0][0] != 0b010 {
+		t.Fatalf("first transition %03b, want 010", r.Sequences[0][0])
+	}
+}
+
+func TestRandomPatternsShape(t *testing.T) {
+	p := randomPatterns(5, 10, 1)
+	if len(p) != 10 || len(p[0]) != 5 {
+		t.Fatal("pattern shape")
+	}
+	q := randomPatterns(5, 10, 1)
+	for i := range p {
+		for j := range p[i] {
+			if p[i][j] != q[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}

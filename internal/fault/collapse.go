@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"dft/internal/logic"
+)
+
+// Classes is the result of equivalence collapsing: Reps holds one
+// representative fault per equivalence class, and ClassOf maps every
+// fault in the original universe to its class index in Reps.
+type Classes struct {
+	Reps    []Fault
+	ClassOf map[Fault]int
+}
+
+// CollapseEquiv performs structural fault-equivalence collapsing
+// ([36],[41],[47] in the paper): faults that provably produce identical
+// behavior on every input are merged. The rules are the classical ones:
+//
+//   - AND:  any input s-a-0 ≡ output s-a-0; NAND: input s-a-0 ≡ output s-a-1
+//   - OR:   any input s-a-1 ≡ output s-a-1; NOR:  input s-a-1 ≡ output s-a-0
+//   - BUF/DFF: input s-a-v ≡ output s-a-v;  NOT: input s-a-v ≡ output s-a-v̄
+//   - a stem fault on a fanout-free, non-output net ≡ the branch fault
+//     on its single reader
+//
+// This typically halves the universe — the paper's "about 3000" from
+// 6000 for a 1000-gate network.
+func CollapseEquiv(c *logic.Circuit, universe []Fault) Classes {
+	parent := map[Fault]Fault{}
+	var find func(f Fault) Fault
+	find = func(f Fault) Fault {
+		p, ok := parent[f]
+		if !ok || p == f {
+			return f
+		}
+		r := find(p)
+		parent[f] = r
+		return r
+	}
+	union := func(a, b Fault) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	inUniverse := map[Fault]bool{}
+	for _, f := range universe {
+		inUniverse[f] = true
+	}
+	mergeIf := func(a, b Fault) {
+		if inUniverse[a] && inUniverse[b] {
+			union(a, b)
+		}
+	}
+
+	for id, g := range c.Gates {
+		switch g.Type {
+		case logic.And:
+			for p := range g.Fanin {
+				mergeIf(Fault{id, p, logic.Zero}, Fault{id, Stem, logic.Zero})
+			}
+		case logic.Nand:
+			for p := range g.Fanin {
+				mergeIf(Fault{id, p, logic.Zero}, Fault{id, Stem, logic.One})
+			}
+		case logic.Or:
+			for p := range g.Fanin {
+				mergeIf(Fault{id, p, logic.One}, Fault{id, Stem, logic.One})
+			}
+		case logic.Nor:
+			for p := range g.Fanin {
+				mergeIf(Fault{id, p, logic.One}, Fault{id, Stem, logic.Zero})
+			}
+		case logic.Buf, logic.DFF:
+			mergeIf(Fault{id, 0, logic.Zero}, Fault{id, Stem, logic.Zero})
+			mergeIf(Fault{id, 0, logic.One}, Fault{id, Stem, logic.One})
+		case logic.Not:
+			mergeIf(Fault{id, 0, logic.Zero}, Fault{id, Stem, logic.One})
+			mergeIf(Fault{id, 0, logic.One}, Fault{id, Stem, logic.Zero})
+		}
+	}
+	// Stem/branch merging on fanout-free internal nets.
+	isPO := make([]bool, c.NumNets())
+	for _, po := range c.POs {
+		isPO[po] = true
+	}
+	for n, fo := range c.Fanout {
+		if len(fo) != 1 || isPO[n] {
+			continue
+		}
+		reader := fo[0]
+		for p, src := range c.Gates[reader].Fanin {
+			if src == n {
+				mergeIf(Fault{n, Stem, logic.Zero}, Fault{reader, p, logic.Zero})
+				mergeIf(Fault{n, Stem, logic.One}, Fault{reader, p, logic.One})
+			}
+		}
+	}
+
+	cl := Classes{ClassOf: make(map[Fault]int, len(universe))}
+	idx := map[Fault]int{}
+	for _, f := range universe {
+		r := find(f)
+		i, ok := idx[r]
+		if !ok {
+			i = len(cl.Reps)
+			idx[r] = i
+			cl.Reps = append(cl.Reps, r)
+		}
+		cl.ClassOf[f] = i
+	}
+	return cl
+}
+
+// CollapseDominance further prunes a collapsed fault list using gate-
+// level dominance ([42] in the paper): a fault that is detected by
+// every test for another fault need not be targeted. For an AND gate,
+// output s-a-1 dominates each input s-a-1, so the output fault can be
+// dropped from the target list (test the inputs and the output comes
+// free); dually for OR/NAND/NOR.
+//
+// The returned list is for test-generation targeting only — unlike
+// equivalence classes it does not preserve coverage accounting.
+func CollapseDominance(c *logic.Circuit, reps []Fault) []Fault {
+	dominated := map[Fault]bool{}
+	for id, g := range c.Gates {
+		if len(g.Fanin) < 2 {
+			continue
+		}
+		switch g.Type {
+		case logic.And:
+			dominated[Fault{id, Stem, logic.One}] = true
+		case logic.Nand:
+			dominated[Fault{id, Stem, logic.Zero}] = true
+		case logic.Or:
+			dominated[Fault{id, Stem, logic.Zero}] = true
+		case logic.Nor:
+			dominated[Fault{id, Stem, logic.One}] = true
+		}
+	}
+	var out []Fault
+	for _, f := range reps {
+		if !dominated[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

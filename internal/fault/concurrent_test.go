@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+)
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	c := circuits.ArrayMultiplier(5)
+	u := Universe(c)
+	rng := rand.New(rand.NewSource(8))
+	pats := make([][]bool, 200)
+	for i := range pats {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	seq := SimulatePatterns(c, u, pats)
+	for _, workers := range []int{1, 2, 4, 7} {
+		con := SimulateConcurrent(c, u, pats, workers)
+		if con.NumCaught != seq.NumCaught {
+			t.Fatalf("workers=%d: caught %d vs %d", workers, con.NumCaught, seq.NumCaught)
+		}
+		for i := range u {
+			if con.Detected[i] != seq.Detected[i] || con.DetectedBy[i] != seq.DetectedBy[i] {
+				t.Fatalf("workers=%d fault %s: (%v,%d) vs (%v,%d)", workers, u[i].Name(c),
+					con.Detected[i], con.DetectedBy[i], seq.Detected[i], seq.DetectedBy[i])
+			}
+		}
+	}
+}
+
+func TestConcurrentTinyFaultList(t *testing.T) {
+	c := circuits.C17()
+	u := Universe(c)[:3]
+	pats := [][]bool{{true, true, true, true, true}}
+	res := SimulateConcurrent(c, u, pats, 16) // workers > faults
+	if len(res.Detected) != 3 {
+		t.Fatal("result shape wrong")
+	}
+}
+
+func BenchmarkConcurrentFaultSim(b *testing.B) {
+	c := circuits.ArrayMultiplier(8)
+	u := Universe(c)
+	rng := rand.New(rand.NewSource(8))
+	pats := make([][]bool, 256)
+	for i := range pats {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	b.Run("workers1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SimulateConcurrent(c, u, pats, 1)
+		}
+	})
+	b.Run("workers4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SimulateConcurrent(c, u, pats, 4)
+		}
+	})
+}

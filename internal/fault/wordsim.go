@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"dft/internal/logic"
+	"dft/internal/sim"
+)
+
+// Result accumulates combinational fault-simulation outcomes across
+// pattern batches.
+type Result struct {
+	Faults     []Fault
+	Detected   []bool
+	DetectedBy []int // index of first detecting pattern, -1 if none
+	NumCaught  int
+	NumPats    int
+}
+
+// Coverage returns the single stuck-at fault coverage: detected faults
+// divided by assumed faults — the paper's defining metric.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 0
+	}
+	return float64(r.NumCaught) / float64(len(r.Faults))
+}
+
+// Undetected returns the faults not yet detected.
+func (r *Result) Undetected() []Fault {
+	var out []Fault
+	for i, f := range r.Faults {
+		if !r.Detected[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ParallelSim is a 64-way parallel-pattern single-fault-propagation
+// (PPSFP) fault simulator. Patterns are packed 64 to a word; each
+// fault is injected once per block and its effects propagated through
+// the fanout cone only.
+//
+// The simulator is view-aware: the controllable nets (pattern bit
+// positions) and observable nets are configurable, so the same engine
+// serves plain combinational circuits (PIs/POs) and scan designs
+// (PIs+flip-flops / POs+flip-flop D inputs). Source elements not in
+// the input list are held at 0, the toolkit's reset state.
+type ParallelSim struct {
+	c       *logic.Circuit
+	inputs  []int
+	good    sim.Words
+	val     []uint64 // overlay of faulty values
+	stamp   []int    // overlay validity: stamp[n] == cur
+	queued  []int
+	cur     int
+	byLevel [][]int // worklist buckets indexed by level
+	isObs   []bool
+	scratch []uint64
+}
+
+// NewParallelSim builds a simulator observing the primary view
+// (patterns over c.PIs, detection at c.POs).
+func NewParallelSim(c *logic.Circuit) *ParallelSim {
+	return NewParallelSimView(c, c.PIs, c.POs)
+}
+
+// NewParallelSimView builds a simulator with explicit controllable and
+// observable nets. Every input must be a source element (Input or DFF).
+func NewParallelSimView(c *logic.Circuit, inputs, outputs []int) *ParallelSim {
+	n := c.NumNets()
+	ps := &ParallelSim{
+		c:       c,
+		inputs:  append([]int(nil), inputs...),
+		good:    make(sim.Words, n),
+		val:     make([]uint64, n),
+		stamp:   make([]int, n),
+		queued:  make([]int, n),
+		byLevel: make([][]int, c.Depth()+1),
+		isObs:   make([]bool, n),
+		scratch: make([]uint64, c.MaxFanin()),
+	}
+	for _, in := range inputs {
+		if c.Gates[in].Type.IsCombinational() {
+			panic("fault: view input " + c.NameOf(in) + " is not a source element")
+		}
+	}
+	for i := range ps.stamp {
+		ps.stamp[i] = -1
+		ps.queued[i] = -1
+	}
+	for _, o := range outputs {
+		ps.isObs[o] = true
+	}
+	return ps
+}
+
+// LoadBlock packs up to 64 patterns (each one bit per view input) and
+// computes the good-machine response. It returns the number of
+// patterns loaded.
+func (ps *ParallelSim) LoadBlock(patterns [][]bool) int {
+	k := len(patterns)
+	if k > 64 {
+		k = 64
+	}
+	c := ps.c
+	// Source elements default to 0.
+	for _, pi := range c.PIs {
+		ps.good[pi] = 0
+	}
+	for _, d := range c.DFFs {
+		ps.good[d] = 0
+	}
+	for p := 0; p < k; p++ {
+		for i, b := range patterns[p] {
+			if b {
+				ps.good[ps.inputs[i]] |= 1 << uint(p)
+			}
+		}
+	}
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		in := ps.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			in[i] = ps.good[src]
+		}
+		ps.good[id] = g.Type.EvalWord(in)
+	}
+	return k
+}
+
+// value returns the current (possibly faulty) word of a net.
+func (ps *ParallelSim) value(n int) uint64 {
+	if ps.stamp[n] == ps.cur {
+		return ps.val[n]
+	}
+	return ps.good[n]
+}
+
+// FaultMask simulates one fault against the loaded block, returning a
+// bitmask of the patterns (bit p = pattern p) that detect it.
+func (ps *ParallelSim) FaultMask(f Fault) uint64 {
+	ps.cur++
+	c := ps.c
+	stuckWord := uint64(0)
+	if f.SA == logic.One {
+		stuckWord = ^uint64(0)
+	}
+
+	var detected uint64
+	push := func(net int, word uint64) {
+		if word == ps.value(net) {
+			return
+		}
+		ps.val[net] = word
+		ps.stamp[net] = ps.cur
+		if ps.isObs[net] {
+			detected |= word ^ ps.good[net]
+		}
+		for _, reader := range c.Fanout[net] {
+			if !c.Gates[reader].Type.IsCombinational() {
+				continue
+			}
+			if ps.queued[reader] != ps.cur {
+				ps.queued[reader] = ps.cur
+				lv := c.Level[reader]
+				ps.byLevel[lv] = append(ps.byLevel[lv], reader)
+			}
+		}
+	}
+
+	var startLevel int
+	if f.Pin == Stem {
+		push(f.Gate, stuckWord)
+		startLevel = c.Level[f.Gate]
+	} else {
+		// Branch fault: only gate f.Gate sees the corrupt operand.
+		g := &c.Gates[f.Gate]
+		in := ps.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			in[i] = ps.value(src)
+		}
+		in[f.Pin] = stuckWord
+		push(f.Gate, g.Type.EvalWord(in))
+		startLevel = c.Level[f.Gate]
+	}
+
+	for lv := startLevel; lv < len(ps.byLevel); lv++ {
+		bucket := ps.byLevel[lv]
+		ps.byLevel[lv] = ps.byLevel[lv][:0]
+		for _, id := range bucket {
+			if id == f.Gate && f.Pin != Stem {
+				// Already evaluated with the corrupt operand.
+				continue
+			}
+			g := &c.Gates[id]
+			in := ps.scratch[:len(g.Fanin)]
+			for i, src := range g.Fanin {
+				in[i] = ps.value(src)
+			}
+			w := g.Type.EvalWord(in)
+			if f.Pin == Stem && id == f.Gate {
+				w = stuckWord
+			}
+			push(id, w)
+		}
+	}
+	return detected
+}
+
+// GoodWord returns the good-machine word of net n for the loaded block.
+func (ps *ParallelSim) GoodWord(n int) uint64 { return ps.good[n] }
+
+// FaultyWord returns net n's word as left by the most recent FaultMask
+// call (the good word if the fault never reached n).
+func (ps *ParallelSim) FaultyWord(n int) uint64 { return ps.value(n) }
+
+// runBlocks drives the block loop shared by the package-level helpers.
+func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *Result {
+	res := &Result{
+		Faults:     faults,
+		Detected:   make([]bool, len(faults)),
+		DetectedBy: make([]int, len(faults)),
+		NumPats:    len(patterns),
+	}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	live := make([]int, len(faults))
+	for i := range live {
+		live[i] = i
+	}
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		k := ps.LoadBlock(patterns[base:end])
+		mask := ^uint64(0)
+		if k < 64 {
+			mask = 1<<uint(k) - 1
+		}
+		next := live[:0]
+		for _, fi := range live {
+			det := ps.FaultMask(faults[fi]) & mask
+			if det == 0 {
+				next = append(next, fi)
+				continue
+			}
+			if !res.Detected[fi] {
+				first := 0
+				for det&1 == 0 {
+					det >>= 1
+					first++
+				}
+				res.Detected[fi] = true
+				res.DetectedBy[fi] = base + first
+				res.NumCaught++
+			}
+			if !drop {
+				next = append(next, fi)
+			}
+		}
+		live = next
+		if len(live) == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// SimulatePatterns fault-simulates the whole pattern set against the
+// fault list with fault dropping: a fault is removed from further
+// simulation after its first detection. It returns per-fault outcomes.
+func SimulatePatterns(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
+	return runBlocks(NewParallelSim(c), faults, patterns, true)
+}
+
+// SimulateNoDrop is SimulatePatterns without fault dropping: every
+// fault is simulated against every pattern. It exists for the ablation
+// benches measuring what dropping buys.
+func SimulateNoDrop(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
+	return runBlocks(NewParallelSim(c), faults, patterns, false)
+}
+
+// SimulateView is SimulatePatterns under an explicit view: pattern bits
+// drive the listed inputs, detection is observed at the listed outputs.
+func SimulateView(c *logic.Circuit, inputs, outputs []int, faults []Fault, patterns [][]bool) *Result {
+	return runBlocks(NewParallelSimView(c, inputs, outputs), faults, patterns, true)
+}

@@ -1,0 +1,241 @@
+package lfsr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig7Sequence reproduces the counting sequence of the paper's
+// Fig. 7: the 3-bit register with Q2⊕Q3 feedback, starting from
+// Q1Q2Q3 = 100, walks all seven nonzero states and returns.
+func TestFig7Sequence(t *testing.T) {
+	l := New(3, []int{2, 3})
+	l.SetState(0b001) // Q1=1, Q2=0, Q3=0
+	want := []uint64{
+		0b010, // 0,1,0
+		0b101, // 1,0,1
+		0b011, // 1,1,0  (Q1=1,Q2=1,Q3=0 -> bits 011)
+		0b111, // 1,1,1
+		0b110, // 0,1,1
+		0b100, // 0,0,1
+		0b001, // back to start
+	}
+	for i, w := range want {
+		l.Clock()
+		if l.State() != w {
+			t.Fatalf("step %d: state %03b, want %03b", i+1, l.State(), w)
+		}
+	}
+}
+
+func TestFig7AllSeedsCycle(t *testing.T) {
+	// Every nonzero seed lies on the same 7-cycle; the zero seed is a
+	// fixed point. This is Fig. 7's "counting capabilities" table.
+	for seed := uint64(1); seed < 8; seed++ {
+		l := New(3, []int{2, 3})
+		l.SetState(seed)
+		if p := l.Period(8); p != 7 {
+			t.Fatalf("seed %03b: period %d, want 7", seed, p)
+		}
+	}
+	l := New(3, []int{2, 3})
+	l.SetState(0)
+	l.Clock()
+	if l.State() != 0 {
+		t.Fatal("zero state must be a fixed point")
+	}
+}
+
+func TestMaximalPeriods(t *testing.T) {
+	for n := 1; n <= 18; n++ {
+		l := NewMaximal(n)
+		l.SetState(1)
+		want := 1<<uint(n) - 1
+		if p := l.Period(want + 1); p != want {
+			t.Fatalf("width %d: period %d, want %d", n, p, want)
+		}
+	}
+}
+
+func TestMaximalPeriodsLargeSpot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, n := range []int{20, 22} {
+		l := NewMaximal(n)
+		l.SetState(1)
+		want := 1<<uint(n) - 1
+		if p := l.Period(want + 1); p != want {
+			t.Fatalf("width %d: period %d, want %d", n, p, want)
+		}
+	}
+}
+
+func TestMaximalTapsCoverage(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		taps, err := MaximalTaps(n)
+		if err != nil {
+			t.Fatalf("width %d: %v", n, err)
+		}
+		if len(taps) == 0 || len(taps)%2 != 0 && n > 1 {
+			// Primitive polynomials over GF(2) have an even number of
+			// feedback taps (odd weight including x^0) except n=1.
+			t.Fatalf("width %d: suspicious tap set %v", n, taps)
+		}
+	}
+	if _, err := MaximalTaps(33); err == nil {
+		t.Fatal("expected error for width 33")
+	}
+}
+
+// TestSignatureLinearity: the signature of a⊕b equals sig(a)⊕sig(b) —
+// signatures are remainders of polynomial division, which is linear.
+func TestSignatureLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		x := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			a[i] = uint64(rng.Intn(2))
+			b[i] = uint64(rng.Intn(2))
+			x[i] = a[i] ^ b[i]
+		}
+		l := NewMaximal(16)
+		return l.Signature(a)^l.Signature(b) == l.Signature(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleErrorAlwaysDetected: any single-bit error changes the
+// signature (x^k mod p(x) is never 0).
+func TestSingleErrorAlwaysDetected(t *testing.T) {
+	stream := make([]uint64, 200)
+	l := NewMaximal(16)
+	ref := l.Signature(stream)
+	for k := 0; k < len(stream); k++ {
+		stream[k] = 1
+		if l.Signature(stream) == ref {
+			t.Fatalf("single error at position %d aliased", k)
+		}
+		stream[k] = 0
+	}
+}
+
+// TestAliasingRateMatchesTheory: for random nonzero error streams the
+// aliasing probability of a k-bit register approaches 2^-k.
+func TestAliasingRateMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, width := range []int{4, 8} {
+		l := NewMaximal(width)
+		trials, aliased := 40000, 0
+		for i := 0; i < trials; i++ {
+			errStream := make([]uint64, 64)
+			nonzero := false
+			for k := range errStream {
+				errStream[k] = uint64(rng.Intn(2))
+				nonzero = nonzero || errStream[k] == 1
+			}
+			if !nonzero {
+				errStream[0] = 1
+			}
+			if l.Signature(errStream) == 0 {
+				aliased++ // error stream maps to zero remainder: undetected
+			}
+		}
+		got := float64(aliased) / float64(trials)
+		want := AliasingProbability(width)
+		if got < want/2 || got > want*2 {
+			t.Fatalf("width %d: empirical aliasing %.5f vs theory %.5f", width, got, want)
+		}
+	}
+}
+
+func TestSignatureBitsAgrees(t *testing.T) {
+	l := NewMaximal(8)
+	bitsU := []uint64{1, 0, 1, 1, 0, 0, 1}
+	bitsB := []bool{true, false, true, true, false, false, true}
+	if l.Signature(bitsU) != l.SignatureBits(bitsB) {
+		t.Fatal("Signature and SignatureBits disagree")
+	}
+}
+
+func TestMISRCompressDetectsErrors(t *testing.T) {
+	m := NewMISR(8, 8)
+	rng := rand.New(rand.NewSource(3))
+	words := make([]uint64, 100)
+	for i := range words {
+		words[i] = uint64(rng.Intn(256))
+	}
+	ref := m.Compress(words)
+	// Corrupt one word: signature must change (single-error detection).
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(len(words))
+		bit := uint64(1) << uint(rng.Intn(8))
+		words[k] ^= bit
+		if m.Compress(words) == ref {
+			t.Fatalf("single corrupted response word aliased (word %d bit %x)", k, bit)
+		}
+		words[k] ^= bit
+	}
+}
+
+func TestMISRWidthAndState(t *testing.T) {
+	m := NewMISR(16, 8)
+	if m.Width() != 16 {
+		t.Fatal("width")
+	}
+	m.SetState(0xABC)
+	if m.State() != 0xABC {
+		t.Fatal("state round trip")
+	}
+}
+
+func TestLFSRSequenceAndOutput(t *testing.T) {
+	l := New(3, []int{2, 3})
+	l.SetState(0b001)
+	seq := l.Sequence(7)
+	if len(seq) != 7 || seq[6] != 0b001 {
+		t.Fatalf("sequence %v", seq)
+	}
+	l.SetState(0b100)
+	if l.Output() != 1 {
+		t.Fatal("output should be Q3=1")
+	}
+	if l.Bit(1) != 0 || l.Bit(3) != 1 {
+		t.Fatal("Bit() indexing wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, []int{1}) },
+		func() { New(3, []int{4}) },
+		func() { NewMISR(4, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkSignature16(b *testing.B) {
+	l := NewMaximal(16)
+	stream := make([]uint64, 1000)
+	for i := range stream {
+		stream[i] = uint64(i & 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Signature(stream)
+	}
+}

@@ -1,0 +1,179 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildC17 constructs the ISCAS-85 c17 benchmark by hand.
+func buildC17(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("c17")
+	g1 := c.AddInput("G1")
+	g2 := c.AddInput("G2")
+	g3 := c.AddInput("G3")
+	g6 := c.AddInput("G6")
+	g7 := c.AddInput("G7")
+	g10 := c.AddGate(Nand, "G10", g1, g3)
+	g11 := c.AddGate(Nand, "G11", g3, g6)
+	g16 := c.AddGate(Nand, "G16", g2, g11)
+	g19 := c.AddGate(Nand, "G19", g11, g7)
+	g22 := c.AddGate(Nand, "G22", g10, g16)
+	g23 := c.AddGate(Nand, "G23", g16, g19)
+	c.MarkOutput(g22)
+	c.MarkOutput(g23)
+	if err := c.Finalize(); err != nil {
+		t.Fatalf("finalize c17: %v", err)
+	}
+	return c
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := buildC17(t)
+	s := c.Stats()
+	if s.Inputs != 5 || s.Outputs != 2 || s.Gates != 6 || s.DFFs != 0 {
+		t.Fatalf("c17 stats wrong: %v", s)
+	}
+	if s.Depth != 3 {
+		t.Errorf("c17 depth = %d, want 3", s.Depth)
+	}
+	if s.MaxFanin != 2 {
+		t.Errorf("c17 max fanin = %d, want 2", s.MaxFanin)
+	}
+	if c.IsSequential() {
+		t.Error("c17 should be combinational")
+	}
+	if id, ok := c.NetByName("G16"); !ok || c.NameOf(id) != "G16" {
+		t.Error("NetByName(G16) failed")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	c := buildC17(t)
+	pos := make(map[int]int)
+	for i, id := range c.Order {
+		pos[id] = i
+	}
+	for _, id := range c.Order {
+		for _, f := range c.Gates[id].Fanin {
+			if c.Gates[f].Type.IsCombinational() && pos[f] >= pos[id] {
+				t.Fatalf("gate %s ordered before its fanin %s", c.NameOf(id), c.NameOf(f))
+			}
+			if c.Level[f] >= c.Level[id] {
+				t.Fatalf("level(%s)=%d not above fanin %s level %d",
+					c.NameOf(id), c.Level[id], c.NameOf(f), c.Level[f])
+			}
+		}
+	}
+}
+
+func TestFanoutLists(t *testing.T) {
+	c := buildC17(t)
+	g11, _ := c.NetByName("G11")
+	if got := len(c.Fanout[g11]); got != 2 {
+		t.Errorf("fanout(G11) = %d, want 2", got)
+	}
+	g23, _ := c.NetByName("G23")
+	if got := len(c.Fanout[g23]); got != 0 {
+		t.Errorf("fanout(G23) = %d, want 0", got)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	c := New("cyc")
+	a := c.AddInput("a")
+	// Build a cycle by post-editing fanin (builder itself prevents
+	// forward references).
+	g1 := c.AddGate(And, "g1", a, a)
+	g2 := c.AddGate(Or, "g2", g1, a)
+	c.Gates[g1].Fanin[1] = g2
+	c.MarkOutput(g2)
+	if err := c.Finalize(); err == nil {
+		t.Fatal("Finalize accepted a combinational cycle")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A DFF in the loop makes it a legal sequential circuit (a toggle FF).
+	c := New("toggle")
+	en := c.AddInput("en")
+	q := c.AddDFF("q", 0) // placeholder, patched below
+	nxt := c.AddGate(Xor, "next", en, q)
+	c.Gates[q].Fanin[0] = nxt
+	c.MarkOutput(q)
+	if err := c.Finalize(); err != nil {
+		t.Fatalf("sequential loop rejected: %v", err)
+	}
+	if c.NumDFFs() != 1 {
+		t.Fatalf("NumDFFs = %d", c.NumDFFs())
+	}
+	if !c.IsSequential() {
+		t.Error("toggle should be sequential")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := buildC17(t)
+	cl := c.Clone()
+	if err := cl.Finalize(); err != nil {
+		t.Fatalf("clone finalize: %v", err)
+	}
+	if cl.NumNets() != c.NumNets() || cl.NumGates() != c.NumGates() {
+		t.Fatal("clone structure differs")
+	}
+	// Mutating the clone must not affect the original.
+	cl2 := c.Clone()
+	cl2.AddInput("extra")
+	if c.NumNets() == cl2.NumNets() {
+		t.Fatal("clone shares storage with original")
+	}
+	if _, ok := c.NetByName("extra"); ok {
+		t.Fatal("original acquired clone's net")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	c := New("dup")
+	c.AddInput("a")
+	c.AddInput("a")
+}
+
+func TestStatsString(t *testing.T) {
+	c := buildC17(t)
+	s := c.Stats().String()
+	if !strings.Contains(s, "gates=6") || !strings.Contains(s, "in=5") {
+		t.Errorf("Stats.String() = %q", s)
+	}
+}
+
+func TestGateTypeProperties(t *testing.T) {
+	if v, ok := And.ControllingValue(); !ok || v != Zero {
+		t.Error("AND controlling value should be 0")
+	}
+	if v, ok := Nor.ControllingValue(); !ok || v != One {
+		t.Error("NOR controlling value should be 1")
+	}
+	if _, ok := Xor.ControllingValue(); ok {
+		t.Error("XOR has no controlling value")
+	}
+	if Nand.ControlledResponse() != One || And.ControlledResponse() != Zero {
+		t.Error("controlled responses wrong")
+	}
+	for _, typ := range []GateType{Not, Nand, Nor, Xnor} {
+		if !typ.Inverting() {
+			t.Errorf("%v should be inverting", typ)
+		}
+	}
+	for _, typ := range []GateType{Buf, And, Or, Xor} {
+		if typ.Inverting() {
+			t.Errorf("%v should not be inverting", typ)
+		}
+	}
+}

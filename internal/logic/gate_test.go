@@ -1,0 +1,123 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var combTypes = []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+
+// TestEvalAgreement cross-checks the three evaluation engines (five-
+// valued, Boolean, bit-parallel) on random Boolean operand vectors.
+func TestEvalAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		typ := combTypes[rng.Intn(len(combTypes))]
+		n := 1
+		if typ.MaxFanin() < 0 {
+			n = 1 + rng.Intn(5)
+		}
+		bits := make([]bool, n)
+		vs := make([]V, n)
+		ws := make([]uint64, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+			vs[i] = FromBool(bits[i])
+			if bits[i] {
+				ws[i] = ^uint64(0)
+			}
+		}
+		want := typ.EvalBool(bits)
+		if got := typ.Eval(vs); got != FromBool(want) {
+			t.Fatalf("%v%v: Eval=%v EvalBool=%v", typ, bits, got, want)
+		}
+		w := typ.EvalWord(ws)
+		if (w != 0) != want || (want && w != ^uint64(0)) {
+			t.Fatalf("%v%v: EvalWord=%x want all-%v", typ, bits, w, want)
+		}
+	}
+}
+
+// TestEvalWordBitIndependence verifies that bit positions in word
+// evaluation do not interfere: evaluating 64 packed random patterns
+// matches 64 scalar evaluations.
+func TestEvalWordBitIndependence(t *testing.T) {
+	f := func(a, b, cc uint64, ti uint8) bool {
+		typ := combTypes[int(ti)%len(combTypes)]
+		n := 3
+		if typ.MaxFanin() == 1 {
+			n = 1
+		}
+		words := []uint64{a, b, cc}[:n]
+		got := typ.EvalWord(words)
+		for bit := 0; bit < 64; bit++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = words[i]>>uint(bit)&1 == 1
+			}
+			if typ.EvalBool(in) != (got>>uint(bit)&1 == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	if Const0.EvalBool(nil) || !Const1.EvalBool(nil) {
+		t.Error("constant gates broken (bool)")
+	}
+	if Const0.Eval(nil) != Zero || Const1.Eval(nil) != One {
+		t.Error("constant gates broken (5-valued)")
+	}
+	if Const0.EvalWord(nil) != 0 || Const1.EvalWord(nil) != ^uint64(0) {
+		t.Error("constant gates broken (word)")
+	}
+}
+
+func TestEvalPanicsOnSequential(t *testing.T) {
+	for _, typ := range []GateType{Input, DFF} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v.EvalBool did not panic", typ)
+				}
+			}()
+			typ.EvalBool([]bool{true})
+		}()
+	}
+}
+
+func TestDPropagationThroughGates(t *testing.T) {
+	// A D on one input propagates through a sensitized gate.
+	if got := And.Eval([]V{D, One}); got != D {
+		t.Errorf("AND(D,1) = %v, want D", got)
+	}
+	if got := Nand.Eval([]V{D, One}); got != Dbar {
+		t.Errorf("NAND(D,1) = %v, want D'", got)
+	}
+	if got := Or.Eval([]V{Dbar, Zero}); got != Dbar {
+		t.Errorf("OR(D',0) = %v, want D'", got)
+	}
+	if got := And.Eval([]V{D, Zero}); got != Zero {
+		t.Errorf("AND(D,0) = %v, want 0 (blocked)", got)
+	}
+	if got := Xor.Eval([]V{D, Zero}); got != D {
+		t.Errorf("XOR(D,0) = %v, want D", got)
+	}
+	if got := Xor.Eval([]V{D, One}); got != Dbar {
+		t.Errorf("XOR(D,1) = %v, want D'", got)
+	}
+}
+
+func TestGateTypeStringCoverage(t *testing.T) {
+	for _, typ := range append(append([]GateType{}, combTypes...), Input, DFF, Const0, Const1) {
+		if s := typ.String(); s == "" || s[0] == 'G' && typ != Const0 {
+			t.Errorf("GateType(%d) has suspicious name %q", typ, s)
+		}
+	}
+}

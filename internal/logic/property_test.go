@@ -1,0 +1,164 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCircuitLocal builds a random well-formed circuit without
+// importing the circuits package (which would cycle).
+func randomCircuitLocal(seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := New("prop")
+	nIn := 2 + rng.Intn(6)
+	var nets []int
+	for i := 0; i < nIn; i++ {
+		nets = append(nets, c.AddInput(c.nextName("in")))
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buf}
+	nGates := 5 + rng.Intn(40)
+	for g := 0; g < nGates; g++ {
+		t := types[rng.Intn(len(types))]
+		fanin := 1
+		if t.MaxFanin() < 0 {
+			fanin = 1 + rng.Intn(3)
+		}
+		lits := make([]int, fanin)
+		for i := range lits {
+			lits[i] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, c.AddGate(t, "", lits...))
+	}
+	c.MarkOutput(nets[len(nets)-1])
+	c.MarkOutput(nets[rng.Intn(len(nets))])
+	c.MustFinalize()
+	return c
+}
+
+// TestPropertyBenchRoundTrip: writing and re-parsing any random
+// circuit preserves its structure exactly (names, types, fanin).
+func TestPropertyBenchRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuitLocal(seed)
+		back, err := ParseBenchString(c.Name, BenchString(c))
+		if err != nil {
+			return false
+		}
+		if back.NumNets() != c.NumNets() || back.NumGates() != c.NumGates() ||
+			len(back.PIs) != len(c.PIs) || len(back.POs) != len(c.POs) {
+			return false
+		}
+		for id, g := range c.Gates {
+			bid, ok := back.NetByName(c.NameOf(id))
+			if !ok {
+				return false
+			}
+			bg := back.Gates[bid]
+			if bg.Type != g.Type || len(bg.Fanin) != len(g.Fanin) {
+				return false
+			}
+			for i, src := range g.Fanin {
+				if back.NameOf(bg.Fanin[i]) != c.NameOf(src) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLevelizationSound: every gate's level strictly exceeds
+// all of its combinational fanins' levels, and Order is a valid
+// topological order, for any random circuit.
+func TestPropertyLevelizationSound(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuitLocal(seed)
+		pos := map[int]int{}
+		for i, id := range c.Order {
+			pos[id] = i
+		}
+		for _, id := range c.Order {
+			for _, src := range c.Gates[id].Fanin {
+				if c.Level[src] >= c.Level[id] {
+					return false
+				}
+				if c.Gates[src].Type.IsCombinational() && pos[src] >= pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCloneEquivalence: a clone finalizes to the identical
+// structure and shares no storage.
+func TestPropertyCloneEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuitLocal(seed)
+		cl := c.Clone()
+		if err := cl.Finalize(); err != nil {
+			return false
+		}
+		if cl.NumNets() != c.NumNets() || cl.Depth() != c.Depth() {
+			return false
+		}
+		// Mutate the clone's fanin: original untouched.
+		if cl.NumGates() > 0 {
+			for id := range cl.Gates {
+				if len(cl.Gates[id].Fanin) > 0 {
+					old := c.Gates[id].Fanin[0]
+					cl.Gates[id].Fanin[0] = 0
+					if c.Gates[id].Fanin[0] != old {
+						return false
+					}
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFanoutConsistency: Fanout lists are exactly the inverse
+// of Fanin lists.
+func TestPropertyFanoutConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuitLocal(seed)
+		count := 0
+		for n, fos := range c.Fanout {
+			for _, reader := range fos {
+				found := false
+				for _, src := range c.Gates[reader].Fanin {
+					if src == n {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+				count++
+			}
+		}
+		edges := 0
+		for _, g := range c.Gates {
+			edges += len(g.Fanin)
+		}
+		// Each fanin edge appears at least once in a fanout list; a
+		// gate reading the same net twice produces two fanout entries.
+		return count == edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

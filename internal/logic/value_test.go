@@ -1,0 +1,175 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueStrings(t *testing.T) {
+	cases := map[V]string{Zero: "0", One: "1", X: "X", D: "D", Dbar: "D'"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGoodFaultyProjection(t *testing.T) {
+	cases := []struct {
+		v            V
+		good, faulty V
+	}{
+		{Zero, Zero, Zero},
+		{One, One, One},
+		{X, X, X},
+		{D, One, Zero},
+		{Dbar, Zero, One},
+	}
+	for _, c := range cases {
+		if g := c.v.Good(); g != c.good {
+			t.Errorf("%v.Good() = %v, want %v", c.v, g, c.good)
+		}
+		if f := c.v.Faulty(); f != c.faulty {
+			t.Errorf("%v.Faulty() = %v, want %v", c.v, f, c.faulty)
+		}
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for _, v := range []V{Zero, One, X, D, Dbar} {
+		if got := v.Not().Not(); got != v {
+			t.Errorf("Not(Not(%v)) = %v", v, got)
+		}
+	}
+}
+
+// allV enumerates the full five-valued domain.
+var allV = []V{Zero, One, X, D, Dbar}
+
+// TestConnectivesProjectCorrectly checks the defining property of the
+// D-calculus: for known (non-X) operands, the good-machine projection of
+// op(a,b) equals op of the projections, and likewise for the faulty
+// machine.
+func TestConnectivesProjectCorrectly(t *testing.T) {
+	boolOf := func(v V) bool { return v == One }
+	for _, a := range allV {
+		for _, b := range allV {
+			if a == X || b == X {
+				continue
+			}
+			ga, fa := boolOf(a.Good()), boolOf(a.Faulty())
+			gb, fb := boolOf(b.Good()), boolOf(b.Faulty())
+			checks := []struct {
+				name string
+				got  V
+				g, f bool
+			}{
+				{"and", AndV(a, b), ga && gb, fa && fb},
+				{"or", OrV(a, b), ga || gb, fa || fb},
+				{"xor", XorV(a, b), ga != gb, fa != fb},
+			}
+			for _, c := range checks {
+				if boolOf(c.got.Good()) != c.g || boolOf(c.got.Faulty()) != c.f {
+					t.Errorf("%s(%v,%v) = %v; want good=%v faulty=%v", c.name, a, b, c.got, c.g, c.f)
+				}
+			}
+		}
+	}
+}
+
+func TestXPropagation(t *testing.T) {
+	// Controlling values dominate X; otherwise X propagates.
+	if got := AndV(Zero, X); got != Zero {
+		t.Errorf("AndV(0,X) = %v, want 0", got)
+	}
+	if got := AndV(One, X); got != X {
+		t.Errorf("AndV(1,X) = %v, want X", got)
+	}
+	if got := OrV(One, X); got != One {
+		t.Errorf("OrV(1,X) = %v, want 1", got)
+	}
+	if got := OrV(Zero, X); got != X {
+		t.Errorf("OrV(0,X) = %v, want X", got)
+	}
+	if got := XorV(One, X); got != X {
+		t.Errorf("XorV(1,X) = %v, want X", got)
+	}
+	if got := AndV(D, X); got != X {
+		t.Errorf("AndV(D,X) = %v, want X", got)
+	}
+	if got := OrV(Dbar, X); got != X {
+		t.Errorf("OrV(D',X) = %v, want X", got)
+	}
+}
+
+func TestDAlgebraIdentities(t *testing.T) {
+	// The identities used constantly inside the D-algorithm.
+	if got := AndV(D, One); got != D {
+		t.Errorf("D·1 = %v, want D", got)
+	}
+	if got := AndV(D, D); got != D {
+		t.Errorf("D·D = %v, want D", got)
+	}
+	if got := AndV(D, Dbar); got != Zero {
+		t.Errorf("D·D' = %v, want 0", got)
+	}
+	if got := OrV(D, Dbar); got != One {
+		t.Errorf("D+D' = %v, want 1", got)
+	}
+	if got := XorV(D, D); got != Zero {
+		t.Errorf("D⊕D = %v, want 0", got)
+	}
+	if got := XorV(D, Dbar); got != One {
+		t.Errorf("D⊕D' = %v, want 1", got)
+	}
+	if got := XorV(D, One); got != Dbar {
+		t.Errorf("D⊕1 = %v, want D'", got)
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	f := func(ai, bi uint8) bool {
+		a, b := allV[int(ai)%len(allV)], allV[int(bi)%len(allV)]
+		return AndV(a, b) == AndV(b, a) && OrV(a, b) == OrV(b, a) && XorV(a, b) == XorV(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssociativityKnownValues checks associativity on the two exact
+// sub-algebras: Kleene ternary {0,1,X} and the pure D-calculus
+// {0,1,D,D'}. (Mixing X with D-values is deliberately pessimistic and
+// not associative: OrV(OrV(D,D'),X)=1 but OrV(D,OrV(D',X))=X.)
+func TestAssociativityKnownValues(t *testing.T) {
+	domains := [][]V{
+		{Zero, One, X},
+		{Zero, One, D, Dbar},
+	}
+	for _, dom := range domains {
+		f := func(ai, bi, ci uint8) bool {
+			a, b, c := dom[int(ai)%len(dom)], dom[int(bi)%len(dom)], dom[int(ci)%len(dom)]
+			return AndV(AndV(a, b), c) == AndV(a, AndV(b, c)) &&
+				OrV(OrV(a, b), c) == OrV(a, OrV(b, c))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDeMorganOverDomain(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			if got, want := AndV(a, b).Not(), OrV(a.Not(), b.Not()); got != want {
+				t.Errorf("¬(%v·%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool broken")
+	}
+}

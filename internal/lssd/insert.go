@@ -1,0 +1,132 @@
+package lssd
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// Ports names the scan interface added by insertion — the paper's "up
+// to four additional primary inputs/outputs at each package level".
+type Ports struct {
+	ScanEnable int   // PI net: 1 = shift mode
+	ScanIn     int   // PI net: serial data in
+	ScanOut    int   // PO net: serial data out
+	ChainL1    []int // per chain position: the system (L1) element
+	ChainL2    []int // per chain position: the L2 element (LSSD only)
+}
+
+// Style selects the storage-element discipline for structural scan
+// insertion.
+type Style int
+
+const (
+	// StyleLSSD replaces each flip-flop with an SRL pair: the system
+	// latch L1 plus a dedicated L2 whose only purpose is the scan path
+	// (Fig. 10). Shifting advances one chain position per two clock
+	// events (the A/B phases).
+	StyleLSSD Style = iota
+	// StyleMuxScan threads a single multiplexer in front of each
+	// flip-flop — the raceless D-type flip-flop with Scan Path of
+	// Fig. 13's NEC approach, reduced to a single-clock netlist.
+	// Shifting advances one position per clock.
+	StyleMuxScan
+)
+
+// Insert returns a scan version of the circuit: every DFF joins a
+// single scan chain in c.DFFs order, controlled by new SE/SI pins and
+// observed on a new SO pin. The original circuit is not modified.
+//
+// With SE=0 the scan circuit is functionally identical to the original
+// (the added L2 latches shadow the system state without driving it).
+func Insert(c *logic.Circuit, style Style) (*logic.Circuit, Ports) {
+	if c.NumDFFs() == 0 {
+		panic("lssd: Insert on a circuit without storage elements")
+	}
+	nc := c.Clone()
+	p := Ports{
+		ScanEnable: nc.AddInput("SE"),
+		ScanIn:     nc.AddInput("SI"),
+	}
+	nse := nc.AddGate(logic.Not, "SE_N", p.ScanEnable)
+	prev := p.ScanIn
+	for _, dff := range c.DFFs {
+		name := c.NameOf(dff)
+		d := nc.Gates[dff].Fanin[0]
+		sysPath := nc.AddGate(logic.And, fmt.Sprintf("%s_sys", name), d, nse)
+		scanPath := nc.AddGate(logic.And, fmt.Sprintf("%s_scn", name), prev, p.ScanEnable)
+		muxed := nc.AddGate(logic.Or, fmt.Sprintf("%s_mux", name), sysPath, scanPath)
+		nc.Gates[dff].Fanin[0] = muxed
+		p.ChainL1 = append(p.ChainL1, dff)
+		switch style {
+		case StyleLSSD:
+			l2 := nc.AddDFF(fmt.Sprintf("%s_L2", name), dff)
+			p.ChainL2 = append(p.ChainL2, l2)
+			prev = l2
+		case StyleMuxScan:
+			prev = dff
+		}
+	}
+	p.ScanOut = nc.AddGate(logic.Buf, "SO", prev)
+	nc.MarkOutput(p.ScanOut)
+	nc.MustFinalize()
+	return nc, p
+}
+
+// Overhead reports the gate-count overhead of scan insertion: extra
+// combinational gates and storage elements as a fraction of the
+// original network, the quantity behind the paper's "4 to 20 percent"
+// experience for LSSD.
+func Overhead(orig, scanned *logic.Circuit) float64 {
+	origSize := orig.NumGates() + 2*orig.NumDFFs() // latch ≈ 2 gate equivalents
+	scanSize := scanned.NumGates() + 2*scanned.NumDFFs()
+	return float64(scanSize-origSize) / float64(origSize)
+}
+
+// PinOverhead returns the number of package pins added by scan: SE, SI
+// and SO (the paper's "up to four additional primary inputs/outputs";
+// our single-clock netlist does not model the separate A/B clock pins).
+func PinOverhead() int { return 3 }
+
+// RuleViolation is a level-sensitive design-rule finding.
+type RuleViolation struct {
+	Net  int
+	Name string
+	Rule string
+}
+
+// CheckRules runs the structural subset of the LSSD design rules that
+// our clockless netlist can express, in the spirit of the rule checks
+// of Godoy et al. [22]:
+//
+//  1. every storage element must be on the scan chain (all DFFs
+//     reachable from SI via the mux path when SE=1);
+//  2. no combinational feedback (guaranteed by Finalize, re-checked);
+//  3. the scan-out must be observable (SO is a primary output);
+//  4. no storage element may feed itself combinationally except
+//     through its own D input (latch loops must go through the chain).
+func CheckRules(c *logic.Circuit, p Ports) []RuleViolation {
+	var vs []RuleViolation
+	onChain := map[int]bool{}
+	for _, l1 := range p.ChainL1 {
+		onChain[l1] = true
+	}
+	for _, l2 := range p.ChainL2 {
+		onChain[l2] = true
+	}
+	for _, dff := range c.DFFs {
+		if !onChain[dff] {
+			vs = append(vs, RuleViolation{dff, c.NameOf(dff), "storage element not on scan chain"})
+		}
+	}
+	soIsPO := false
+	for _, po := range c.POs {
+		if po == p.ScanOut {
+			soIsPO = true
+		}
+	}
+	if !soIsPO {
+		vs = append(vs, RuleViolation{p.ScanOut, c.NameOf(p.ScanOut), "scan-out is not a primary output"})
+	}
+	return vs
+}

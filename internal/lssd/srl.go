@@ -1,0 +1,138 @@
+// Package lssd implements IBM's Level-Sensitive Scan Design: the
+// shift-register latch (SRL) of Fig. 10, chain threading (Fig. 11), the
+// double-latch subsystem structure (Fig. 12), structural scan insertion
+// into gate-level circuits, design-rule checks, scan-based test
+// application, and the overhead accounting the paper reports (4–20%).
+package lssd
+
+import "fmt"
+
+// SRL is the behavioral shift-register latch of Fig. 10: a polarity-
+// hold L1 latch with two data ports (system data D clocked by C, scan
+// data I clocked by A) and a slave L2 latch clocked by B. Level-
+// sensitive operation requires that no two of A, B, C are high
+// simultaneously; the Chain type enforces the legal sequencing.
+type SRL struct {
+	L1, L2 bool
+}
+
+// ClockC samples system data into L1 (system clock high).
+func (s *SRL) ClockC(d bool) { s.L1 = d }
+
+// ClockA samples scan data into L1 (shift clock A high).
+func (s *SRL) ClockA(i bool) { s.L1 = i }
+
+// ClockB copies L1 into L2 (shift clock B high).
+func (s *SRL) ClockB() { s.L2 = s.L1 }
+
+// Chain is a threaded scan path: the scan input I of SRL k+1 is wired
+// to L2 of SRL k, as in Fig. 11's interconnection of SRLs on a chip
+// and board.
+type Chain []*SRL
+
+// NewChain builds a chain of n SRLs.
+func NewChain(n int) Chain {
+	ch := make(Chain, n)
+	for i := range ch {
+		ch[i] = new(SRL)
+	}
+	return ch
+}
+
+// ScanOut returns the value on the scan-out pin: L2 of the last SRL.
+func (ch Chain) ScanOut() bool { return ch[len(ch)-1].L2 }
+
+// Shift performs one A/B shift cycle: A samples each L1 from the
+// previous L2 (scan-in for the first SRL), then B updates every L2.
+// It returns the value the tester strobes on the scan-out pin during
+// the shift — the L2 of the last SRL before the B clock.
+func (ch Chain) Shift(scanIn bool) bool {
+	so := ch.ScanOut()
+	// A clock: every L1 samples its scan input simultaneously; because
+	// the inputs are the L2 values, which A does not disturb, there is
+	// no race — this is the level-sensitive property.
+	prev := scanIn
+	for _, s := range ch {
+		next := s.L2
+		s.ClockA(prev)
+		prev = next
+	}
+	// B clock: L2 <- L1.
+	for _, s := range ch {
+		s.ClockB()
+	}
+	return so
+}
+
+// Load shifts the given values into the chain so that vals[i] ends in
+// SRL i, returning the previous chain contents observed on scan-out
+// (index i is the value that was in SRL i) — the classic simultaneous
+// load/unload of scan testing.
+func (ch Chain) Load(vals []bool) []bool {
+	if len(vals) != len(ch) {
+		panic(fmt.Sprintf("lssd: Load with %d values for %d SRLs", len(vals), len(ch)))
+	}
+	out := make([]bool, len(ch))
+	for i := len(vals) - 1; i >= 0; i-- {
+		out[i] = ch.Shift(vals[i])
+	}
+	return out
+}
+
+// Unload shifts the chain contents out (zero-filling), returning the
+// contents in SRL order.
+func (ch Chain) Unload() []bool {
+	return ch.Load(make([]bool, len(ch)))
+}
+
+// State returns the current L1 contents of the chain.
+func (ch Chain) State() []bool {
+	out := make([]bool, len(ch))
+	for i, s := range ch {
+		out[i] = s.L1
+	}
+	return out
+}
+
+// CaptureSystem performs the functional capture between scan
+// operations: the C clock samples system data into every L1, then a B
+// clock settles L1 into L2 so the captured state is visible on the
+// scan path.
+func (ch Chain) CaptureSystem(d []bool) {
+	if len(d) != len(ch) {
+		panic(fmt.Sprintf("lssd: CaptureSystem with %d values for %d SRLs", len(d), len(ch)))
+	}
+	for i, s := range ch {
+		s.ClockC(d[i])
+	}
+	for _, s := range ch {
+		s.ClockB()
+	}
+}
+
+// RacyChain models the design the level-sensitive rules forbid: a
+// chain of single transparent latches on one clock. While the clock is
+// high every latch is transparent, so scan data races through multiple
+// stages — the failure mode the raceless two-latch SRL eliminates.
+type RacyChain struct {
+	latches []bool
+}
+
+// NewRacyChain builds the cautionary single-latch chain.
+func NewRacyChain(n int) *RacyChain { return &RacyChain{latches: make([]bool, n)} }
+
+// ClockPulse holds the single clock high for the given number of gate
+// delays: each delay unit lets data propagate one latch forward. A
+// pulse longer than one delay (any realistic pulse) flushes data
+// through multiple stages — the race.
+func (r *RacyChain) ClockPulse(scanIn bool, delays int) {
+	for d := 0; d < delays; d++ {
+		for i := len(r.latches) - 1; i > 0; i-- {
+			r.latches[i] = r.latches[i-1]
+		}
+		r.latches[0] = scanIn
+	}
+}
+
+// State returns the latch contents.
+func (r *RacyChain) State() []bool { return append([]bool(nil), r.latches...) }

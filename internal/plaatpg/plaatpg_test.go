@@ -1,0 +1,126 @@
+package plaatpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+)
+
+// wideSpec builds the Fig. 22 adversary: wide product terms.
+func wideSpec(rng *rand.Rand, nIn, nTerms, width int) Spec {
+	s := Spec{NIn: nIn}
+	for t := 0; t < nTerms; t++ {
+		cube := make(circuits.Cube, nIn)
+		perm := rng.Perm(nIn)
+		for _, i := range perm[:width] {
+			if rng.Intn(2) == 0 {
+				cube[i] = 1
+			} else {
+				cube[i] = -1
+			}
+		}
+		s.Cubes = append(s.Cubes, cube)
+	}
+	// Two outputs, each reading half the terms.
+	s.Outputs = make([][]int, 2)
+	for t := 0; t < nTerms; t++ {
+		s.Outputs[t%2] = append(s.Outputs[t%2], t)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := wideSpec(rng, 12, 4, 10)
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.Outputs = [][]int{{99}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("bad term reference accepted")
+	}
+}
+
+// TestDeterministicBeatsRandomOnWidePLA is the [84] claim: a linear-
+// size deterministic set reaches near-complete coverage on a PLA where
+// thousands of random patterns stall.
+func TestDeterministicBeatsRandomOnWidePLA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := wideSpec(rng, 18, 6, 16)
+	c, pats, _ := BuildAndTest("widepla", s)
+	cov, caught, total := TestableCoverage(c, pats)
+	if cov < 0.95 {
+		t.Fatalf("deterministic coverage %.3f (%d/%d) with %d patterns",
+			cov, caught, total, len(pats))
+	}
+	// Random at 8x the budget stalls far below.
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	rpats := make([][]bool, 8*len(pats))
+	for i := range rpats {
+		p := make([]bool, s.NIn)
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		rpats[i] = p
+	}
+	rres := fault.SimulatePatterns(c, cl.Reps, rpats)
+	if rres.Coverage() > cov/2 {
+		t.Fatalf("random coverage %.3f unexpectedly close to deterministic %.3f",
+			rres.Coverage(), cov)
+	}
+}
+
+func TestSetSizeLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := wideSpec(rng, 20, 8, 20)
+	det, exh, hardest := Sizes(s)
+	if det != 8*(1+20) {
+		t.Fatalf("deterministic size %d, want %d", det, 8*21)
+	}
+	if exh != 1048576 || hardest != 1048576 {
+		t.Fatalf("exhaustive %.0f hardest-random %.0f", exh, hardest)
+	}
+	pats := Generate(s)
+	if len(pats) != det {
+		t.Fatalf("generated %d patterns, Sizes says %d", len(pats), det)
+	}
+}
+
+func TestActivationFiresOnlyTargetTermWhenPossible(t *testing.T) {
+	// Two disjoint-literal terms on one output: activation of term 0
+	// must keep term 1 off.
+	s := Spec{
+		NIn: 4,
+		Cubes: []circuits.Cube{
+			{1, 1, 0, 0},
+			{0, 0, 1, 1},
+		},
+		Outputs: [][]int{{0, 1}},
+	}
+	act := s.activation(0)
+	if !act[0] || !act[1] {
+		t.Fatal("activation violates its own literals")
+	}
+	// Term 1 must be off: not both act[2] and act[3].
+	if act[2] && act[3] {
+		t.Fatal("sibling term left on")
+	}
+}
+
+func TestSmallPLAFullCoverage(t *testing.T) {
+	// XOR as PLA: complete stuck-at coverage of reachable logic.
+	s := Spec{
+		NIn:     2,
+		Cubes:   []circuits.Cube{{1, -1}, {-1, 1}},
+		Outputs: [][]int{{0, 1}},
+	}
+	c, pats, _ := BuildAndTest("xorpla", s)
+	cov, _, _ := TestableCoverage(c, pats)
+	if cov < 1.0 {
+		t.Fatalf("xor PLA coverage %.3f", cov)
+	}
+	_ = pats
+}

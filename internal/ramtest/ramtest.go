@@ -1,0 +1,327 @@
+// Package ramtest implements embedded-RAM testing, the hole the paper
+// flags in scan design: "it is not practical to implement RAM with SRL
+// memory, so additional procedures are required to handle embedded RAM
+// circuitry [20]". It provides a word-organized RAM model with the
+// classical memory fault types — stuck-at cells, transition faults,
+// inversion and idempotent coupling faults, and address-decoder
+// aliasing — plus the March algorithms (MATS+, March C-) and
+// checkerboard procedure that detect them.
+package ramtest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind enumerates the modeled memory defects.
+type FaultKind uint8
+
+const (
+	// CellSA0 / CellSA1: a bit is stuck.
+	CellSA0 FaultKind = iota
+	CellSA1
+	// TransitionFault: the bit cannot make one transition (rise or fall).
+	TransitionUp   // cannot 0→1
+	TransitionDown // cannot 1→0
+	// CouplingInv: writing the aggressor bit flips the victim.
+	CouplingInv
+	// CouplingIdem: a specific aggressor transition forces the victim
+	// to a fixed value.
+	CouplingIdem
+	// AddressAlias: two addresses decode to the same physical word.
+	AddressAlias
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case CellSA0:
+		return "cell s-a-0"
+	case CellSA1:
+		return "cell s-a-1"
+	case TransitionUp:
+		return "transition 0->1 fault"
+	case TransitionDown:
+		return "transition 1->0 fault"
+	case CouplingInv:
+		return "inversion coupling"
+	case CouplingIdem:
+		return "idempotent coupling"
+	case AddressAlias:
+		return "address decoder alias"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// Fault is one injected memory defect.
+type Fault struct {
+	Kind FaultKind
+	Addr int  // victim address
+	Bit  uint // victim bit
+	// Coupling aggressors / alias partner.
+	AggrAddr int
+	AggrBit  uint
+	// CouplingIdem parameters: aggressor transition 0→1 (true) or 1→0,
+	// forcing victim to Value.
+	AggrRise bool
+	Value    bool
+}
+
+// RAM is a word-organized memory with at most one injected fault.
+type RAM struct {
+	words []uint64
+	width uint
+	f     *Fault
+}
+
+// New builds a RAM with the given word count and bit width (≤ 64).
+func New(words int, width uint) *RAM {
+	if width == 0 || width > 64 {
+		panic("ramtest: width must be 1..64")
+	}
+	return &RAM{words: make([]uint64, words), width: width}
+}
+
+// Words returns the address count.
+func (r *RAM) Words() int { return len(r.words) }
+
+// Width returns the word width.
+func (r *RAM) Width() uint { return r.width }
+
+// Inject installs the fault (nil clears).
+func (r *RAM) Inject(f *Fault) { r.f = f }
+
+func (r *RAM) mask() uint64 {
+	if r.width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<r.width - 1
+}
+
+// physical resolves address aliasing.
+func (r *RAM) physical(addr int) int {
+	if r.f != nil && r.f.Kind == AddressAlias && addr == r.f.AggrAddr {
+		return r.f.Addr
+	}
+	return addr
+}
+
+// Write stores a word, applying the fault model.
+func (r *RAM) Write(addr int, v uint64) {
+	v &= r.mask()
+	addr = r.physical(addr)
+	old := r.words[addr]
+	f := r.f
+	if f != nil && addr == f.Addr {
+		bit := uint64(1) << f.Bit
+		switch f.Kind {
+		case CellSA0:
+			v &^= bit
+		case CellSA1:
+			v |= bit
+		case TransitionUp:
+			if old&bit == 0 {
+				v &^= bit // cannot rise
+			}
+		case TransitionDown:
+			if old&bit != 0 {
+				v |= bit // cannot fall
+			}
+		}
+	}
+	r.words[addr] = v
+	// Coupling: a write to the aggressor disturbs the victim.
+	if f != nil && addr == f.AggrAddr {
+		abit := uint64(1) << f.AggrBit
+		rose := old&abit == 0 && v&abit != 0
+		fell := old&abit != 0 && v&abit == 0
+		switch f.Kind {
+		case CouplingInv:
+			if rose || fell {
+				r.words[f.Addr] ^= 1 << f.Bit
+			}
+		case CouplingIdem:
+			if (f.AggrRise && rose) || (!f.AggrRise && fell) {
+				if f.Value {
+					r.words[f.Addr] |= 1 << f.Bit
+				} else {
+					r.words[f.Addr] &^= 1 << f.Bit
+				}
+			}
+		}
+	}
+}
+
+// Read returns a word, applying stuck-cell behavior on the way out.
+func (r *RAM) Read(addr int) uint64 {
+	addr = r.physical(addr)
+	v := r.words[addr]
+	if f := r.f; f != nil && addr == f.Addr {
+		bit := uint64(1) << f.Bit
+		switch f.Kind {
+		case CellSA0:
+			v &^= bit
+		case CellSA1:
+			v |= bit
+		}
+	}
+	return v & r.mask()
+}
+
+// Universe enumerates a representative fault list for a RAM: per-bit
+// stuck and transition faults on sampled cells, coupling pairs between
+// neighbors, and one decoder alias per sampled address.
+func Universe(words int, width uint, rng *rand.Rand, limit int) []Fault {
+	var out []Fault
+	addAll := func(addr int, bit uint) {
+		out = append(out,
+			Fault{Kind: CellSA0, Addr: addr, Bit: bit},
+			Fault{Kind: CellSA1, Addr: addr, Bit: bit},
+			Fault{Kind: TransitionUp, Addr: addr, Bit: bit},
+			Fault{Kind: TransitionDown, Addr: addr, Bit: bit},
+		)
+		next := (addr + 1) % words
+		out = append(out,
+			Fault{Kind: CouplingInv, Addr: addr, Bit: bit, AggrAddr: next, AggrBit: bit},
+			Fault{Kind: CouplingIdem, Addr: addr, Bit: bit, AggrAddr: next, AggrBit: bit, AggrRise: true, Value: rng.Intn(2) == 1},
+		)
+		if addr+1 < words {
+			out = append(out, Fault{Kind: AddressAlias, Addr: addr, AggrAddr: addr + 1})
+		}
+	}
+	for len(out) < limit {
+		addAll(rng.Intn(words), uint(rng.Intn(int(width))))
+	}
+	return out
+}
+
+// Op is one March element operation.
+type Op struct {
+	Write bool
+	Value bool // all-0s or all-1s data word
+}
+
+// Element is a March element: an address order and a sequence of
+// read/write operations applied per address.
+type Element struct {
+	Ascending bool
+	Ops       []Op
+}
+
+// March is a complete March test.
+type March struct {
+	Name     string
+	Elements []Element
+}
+
+// MATSPlus is the classical MATS+ test: ⇕(w0); ⇑(r0,w1); ⇓(r1,w0).
+// It detects all stuck-at and address-decoder faults.
+func MATSPlus() March {
+	return March{
+		Name: "MATS+",
+		Elements: []Element{
+			{Ascending: true, Ops: []Op{{Write: true, Value: false}}},
+			{Ascending: true, Ops: []Op{{Write: false, Value: false}, {Write: true, Value: true}}},
+			{Ascending: false, Ops: []Op{{Write: false, Value: true}, {Write: true, Value: false}}},
+		},
+	}
+}
+
+// MarchCMinus is March C-: ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1);
+// ⇓(r1,w0); ⇕(r0). It additionally detects transition and (unlinked)
+// coupling faults.
+func MarchCMinus() March {
+	up := func(ops ...Op) Element { return Element{Ascending: true, Ops: ops} }
+	dn := func(ops ...Op) Element { return Element{Ascending: false, Ops: ops} }
+	r0 := Op{Write: false, Value: false}
+	r1 := Op{Write: false, Value: true}
+	w0 := Op{Write: true, Value: false}
+	w1 := Op{Write: true, Value: true}
+	return March{
+		Name: "March C-",
+		Elements: []Element{
+			up(w0), up(r0, w1), up(r1, w0), dn(r0, w1), dn(r1, w0), dn(r0),
+		},
+	}
+}
+
+// Run applies the March test, returning false on the first miscompare.
+func (m March) Run(r *RAM) bool {
+	fill := func(v bool) uint64 {
+		if v {
+			return r.mask()
+		}
+		return 0
+	}
+	for _, el := range m.Elements {
+		for k := 0; k < r.Words(); k++ {
+			addr := k
+			if !el.Ascending {
+				addr = r.Words() - 1 - k
+			}
+			for _, op := range el.Ops {
+				if op.Write {
+					r.Write(addr, fill(op.Value))
+				} else if r.Read(addr) != fill(op.Value) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Length returns the operation count: the March complexity (e.g. 10N
+// for March C-).
+func (m March) Length(words int) int {
+	ops := 0
+	for _, el := range m.Elements {
+		ops += len(el.Ops)
+	}
+	return ops * words
+}
+
+// Checkerboard runs the classical checkerboard procedure: write
+// alternating 01/10 data, read back, then the complement. It detects
+// stuck cells and some shorts but, unlike March tests, misses many
+// coupling and decoder faults — which is the point of comparing them.
+func Checkerboard(r *RAM) bool {
+	pat := func(addr int, inverted bool) uint64 {
+		base := uint64(0xAAAAAAAAAAAAAAAA)
+		if addr%2 == 1 {
+			base = ^base
+		}
+		if inverted {
+			base = ^base
+		}
+		return base & r.mask()
+	}
+	for _, inv := range []bool{false, true} {
+		for a := 0; a < r.Words(); a++ {
+			r.Write(a, pat(a, inv))
+		}
+		for a := 0; a < r.Words(); a++ {
+			if r.Read(a) != pat(a, inv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Coverage grades a test procedure against a fault list.
+func Coverage(words int, width uint, faults []Fault, run func(*RAM) bool) float64 {
+	if len(faults) == 0 {
+		return 0
+	}
+	caught := 0
+	for i := range faults {
+		r := New(words, width)
+		f := faults[i]
+		r.Inject(&f)
+		if !run(r) {
+			caught++
+		}
+	}
+	return float64(caught) / float64(len(faults))
+}

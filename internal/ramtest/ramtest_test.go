@@ -1,0 +1,121 @@
+package ramtest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHealthyRAMPasses(t *testing.T) {
+	r := New(64, 8)
+	if !MATSPlus().Run(r) {
+		t.Fatal("MATS+ failed on a healthy RAM")
+	}
+	if !MarchCMinus().Run(r) {
+		t.Fatal("March C- failed on a healthy RAM")
+	}
+	if !Checkerboard(r) {
+		t.Fatal("checkerboard failed on a healthy RAM")
+	}
+}
+
+func TestFaultModelBehaviors(t *testing.T) {
+	// Stuck cell.
+	r := New(8, 4)
+	r.Inject(&Fault{Kind: CellSA0, Addr: 3, Bit: 1})
+	r.Write(3, 0xF)
+	if r.Read(3) != 0xD {
+		t.Fatalf("s-a-0 cell read %x", r.Read(3))
+	}
+	// Transition fault: cannot rise after being 0.
+	r = New(8, 4)
+	r.Inject(&Fault{Kind: TransitionUp, Addr: 2, Bit: 0})
+	r.Write(2, 0x0)
+	r.Write(2, 0x1)
+	if r.Read(2)&1 != 0 {
+		t.Fatal("transition-up fault allowed the rise")
+	}
+	// But the bit can be held at 1 if it never fell.
+	// Inversion coupling: toggling aggressor flips victim.
+	r = New(8, 4)
+	r.Inject(&Fault{Kind: CouplingInv, Addr: 1, Bit: 2, AggrAddr: 5, AggrBit: 0})
+	r.Write(1, 0x0)
+	r.Write(5, 0x1) // aggressor bit rises
+	if r.Read(1)&0x4 == 0 {
+		t.Fatal("coupling did not flip the victim")
+	}
+	// Address alias: writes to the partner land on the victim.
+	r = New(8, 4)
+	r.Inject(&Fault{Kind: AddressAlias, Addr: 2, AggrAddr: 6})
+	r.Write(6, 0x9)
+	if r.Read(2) != 0x9 {
+		t.Fatal("alias write did not land on the shared word")
+	}
+}
+
+func TestMarchDetectsStuckCells(t *testing.T) {
+	for _, kind := range []FaultKind{CellSA0, CellSA1} {
+		r := New(32, 8)
+		r.Inject(&Fault{Kind: kind, Addr: 17, Bit: 3})
+		if MATSPlus().Run(r) {
+			t.Fatalf("MATS+ missed %v", kind)
+		}
+	}
+}
+
+func TestMarchCMinusDetectsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	faults := Universe(32, 8, rng, 300)
+	cov := Coverage(32, 8, faults, MarchCMinus().Run)
+	if cov < 1.0 {
+		t.Fatalf("March C- coverage %.3f, want 1.0 on the modeled universe", cov)
+	}
+}
+
+// TestProcedureHierarchy reproduces the classical ordering: March C-
+// catches the whole modeled universe, while the cheaper procedures
+// (MATS+ at 5N, checkerboard at 4N) each leave classes uncovered —
+// MATS+ misses transition/coupling faults, the checkerboard misses
+// decoder and some coupling faults.
+func TestProcedureHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	faults := Universe(32, 8, rng, 300)
+	cb := Coverage(32, 8, faults, Checkerboard)
+	mats := Coverage(32, 8, faults, MATSPlus().Run)
+	mc := Coverage(32, 8, faults, MarchCMinus().Run)
+	if mc != 1.0 {
+		t.Fatalf("March C- %.3f, want 1.0", mc)
+	}
+	if cb >= mc || mats >= mc {
+		t.Fatalf("hierarchy violated: checkerboard %.3f, MATS+ %.3f, March C- %.3f", cb, mats, mc)
+	}
+	if cb < 0.3 || mats < 0.3 {
+		t.Fatalf("cheap procedures implausibly weak: checkerboard %.3f, MATS+ %.3f", cb, mats)
+	}
+}
+
+func TestMarchLengths(t *testing.T) {
+	// MATS+ is 5N, March C- is 10N.
+	if MATSPlus().Length(100) != 500 {
+		t.Fatalf("MATS+ length %d", MATSPlus().Length(100))
+	}
+	if MarchCMinus().Length(100) != 1000 {
+		t.Fatalf("March C- length %d", MarchCMinus().Length(100))
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for k := CellSA0; k <= AddressAlias; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 0 accepted")
+		}
+	}()
+	New(8, 0)
+}

@@ -1,0 +1,307 @@
+// Package scanpath implements NEC's Scan Path approach: the raceless
+// D-type flip-flop with scan (Fig. 13), card-level scan configuration
+// with X/Y selection (Fig. 14), the race analysis that distinguishes
+// the single-clock design from LSSD's level-sensitive discipline, and
+// the backtrace partitioning used on the FLT-700-class systems.
+package scanpath
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// RacelessDFF is the two-latch flip-flop of Fig. 13. Clock1 is the
+// sole system clock: while low, Latch1 samples System Data In; on its
+// return to high, Latch2 samples Latch1. Clock2 plays the same role
+// for the Test (scan) input. Holding the idle clock at 1 blocks the
+// other port.
+type RacelessDFF struct {
+	L1, L2 bool
+}
+
+// SystemClockPulse models a full 1→0→1 pulse on Clock1 with system
+// data d: L1 loads d during the low phase, L2 loads L1 on the rising
+// edge.
+func (f *RacelessDFF) SystemClockPulse(d bool) {
+	f.L1 = d
+	f.L2 = f.L1
+}
+
+// ScanClockPulse models a full 1→0→1 pulse on Clock2 with test input
+// ti.
+func (f *RacelessDFF) ScanClockPulse(ti bool) {
+	f.L1 = ti
+	f.L2 = f.L1
+}
+
+// Output returns the flip-flop output (Latch2).
+func (f *RacelessDFF) Output() bool { return f.L2 }
+
+// RaceMargin quantifies the exposure the paper describes: "the period
+// of time that this can occur is related to the delay of the inverter
+// block for Clock 1". The design is race-free while the feedback path
+// delay (output back to System Data In) exceeds the overlap window in
+// which both latches are transparent — the inverter delay. It returns
+// the slack (positive = safe).
+func RaceMargin(feedbackDelay, inverterDelay float64) float64 {
+	return feedbackDelay - inverterDelay
+}
+
+// Raceless reports whether the configuration is safe.
+func Raceless(feedbackDelay, inverterDelay float64) bool {
+	return RaceMargin(feedbackDelay, inverterDelay) > 0
+}
+
+// Chip is one module on a card with its own scan path of raceless
+// flip-flops.
+type Chip struct {
+	Name string
+	FFs  []*RacelessDFF
+}
+
+// NewChip builds a chip with n scan flip-flops.
+func NewChip(name string, n int) *Chip {
+	ffs := make([]*RacelessDFF, n)
+	for i := range ffs {
+		ffs[i] = new(RacelessDFF)
+	}
+	return &Chip{Name: name, FFs: ffs}
+}
+
+// shift advances the chip's scan path one position (a Clock2 pulse on
+// every flip-flop), returning the new scan output.
+func (ch *Chip) shift(scanIn bool) bool {
+	// All L1s sample their scan inputs (the previous stage's L2) before
+	// any L2 updates — the raceless two-latch ordering.
+	prev := scanIn
+	for _, f := range ch.FFs {
+		next := f.L2
+		f.L1 = prev
+		prev = next
+	}
+	for _, f := range ch.FFs {
+		f.L2 = f.L1
+	}
+	return ch.FFs[len(ch.FFs)-1].L2
+}
+
+// State returns the flip-flop outputs.
+func (ch *Chip) State() []bool {
+	out := make([]bool, len(ch.FFs))
+	for i, f := range ch.FFs {
+		out[i] = f.Output()
+	}
+	return out
+}
+
+// Card is the Fig. 14 configuration: chips share one scan path per
+// card, and X/Y select lines gate Clock2 and the card's test output so
+// many cards can dot onto a single subsystem test output.
+type Card struct {
+	Name  string
+	X, Y  bool
+	Chips []*Chip
+}
+
+// NewCard builds a card from chips threaded in order.
+func NewCard(name string, chips ...*Chip) *Card {
+	return &Card{Name: name, Chips: chips}
+}
+
+// Selected reports whether the card's X·Y select is active.
+func (c *Card) Selected() bool { return c.X && c.Y }
+
+// Shift clocks the card's scan path if selected. The returned output
+// is the card's gated test output: the scan-out when selected, the
+// noncontrolling 0 otherwise ("the blocking function will put their
+// output to noncontrolling values").
+func (c *Card) Shift(scanIn bool) bool {
+	if !c.Selected() {
+		return false
+	}
+	prev := scanIn
+	var out bool
+	for _, ch := range c.Chips {
+		out = ch.shift(prev)
+		prev = out
+	}
+	return out
+}
+
+// TestOutput returns the card's gated scan output without clocking.
+func (c *Card) TestOutput() bool {
+	if !c.Selected() {
+		return false
+	}
+	last := c.Chips[len(c.Chips)-1]
+	return last.FFs[len(last.FFs)-1].L2
+}
+
+// Subsystem is a set of cards whose test outputs dot together.
+type Subsystem struct {
+	Cards []*Card
+}
+
+// Select activates exactly one card.
+func (s *Subsystem) Select(name string) error {
+	found := false
+	for _, c := range s.Cards {
+		sel := c.Name == name
+		c.X, c.Y = sel, sel
+		found = found || sel
+	}
+	if !found {
+		return fmt.Errorf("scanpath: no card named %q", name)
+	}
+	return nil
+}
+
+// SharedOutput ORs the gated card outputs — the dotted subsystem test
+// output.
+func (s *Subsystem) SharedOutput() bool {
+	out := false
+	for _, c := range s.Cards {
+		out = out || c.TestOutput()
+	}
+	return out
+}
+
+// Shift clocks the selected card's path and returns the shared output.
+func (s *Subsystem) Shift(scanIn bool) bool {
+	out := false
+	for _, c := range s.Cards {
+		o := c.Shift(scanIn)
+		out = out || o
+	}
+	return out
+}
+
+// Partition is one combinational cone found by backtracing from a
+// storage element or primary output back to storage elements and
+// primary inputs — the automatic partitioning NEC pairs with Scan
+// Path so "the test generator can do test generation for the small
+// subnetworks".
+type Partition struct {
+	Root   int   // the DFF (via its D input) or PO net the cone feeds
+	Gates  []int // combinational gates in the cone
+	Inputs []int // PIs and DFF outputs bounding the cone
+}
+
+// Size returns the number of gates in the partition.
+func (p Partition) Size() int { return len(p.Gates) }
+
+// Backtrace computes the partition for every flip-flop D input and
+// primary output of a finalized circuit.
+func Backtrace(c *logic.Circuit) []Partition {
+	var roots []int
+	for _, d := range c.DFFs {
+		roots = append(roots, c.Gates[d].Fanin[0])
+	}
+	roots = append(roots, c.POs...)
+	parts := make([]Partition, 0, len(roots))
+	for _, r := range roots {
+		parts = append(parts, backtraceFrom(c, r))
+	}
+	return parts
+}
+
+func backtraceFrom(c *logic.Circuit, root int) Partition {
+	p := Partition{Root: root}
+	seen := map[int]bool{}
+	var walk func(n int)
+	walk = func(n int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		g := c.Gates[n]
+		if !g.Type.IsCombinational() {
+			p.Inputs = append(p.Inputs, n)
+			return
+		}
+		p.Gates = append(p.Gates, n)
+		for _, f := range g.Fanin {
+			walk(f)
+		}
+	}
+	walk(root)
+	return p
+}
+
+// LargestPartition returns the maximum cone size — the quantity the
+// NEC control flip-flops exist to cap.
+func LargestPartition(parts []Partition) int {
+	max := 0
+	for _, p := range parts {
+		if p.Size() > max {
+			max = p.Size()
+		}
+	}
+	return max
+}
+
+// InsertBlockingFF inserts an extra scan flip-flop on the given net
+// purely to cut partitions — "the introduction of extra flip-flops
+// totally independent of function, in order to control the
+// partitioning algorithm". The transformation pipelines the net (one
+// cycle of extra latency), exactly as the hardware change would.
+func InsertBlockingFF(c *logic.Circuit, net int) *logic.Circuit {
+	nc := c.Clone()
+	ff := nc.AddDFF(fmt.Sprintf("BLK_%s", c.NameOf(net)), net)
+	for id := range nc.Gates {
+		if id == ff {
+			continue
+		}
+		for i, src := range nc.Gates[id].Fanin {
+			if src == net && id != ff {
+				nc.Gates[id].Fanin[i] = ff
+			}
+		}
+	}
+	for i, po := range nc.POs {
+		if po == net {
+			nc.POs[i] = ff
+		}
+	}
+	nc.MustFinalize()
+	return nc
+}
+
+// CapPartitions repeatedly inserts blocking flip-flops on the highest-
+// fanout net inside the largest oversized partition until every
+// partition has at most maxGates gates (or no further cut is possible).
+func CapPartitions(c *logic.Circuit, maxGates int) (*logic.Circuit, int) {
+	cur := c
+	added := 0
+	for iter := 0; iter < 64; iter++ {
+		parts := Backtrace(cur)
+		var worst *Partition
+		for i := range parts {
+			if parts[i].Size() > maxGates && (worst == nil || parts[i].Size() > worst.Size()) {
+				worst = &parts[i]
+			}
+		}
+		if worst == nil {
+			return cur, added
+		}
+		// Cut at the gate nearest the middle of the cone by level.
+		best, bestScore := -1, -1
+		for _, g := range worst.Gates {
+			if g == worst.Root {
+				continue
+			}
+			depth := cur.Level[g]
+			score := depth * len(cur.Fanout[g])
+			if score > bestScore {
+				best, bestScore = g, score
+			}
+		}
+		if best < 0 {
+			return cur, added
+		}
+		cur = InsertBlockingFF(cur, best)
+		added++
+	}
+	return cur, added
+}

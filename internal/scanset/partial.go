@@ -1,0 +1,186 @@
+package scanset
+
+import (
+	"sort"
+
+	"dft/internal/logic"
+	"dft/internal/testability"
+)
+
+// DFFGraph builds the flip-flop dependency graph: an edge A→B means
+// flip-flop B's next state depends (combinationally) on A's output.
+// Cycles in this graph are what make sequential ATPG exponential; the
+// classical partial-scan strategy is to scan enough flip-flops to cut
+// them.
+func DFFGraph(c *logic.Circuit) map[int][]int {
+	index := map[int]bool{}
+	for _, d := range c.DFFs {
+		index[d] = true
+	}
+	g := map[int][]int{}
+	for _, b := range c.DFFs {
+		// Walk the combinational fanin cone of B's D input.
+		seen := map[int]bool{}
+		var stack []int
+		stack = append(stack, c.Gates[b].Fanin[0])
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if index[n] {
+				g[n] = append(g[n], b)
+				continue // do not walk through other flip-flops
+			}
+			stack = append(stack, c.Gates[n].Fanin...)
+		}
+	}
+	return g
+}
+
+// hasCycleAvoiding reports whether the graph restricted to nodes not
+// in removed contains a cycle.
+func hasCycleAvoiding(g map[int][]int, nodes []int, removed map[int]bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var visit func(n int) bool
+	visit = func(n int) bool {
+		color[n] = gray
+		for _, m := range g[n] {
+			if removed[m] {
+				continue
+			}
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if removed[n] {
+			continue
+		}
+		if color[n] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectPartialScan chooses up to k flip-flops to scan: first a greedy
+// minimum-feedback-vertex-set pass that cuts the dependency cycles
+// (self-loops first, then highest degree), then — if budget remains —
+// the flip-flops that SCOAP rates hardest to control sequentially.
+// The returned slice holds element net IDs in c.DFFs order.
+func SelectPartialScan(c *logic.Circuit, k int) []int {
+	if k >= c.NumDFFs() {
+		return append([]int(nil), c.DFFs...)
+	}
+	g := DFFGraph(c)
+	removed := map[int]bool{}
+	var picked []int
+	pick := func(n int) {
+		removed[n] = true
+		picked = append(picked, n)
+	}
+	// Self-loops are unconditionally in every feedback set.
+	for _, n := range c.DFFs {
+		if len(picked) >= k {
+			break
+		}
+		for _, m := range g[n] {
+			if m == n {
+				pick(n)
+				break
+			}
+		}
+	}
+	// Greedy degree-product cuts until acyclic.
+	for len(picked) < k && hasCycleAvoiding(g, c.DFFs, removed) {
+		best, bestScore := -1, -1
+		indeg := map[int]int{}
+		for n, outs := range g {
+			if removed[n] {
+				continue
+			}
+			for _, m := range outs {
+				if !removed[m] {
+					indeg[m]++
+				}
+			}
+		}
+		for _, n := range c.DFFs {
+			if removed[n] {
+				continue
+			}
+			out := 0
+			for _, m := range g[n] {
+				if !removed[m] {
+					out++
+				}
+			}
+			score := (indeg[n] + 1) * (out + 1)
+			if score > bestScore {
+				best, bestScore = n, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		pick(best)
+	}
+	// Spend the rest of the budget on sequentially-deep flip-flops.
+	if len(picked) < k {
+		m := testability.Analyze(c)
+		rest := make([]int, 0, c.NumDFFs())
+		for _, d := range c.DFFs {
+			if !removed[d] {
+				rest = append(rest, d)
+			}
+		}
+		depth := func(d int) int {
+			s := m.SD1[d]
+			if m.SD0[d] > s {
+				s = m.SD0[d]
+			}
+			return s
+		}
+		sort.Slice(rest, func(i, j int) bool { return depth(rest[i]) > depth(rest[j]) })
+		for _, d := range rest {
+			if len(picked) >= k {
+				break
+			}
+			pick(d)
+		}
+	}
+	// Report in c.DFFs order for determinism.
+	order := map[int]int{}
+	for i, d := range c.DFFs {
+		order[d] = i
+	}
+	sort.Slice(picked, func(i, j int) bool { return order[picked[i]] < order[picked[j]] })
+	return picked
+}
+
+// CutsAllCycles reports whether scanning the given flip-flops leaves
+// the dependency graph acyclic (self-loops included).
+func CutsAllCycles(c *logic.Circuit, scanned []int) bool {
+	g := DFFGraph(c)
+	removed := map[int]bool{}
+	for _, d := range scanned {
+		removed[d] = true
+	}
+	return !hasCycleAvoiding(g, c.DFFs, removed)
+}

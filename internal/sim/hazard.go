@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// HazardClass classifies a net's behavior during an input transition.
+type HazardClass uint8
+
+const (
+	// HazardFree: the net cannot glitch during the transition.
+	HazardFree HazardClass = iota
+	// StaticHazard: the net's steady-state value is the same before and
+	// after, but it may glitch in between (the X-pass cannot hold it).
+	StaticHazard
+	// Changing: the net settles to a different final value (a clean,
+	// expected transition — or a dynamic hazard if it bounces, which
+	// ternary analysis conservatively folds in here).
+	Changing
+	// Unsettled: the final ternary value is X — the transition may not
+	// settle at all (critical race / oscillation territory).
+	Unsettled
+)
+
+// String names the class.
+func (h HazardClass) String() string {
+	switch h {
+	case HazardFree:
+		return "hazard-free"
+	case StaticHazard:
+		return "static-hazard"
+	case Changing:
+		return "changing"
+	case Unsettled:
+		return "unsettled"
+	}
+	return fmt.Sprintf("HazardClass(%d)", uint8(h))
+}
+
+// HazardAnalysis runs Eichelberger's two-pass ternary procedure
+// ([103] in the paper; the analytical foundation of the paper's
+// "level-sensitive" discipline) for the input transition p1 → p2 on a
+// combinational circuit:
+//
+//	pass 1: changing inputs are X, stable inputs keep their value —
+//	        every net that could be disturbed during the transition
+//	        goes to X;
+//	pass 2: inputs take their final values — nets recover.
+//
+// A net whose pass-1 value is X but whose initial and final values are
+// equal carries a static hazard; if its pass-2 value is still X the
+// transition may never settle.
+func HazardAnalysis(c *logic.Circuit, p1, p2 []bool) []HazardClass {
+	if len(p1) != len(c.PIs) || len(p2) != len(c.PIs) {
+		panic(fmt.Sprintf("sim: transition width %d/%d for %d inputs", len(p1), len(p2), len(c.PIs)))
+	}
+	toV := func(b bool) logic.V { return logic.FromBool(b) }
+
+	initial := make([]logic.V, len(c.PIs))
+	mid := make([]logic.V, len(c.PIs))
+	final := make([]logic.V, len(c.PIs))
+	for i := range p1 {
+		initial[i] = toV(p1[i])
+		final[i] = toV(p2[i])
+		if p1[i] == p2[i] {
+			mid[i] = toV(p1[i])
+		} else {
+			mid[i] = logic.X
+		}
+	}
+	state := make([]logic.V, len(c.DFFs))
+	for i := range state {
+		state[i] = logic.Zero
+	}
+	v1 := EvalTernary(c, initial, state)
+	vm := EvalTernary(c, mid, state)
+	v2 := EvalTernary(c, final, state)
+
+	out := make([]HazardClass, c.NumNets())
+	for n := range out {
+		switch {
+		case v2[n] == logic.X:
+			out[n] = Unsettled
+		case v1[n] != v2[n]:
+			out[n] = Changing
+		case vm[n] == logic.X:
+			out[n] = StaticHazard
+		default:
+			out[n] = HazardFree
+		}
+	}
+	return out
+}
+
+// HazardousNets lists the nets with static hazards or unsettled
+// behavior for the transition.
+func HazardousNets(c *logic.Circuit, p1, p2 []bool) []int {
+	cls := HazardAnalysis(c, p1, p2)
+	var out []int
+	for n, h := range cls {
+		if h == StaticHazard || h == Unsettled {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ClockSafe reports whether a net that will be used as a gated clock
+// is hazard-free for the transition — the check behind the LSSD rule
+// that clock gating must not introduce glitches ("immune to most
+// anomalies in the ac characteristics of the clock").
+func ClockSafe(c *logic.Circuit, clockNet int, p1, p2 []bool) bool {
+	cls := HazardAnalysis(c, p1, p2)
+	return cls[clockNet] == HazardFree || cls[clockNet] == Changing
+}

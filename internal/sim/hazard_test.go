@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"dft/internal/logic"
+)
+
+// mux2 builds y = a·s + b·s̄ — the classical static-1 hazard circuit.
+func mux2() *logic.Circuit {
+	c := logic.New("mux2")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	s := c.AddInput("s")
+	ns := c.AddGate(logic.Not, "ns", s)
+	t1 := c.AddGate(logic.And, "t1", a, s)
+	t2 := c.AddGate(logic.And, "t2", b, ns)
+	c.MarkOutput(c.AddGate(logic.Or, "y", t1, t2))
+	return c.MustFinalize()
+}
+
+// mux2Consensus adds the consensus term a·b, the textbook hazard fix.
+func mux2Consensus() *logic.Circuit {
+	c := logic.New("mux2c")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	s := c.AddInput("s")
+	ns := c.AddGate(logic.Not, "ns", s)
+	t1 := c.AddGate(logic.And, "t1", a, s)
+	t2 := c.AddGate(logic.And, "t2", b, ns)
+	t3 := c.AddGate(logic.And, "t3", a, b)
+	c.MarkOutput(c.AddGate(logic.Or, "y", t1, t2, t3))
+	return c.MustFinalize()
+}
+
+func TestClassicStaticOneHazard(t *testing.T) {
+	c := mux2()
+	y, _ := c.NetByName("y")
+	// a=b=1, s transitions 1→0: output is 1 before and after, but the
+	// two AND terms hand over through the inverter — a static-1 hazard.
+	p1 := []bool{true, true, true}
+	p2 := []bool{true, true, false}
+	cls := HazardAnalysis(c, p1, p2)
+	if cls[y] != StaticHazard {
+		t.Fatalf("y during s 1->0 with a=b=1: %v, want static-hazard", cls[y])
+	}
+	if ClockSafe(c, y, p1, p2) {
+		t.Fatal("a hazardous net must not be clock-safe")
+	}
+}
+
+func TestConsensusTermRemovesHazard(t *testing.T) {
+	c := mux2Consensus()
+	y, _ := c.NetByName("y")
+	p1 := []bool{true, true, true}
+	p2 := []bool{true, true, false}
+	cls := HazardAnalysis(c, p1, p2)
+	if cls[y] != HazardFree {
+		t.Fatalf("consensus-protected output: %v, want hazard-free", cls[y])
+	}
+	if !ClockSafe(c, y, p1, p2) {
+		t.Fatal("hazard-free net should be clock-safe")
+	}
+}
+
+func TestCleanTransitionIsChanging(t *testing.T) {
+	c := mux2()
+	y, _ := c.NetByName("y")
+	// a=1, b=0, s 1→0: output goes 1→0 — a legitimate change.
+	cls := HazardAnalysis(c, []bool{true, false, true}, []bool{true, false, false})
+	if cls[y] != Changing {
+		t.Fatalf("got %v, want changing", cls[y])
+	}
+}
+
+func TestStableInputsHazardFree(t *testing.T) {
+	c := mux2()
+	p := []bool{true, true, true}
+	for n, cls := range HazardAnalysis(c, p, p) {
+		if cls != HazardFree {
+			t.Fatalf("net %s with no transition: %v", c.NameOf(n), cls)
+		}
+	}
+}
+
+func TestHazardousNetsList(t *testing.T) {
+	c := mux2()
+	nets := HazardousNets(c, []bool{true, true, true}, []bool{true, true, false})
+	y, _ := c.NetByName("y")
+	found := false
+	for _, n := range nets {
+		if n == y {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("y missing from hazardous list")
+	}
+}
+
+func TestHazardClassStrings(t *testing.T) {
+	for _, h := range []HazardClass{HazardFree, StaticHazard, Changing, Unsettled} {
+		if h.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim provides true-value simulation of logic circuits: scalar
+// Boolean simulation, ternary (0/1/X) simulation for initialization
+// analysis, 64-way bit-parallel pattern simulation, and multi-cycle
+// sequential simulation of circuits containing flip-flops.
+//
+// These simulators are the "good machine" engines on which fault
+// simulation (package fault) and every self-test technique in the paper
+// are built.
+package sim
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// Eval runs a two-valued combinational simulation. pi maps each primary
+// input (in Circuit.PIs order) to a value; state maps each DFF (in
+// Circuit.DFFs order) to its present output. The returned slice holds
+// the value of every net. For purely combinational circuits state may be
+// nil.
+func Eval(c *logic.Circuit, pi []bool, state []bool) []bool {
+	if len(pi) != len(c.PIs) {
+		panic(fmt.Sprintf("sim: got %d input values for %d primary inputs", len(pi), len(c.PIs)))
+	}
+	if len(state) != len(c.DFFs) {
+		panic(fmt.Sprintf("sim: got %d state values for %d flip-flops", len(state), len(c.DFFs)))
+	}
+	vals := make([]bool, len(c.Gates))
+	EvalInto(c, pi, state, vals, nil)
+	return vals
+}
+
+// EvalInto is Eval writing into caller-provided storage to avoid
+// allocation in inner loops. scratch, if non-nil, must have capacity for
+// the widest gate fanin; pass nil to let the function allocate it.
+func EvalInto(c *logic.Circuit, pi []bool, state []bool, vals []bool, scratch []bool) {
+	for i, id := range c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range c.DFFs {
+		vals[id] = state[i]
+	}
+	if scratch == nil {
+		scratch = make([]bool, c.MaxFanin())
+	}
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		in := scratch[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			in[i] = vals[f]
+		}
+		vals[id] = g.Type.EvalBool(in)
+	}
+}
+
+// Outputs extracts the primary output values from a full net valuation.
+func Outputs(c *logic.Circuit, vals []bool) []bool {
+	out := make([]bool, len(c.POs))
+	for i, id := range c.POs {
+		out[i] = vals[id]
+	}
+	return out
+}
+
+// NextState extracts the next-state values (DFF D inputs) from a full
+// net valuation.
+func NextState(c *logic.Circuit, vals []bool) []bool {
+	ns := make([]bool, len(c.DFFs))
+	for i, id := range c.DFFs {
+		ns[i] = vals[c.Gates[id].Fanin[0]]
+	}
+	return ns
+}
+
+// EvalTernary runs a three-valued (0/1/X) combinational simulation,
+// the classical tool for reasoning about uninitialized storage. Values
+// other than logic.Zero/One/X in the inputs are rejected.
+func EvalTernary(c *logic.Circuit, pi []logic.V, state []logic.V) []logic.V {
+	if len(pi) != len(c.PIs) {
+		panic(fmt.Sprintf("sim: got %d input values for %d primary inputs", len(pi), len(c.PIs)))
+	}
+	if len(state) != len(c.DFFs) {
+		panic(fmt.Sprintf("sim: got %d state values for %d flip-flops", len(state), len(c.DFFs)))
+	}
+	vals := make([]logic.V, len(c.Gates))
+	for i := range vals {
+		vals[i] = logic.X
+	}
+	check := func(v logic.V) logic.V {
+		if v.IsError() {
+			panic("sim: D-values are not valid ternary simulation inputs")
+		}
+		return v
+	}
+	for i, id := range c.PIs {
+		vals[id] = check(pi[i])
+	}
+	for i, id := range c.DFFs {
+		vals[id] = check(state[i])
+	}
+	in := make([]logic.V, c.MaxFanin())
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		args := in[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			args[i] = vals[f]
+		}
+		vals[id] = g.Type.Eval(args)
+	}
+	return vals
+}
+
+// Words is a bit-parallel valuation: Words[n] packs the value of net n
+// for up to 64 independent patterns, one per bit position.
+type Words []uint64
+
+// EvalWords runs 64-way bit-parallel combinational simulation. pi and
+// state carry one word per primary input / flip-flop.
+func EvalWords(c *logic.Circuit, pi []uint64, state []uint64) Words {
+	vals := make(Words, len(c.Gates))
+	EvalWordsInto(c, pi, state, vals, nil)
+	return vals
+}
+
+// EvalWordsInto is EvalWords into caller-provided storage.
+func EvalWordsInto(c *logic.Circuit, pi, state []uint64, vals Words, scratch []uint64) {
+	if len(pi) != len(c.PIs) {
+		panic(fmt.Sprintf("sim: got %d input words for %d primary inputs", len(pi), len(c.PIs)))
+	}
+	if len(state) != len(c.DFFs) {
+		panic(fmt.Sprintf("sim: got %d state words for %d flip-flops", len(state), len(c.DFFs)))
+	}
+	for i, id := range c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range c.DFFs {
+		vals[id] = state[i]
+	}
+	if scratch == nil {
+		scratch = make([]uint64, c.MaxFanin())
+	}
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		in := scratch[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			in[i] = vals[f]
+		}
+		vals[id] = g.Type.EvalWord(in)
+	}
+}
+
+// PackPatterns packs up to 64 scalar patterns (each len(c.PIs) long)
+// into one word per primary input: bit k of word i is pattern k's value
+// for input i.
+func PackPatterns(c *logic.Circuit, patterns [][]bool) []uint64 {
+	if len(patterns) > 64 {
+		panic("sim: PackPatterns accepts at most 64 patterns")
+	}
+	words := make([]uint64, len(c.PIs))
+	for k, p := range patterns {
+		if len(p) != len(c.PIs) {
+			panic(fmt.Sprintf("sim: pattern %d has %d values for %d inputs", k, len(p), len(c.PIs)))
+		}
+		for i, b := range p {
+			if b {
+				words[i] |= 1 << uint(k)
+			}
+		}
+	}
+	return words
+}

@@ -1,0 +1,219 @@
+package syndrome
+
+import (
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+func TestSyndromeDefinition(t *testing.T) {
+	// 2-input AND: K=1, S=1/4. 2-input OR: K=3, S=3/4. XOR: K=2, S=1/2.
+	cases := []struct {
+		typ logic.GateType
+		k   int
+		s   float64
+	}{
+		{logic.And, 1, 0.25},
+		{logic.Or, 3, 0.75},
+		{logic.Xor, 2, 0.5},
+		{logic.Nand, 3, 0.75},
+	}
+	for _, cse := range cases {
+		c := logic.New("g")
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		c.MarkOutput(c.AddGate(cse.typ, "y", a, b))
+		c.MustFinalize()
+		counts, syn := Syndromes(c)
+		if counts[0] != cse.k || syn[0] != cse.s {
+			t.Fatalf("%v: K=%d S=%.2f, want K=%d S=%.2f", cse.typ, counts[0], syn[0], cse.k, cse.s)
+		}
+	}
+}
+
+func TestSyndromesC17(t *testing.T) {
+	c := circuits.C17()
+	counts, syn := Syndromes(c)
+	if len(counts) != 2 {
+		t.Fatal("c17 has 2 outputs")
+	}
+	for j := range syn {
+		if syn[j] <= 0 || syn[j] >= 1 {
+			t.Fatalf("degenerate syndrome %f on output %d", syn[j], j)
+		}
+	}
+}
+
+// TestMuxSyndromeUntestableFault reproduces the classical example: in
+// the 2:1 multiplexer, "select s-a-1" turns y into D1; the faulty
+// machine realizes exactly as many minterms as the good machine, so
+// the fault is detectable but syndrome-untestable.
+func TestMuxSyndromeUntestableFault(t *testing.T) {
+	c := circuits.Mux(1) // D0, D1, S0; y = D1·S0 + D0·S̄0
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	ts := Classify(c, cl.Reps)
+	un := Untestable(ts)
+	if len(un) == 0 {
+		t.Fatal("expected at least one detectable-but-syndrome-untestable fault in the mux")
+	}
+	// Every untestable fault must indeed leave all output counts equal.
+	goodCounts, _ := Syndromes(c)
+	fc := FaultCounts(c, un)
+	for i := range un {
+		for j := range goodCounts {
+			if fc[i][j] != goodCounts[j] {
+				t.Fatalf("fault %s claimed untestable but count differs", un[i].Name(c))
+			}
+		}
+	}
+}
+
+func TestMakeTestableFixesMux(t *testing.T) {
+	c := circuits.Mux(1)
+	mod, added, remaining := MakeTestable(c, 2)
+	if remaining != 0 {
+		t.Fatalf("%d faults still syndrome-untestable after %d extra inputs", remaining, added)
+	}
+	if added == 0 || added > 2 {
+		t.Fatalf("added %d inputs, expected 1-2 (paper: at most one or two for real networks)", added)
+	}
+	if len(mod.PIs) != len(c.PIs)+added {
+		t.Fatalf("PI count %d", len(mod.PIs))
+	}
+}
+
+// TestMakeTestablePreservesFunction: with the added inputs held at
+// their noncontrolling values, the modified network computes the
+// original function.
+func TestMakeTestablePreservesFunction(t *testing.T) {
+	c := circuits.Mux(1)
+	mod, added, _ := MakeTestable(c, 2)
+	if added == 0 {
+		t.Skip("nothing added")
+	}
+	// Determine hold values per added input from the widened gate type.
+	hold := make(map[int]bool) // PI net -> value
+	for _, pi := range mod.PIs[len(c.PIs):] {
+		for id := range mod.Gates {
+			for _, src := range mod.Gates[id].Fanin {
+				if src == pi {
+					switch mod.Gates[id].Type {
+					case logic.And, logic.Nand:
+						hold[pi] = true
+					case logic.Or, logic.Nor:
+						hold[pi] = false
+					}
+				}
+			}
+		}
+	}
+	for x := 0; x < 1<<3; x++ {
+		in := []bool{x&1 != 0, x&2 != 0, x&4 != 0}
+		inMod := append([]bool{}, in...)
+		for _, pi := range mod.PIs[len(c.PIs):] {
+			inMod = append(inMod, hold[pi])
+		}
+		want := evalOuts(c, in)
+		got := evalOuts(mod, inMod)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("pattern %03b output %d differs with held extra inputs", x, j)
+			}
+		}
+	}
+}
+
+func TestTesterCatchesSyndromeTestableFaults(t *testing.T) {
+	c := circuits.RippleAdder(3)
+	tester := NewTester(c)
+	if !tester.Pass(c, nil) {
+		t.Fatal("good machine failed its own syndrome test")
+	}
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	ts := Classify(c, cl.Reps)
+	caught, testable := 0, 0
+	for _, tb := range ts {
+		if !tb.SyndromeTestable {
+			continue
+		}
+		testable++
+		f := tb.Fault
+		if !tester.Pass(c, &f) {
+			caught++
+		}
+	}
+	if caught != testable {
+		t.Fatalf("tester caught %d of %d syndrome-testable faults", caught, testable)
+	}
+}
+
+// TestSyndromeFriendlinessByStructure documents which structures suit
+// syndrome testing: AND/OR logic (a decoder) shifts the ones count for
+// essentially every fault, while XOR-heavy logic (a parity tree) flips
+// minterms symmetrically — a fault on an XOR input complements the
+// output on exactly half the patterns, leaving K unchanged — so a
+// large fraction of its faults are syndrome-untestable.
+func TestSyndromeFriendlinessByStructure(t *testing.T) {
+	frac := func(c *logic.Circuit) float64 {
+		cl := fault.CollapseEquiv(c, fault.Universe(c))
+		un := Untestable(Classify(c, cl.Reps))
+		return float64(len(un)) / float64(len(cl.Reps))
+	}
+	dec := frac(circuits.Decoder(3))
+	par := frac(circuits.ParityTree(6))
+	if dec > 0.05 {
+		t.Fatalf("decoder untestable fraction %.2f, want ~0", dec)
+	}
+	if par < 0.3 {
+		t.Fatalf("parity tree untestable fraction %.2f, want large (XOR symmetry)", par)
+	}
+	// The ripple adder mixes both: a substantial but minority fraction.
+	add := frac(circuits.RippleAdder(3))
+	if add <= dec || add >= par {
+		t.Fatalf("adder fraction %.2f should sit between decoder %.2f and parity %.2f", add, dec, par)
+	}
+}
+
+func TestDataVolume(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	words, bitsFull := DataVolume(c)
+	if words != len(c.POs) {
+		t.Fatal("syndrome volume should be one word per output")
+	}
+	if bitsFull <= words*64 {
+		t.Fatalf("full response %d bits should dwarf syndrome storage", bitsFull)
+	}
+}
+
+func TestInputLimitEnforced(t *testing.T) {
+	c := circuits.RippleAdder(13) // 27 inputs > 24
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above exhaustive limit")
+		}
+	}()
+	Syndromes(c)
+}
+
+func evalOuts(c *logic.Circuit, in []bool) []bool {
+	vals := make([]bool, c.NumNets())
+	for i, id := range c.PIs {
+		vals[id] = in[i]
+	}
+	scratch := make([]bool, c.MaxFanin())
+	for _, id := range c.Order {
+		g := c.Gates[id]
+		args := scratch[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			args[i] = vals[f]
+		}
+		vals[id] = g.Type.EvalBool(args)
+	}
+	out := make([]bool, len(c.POs))
+	for j, po := range c.POs {
+		out[j] = vals[po]
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package testability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dft/internal/atpg"
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/sim"
+)
+
+func TestSignalProbabilityGates(t *testing.T) {
+	c := logic.New("g")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	and := c.AddGate(logic.And, "and", a, b)
+	or := c.AddGate(logic.Or, "or", a, b)
+	xor := c.AddGate(logic.Xor, "xor", a, b)
+	nand := c.AddGate(logic.Nand, "nand", a, b)
+	c.MarkOutput(and)
+	c.MarkOutput(or)
+	c.MarkOutput(xor)
+	c.MarkOutput(nand)
+	c.MustFinalize()
+	p := SignalProbabilities(c, nil)
+	cases := map[int]float64{and: 0.25, or: 0.75, xor: 0.5, nand: 0.75}
+	for net, want := range cases {
+		if math.Abs(p[net]-want) > 1e-12 {
+			t.Fatalf("p(%s) = %f, want %f", c.NameOf(net), p[net], want)
+		}
+	}
+}
+
+// TestSignalProbabilityExactOnTrees: on fanout-free logic the
+// independence approximation is exact; verify against exhaustive
+// simulation.
+func TestSignalProbabilityExactOnTrees(t *testing.T) {
+	c := circuits.ParityTree(6)
+	p := SignalProbabilities(c, nil)
+	counts := make([]int, c.NumNets())
+	total := 1 << 6
+	for x := 0; x < total; x++ {
+		in := make([]bool, 6)
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+		}
+		vals := sim.Eval(c, in, nil)
+		for n, v := range vals {
+			if v {
+				counts[n]++
+			}
+		}
+	}
+	for n := 0; n < c.NumNets(); n++ {
+		want := float64(counts[n]) / float64(total)
+		if math.Abs(p[n]-want) > 1e-9 {
+			t.Fatalf("net %s: predicted %f, exhaustive %f", c.NameOf(n), p[n], want)
+		}
+	}
+}
+
+func TestWeightedProbabilities(t *testing.T) {
+	c := logic.New("w")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	y := c.AddGate(logic.And, "y", a, b)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	p := SignalProbabilities(c, []float64{0.9, 0.8})
+	if math.Abs(p[y]-0.72) > 1e-12 {
+		t.Fatalf("weighted AND prob %f", p[y])
+	}
+}
+
+// TestDetectProbabilityPredictsPLAHardness: the Fig. 22 argument made
+// quantitative — a 20-literal product term's hardest fault needs ≈2^20
+// expected random patterns, while the adder's stays small.
+func TestDetectProbabilityPredictsPLAHardness(t *testing.T) {
+	cube := make(circuits.Cube, 20)
+	for i := range cube {
+		cube[i] = 1
+	}
+	pla := circuits.PLA("andpla", 20, []circuits.Cube{cube}, [][]int{{0}})
+	plaExp := ExpectedPatterns(pla, fault.CollapseEquiv(pla, fault.Universe(pla)).Reps, nil)
+	if plaExp < 1e5 {
+		t.Fatalf("PLA expected patterns %.3g, want ~2^20", plaExp)
+	}
+	add := circuits.RippleAdder(6)
+	addExp := ExpectedPatterns(add, fault.CollapseEquiv(add, fault.Universe(add)).Reps, nil)
+	if addExp > 1e4 {
+		t.Fatalf("adder expected patterns %.3g, want small", addExp)
+	}
+	if addExp >= plaExp {
+		t.Fatal("adder should be much easier than the PLA")
+	}
+}
+
+// TestDetectProbabilityCalibration: predictions correlate with
+// measured first-detection pattern counts on a mid-size circuit.
+func TestDetectProbabilityCalibration(t *testing.T) {
+	c := circuits.RippleAdder(6)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	p := SignalProbabilities(c, nil)
+	obs := Observabilities(c, p)
+	rng := rand.New(rand.NewSource(12))
+	pats := make([][]bool, 4096)
+	for i := range pats {
+		pat := make([]bool, len(c.PIs))
+		for j := range pat {
+			pat[j] = rng.Intn(2) == 1
+		}
+		pats[i] = pat
+	}
+	res := fault.SimulatePatterns(c, cl.Reps, pats)
+	// Compare the prediction with measurement in aggregate: faults
+	// predicted easy (dp > 0.2) must on average be found much earlier
+	// than faults predicted hard (dp < 0.05).
+	var easySum, easyN, hardSum, hardN float64
+	for i, f := range cl.Reps {
+		if !res.Detected[i] {
+			continue
+		}
+		dp := DetectProbability(c, p, obs, f)
+		switch {
+		case dp > 0.2:
+			easySum += float64(res.DetectedBy[i])
+			easyN++
+		case dp < 0.05:
+			hardSum += float64(res.DetectedBy[i])
+			hardN++
+		}
+	}
+	if easyN == 0 || hardN == 0 {
+		t.Skip("bucket empty; circuit too uniform")
+	}
+	if easySum/easyN >= hardSum/hardN {
+		t.Fatalf("predicted-easy faults found at %.1f on average, predicted-hard at %.1f",
+			easySum/easyN, hardSum/hardN)
+	}
+}
+
+// TestDeriveWeightsBeatUniformOnAndTree: the Schnurmann-style derived
+// weights must outperform uniform random patterns on a deep AND tree.
+func TestDeriveWeightsBeatUniformOnAndTree(t *testing.T) {
+	c := logic.New("andtree")
+	var layer []int
+	for i := 0; i < 16; i++ {
+		layer = append(layer, c.AddInput("i"+string(rune('a'+i))))
+	}
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, c.AddGate(logic.And, "", layer[i], layer[i+1]))
+		}
+		layer = next
+	}
+	c.MarkOutput(layer[0])
+	c.MustFinalize()
+
+	w := DeriveWeights(c)
+	for i, wi := range w {
+		if wi < 0.7 {
+			t.Fatalf("derived weight[%d] = %.2f, want high for an AND tree", i, wi)
+		}
+	}
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	budget := 2000
+	uni := atpg.RandomGenerate(c, atpg.PrimaryView(c), cl.Reps, 1.0, budget, rand.New(rand.NewSource(1)))
+	wres := atpg.WeightedRandomGenerate(c, atpg.PrimaryView(c), cl.Reps, 1.0, budget, w, rand.New(rand.NewSource(1)))
+	if wres.Coverage <= uni.Coverage {
+		t.Fatalf("derived weights %.3f should beat uniform %.3f", wres.Coverage, uni.Coverage)
+	}
+}
+
+func TestDeriveWeightsOrTreePullsDown(t *testing.T) {
+	c := logic.New("ortree")
+	var ins []int
+	for i := 0; i < 8; i++ {
+		ins = append(ins, c.AddInput("i"+string(rune('a'+i))))
+	}
+	c.MarkOutput(c.AddGate(logic.Or, "y", ins...))
+	c.MustFinalize()
+	for i, w := range DeriveWeights(c) {
+		if w > 0.3 {
+			t.Fatalf("weight[%d] = %.2f, want low for a wide OR", i, w)
+		}
+	}
+}
+
+func TestObservabilityBounds(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	p := SignalProbabilities(c, nil)
+	obs := Observabilities(c, p)
+	for n, o := range obs {
+		if o < 0 || o > 1 {
+			t.Fatalf("obs(%s) = %f out of range", c.NameOf(n), o)
+		}
+	}
+	for _, po := range c.POs {
+		if obs[po] != 1 {
+			t.Fatal("PO observability must be 1")
+		}
+	}
+}

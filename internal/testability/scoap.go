@@ -1,0 +1,305 @@
+// Package testability implements SCOAP-style controllability and
+// observability analysis (Goldstein [70] in the paper) plus the test-
+// point insertion transformations the analysis motivates (paper §III.B).
+//
+// Combinational controllabilities CC0/CC1 count the minimum number of
+// pin assignments needed to drive a net to 0/1; combinational
+// observability CO counts the assignments needed to propagate the net
+// to a primary output. Sequential depths SD/SO count flip-flop
+// crossings (clock cycles) instead. High numbers flag exactly the nets
+// the paper's ad hoc techniques (test points, degating) go after.
+package testability
+
+import (
+	"fmt"
+	"sort"
+
+	"dft/internal/logic"
+)
+
+// Inf is the sentinel for unreachable/uncontrollable nets.
+const Inf = int(1) << 30
+
+// Measures holds per-net SCOAP values. Sequential depths assume the
+// machine powers up in the all-zero state (the toolkit's reset
+// convention), so SD0 of a flip-flop output is at most 1.
+type Measures struct {
+	CC0, CC1 []int // combinational 0/1 controllability, per net
+	CO       []int // combinational observability, per net (best branch)
+	SD0, SD1 []int // sequential depth (DFF crossings) to control to 0/1
+	SO       []int // sequential depth to observe
+}
+
+func addSat(a, b int) int {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Analyze computes SCOAP measures for a finalized circuit, iterating to
+// a fixed point so sequential feedback loops are handled.
+func Analyze(c *logic.Circuit) *Measures {
+	n := c.NumNets()
+	m := &Measures{
+		CC0: make([]int, n), CC1: make([]int, n),
+		CO: make([]int, n), SD0: make([]int, n), SD1: make([]int, n), SO: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i], m.CO[i], m.SD0[i], m.SD1[i], m.SO[i] = Inf, Inf, Inf, Inf, Inf, Inf
+	}
+	for _, pi := range c.PIs {
+		m.CC0[pi], m.CC1[pi], m.SD0[pi], m.SD1[pi] = 1, 1, 0, 0
+	}
+	// Controllability relaxation (forward).
+	for changed := true; changed; {
+		changed = false
+		for id, g := range c.Gates {
+			var cc0, cc1, sd0, sd1 int
+			switch g.Type {
+			case logic.Input:
+				continue
+			case logic.Const0:
+				cc0, cc1, sd0, sd1 = 1, Inf, 0, Inf
+			case logic.Const1:
+				cc0, cc1, sd0, sd1 = Inf, 1, Inf, 0
+			case logic.DFF:
+				d := g.Fanin[0]
+				// The power-on/reset state is 0, so reaching 0 costs at
+				// most one assignment / zero extra depth.
+				cc0 = min2(1, addSat(m.CC0[d], 1))
+				cc1 = addSat(m.CC1[d], 1)
+				sd0 = min2(0, addSat(m.SD0[d], 1))
+				sd1 = addSat(m.SD1[d], 1)
+			default:
+				cc0, cc1, sd0, sd1 = gateControllability(g.Type, g.Fanin, m)
+			}
+			if cc0 < m.CC0[id] {
+				m.CC0[id], changed = cc0, true
+			}
+			if cc1 < m.CC1[id] {
+				m.CC1[id], changed = cc1, true
+			}
+			if sd0 < m.SD0[id] {
+				m.SD0[id], changed = sd0, true
+			}
+			if sd1 < m.SD1[id] {
+				m.SD1[id], changed = sd1, true
+			}
+		}
+	}
+	// Observability relaxation (backward).
+	for _, po := range c.POs {
+		m.CO[po], m.SO[po] = 0, 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, g := range c.Gates {
+			if m.CO[id] >= Inf && m.SO[id] >= Inf {
+				continue
+			}
+			for p, src := range g.Fanin {
+				co, so := pinObservability(g, p, id, m)
+				if co < m.CO[src] {
+					m.CO[src], changed = co, true
+				}
+				if so < m.SO[src] {
+					m.SO[src], changed = so, true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// gateControllability computes CC0/CC1 and SD0/SD1 of a combinational
+// gate from its fanin measures. The sequential depths follow the same
+// min/sum/DP structure but count no cost per gate (only DFFs add depth).
+func gateControllability(t logic.GateType, fanin []int, m *Measures) (cc0, cc1, sd0, sd1 int) {
+	sum := func(vals []int) int {
+		s := 0
+		for _, src := range fanin {
+			s = addSat(s, vals[src])
+		}
+		return s
+	}
+	minOf := func(vals []int) int {
+		best := Inf
+		for _, src := range fanin {
+			best = min2(best, vals[src])
+		}
+		return best
+	}
+	parity := func(v0, v1 []int) (even, odd int) {
+		even, odd = 0, Inf
+		for _, src := range fanin {
+			e2 := min2(addSat(even, v0[src]), addSat(odd, v1[src]))
+			o2 := min2(addSat(even, v1[src]), addSat(odd, v0[src]))
+			even, odd = e2, o2
+		}
+		return
+	}
+
+	switch t {
+	case logic.Buf:
+		return addSat(m.CC0[fanin[0]], 1), addSat(m.CC1[fanin[0]], 1),
+			m.SD0[fanin[0]], m.SD1[fanin[0]]
+	case logic.Not:
+		return addSat(m.CC1[fanin[0]], 1), addSat(m.CC0[fanin[0]], 1),
+			m.SD1[fanin[0]], m.SD0[fanin[0]]
+	case logic.And:
+		return addSat(minOf(m.CC0), 1), addSat(sum(m.CC1), 1),
+			minOf(m.SD0), sum(m.SD1)
+	case logic.Nand:
+		return addSat(sum(m.CC1), 1), addSat(minOf(m.CC0), 1),
+			sum(m.SD1), minOf(m.SD0)
+	case logic.Or:
+		return addSat(sum(m.CC0), 1), addSat(minOf(m.CC1), 1),
+			sum(m.SD0), minOf(m.SD1)
+	case logic.Nor:
+		return addSat(minOf(m.CC1), 1), addSat(sum(m.CC0), 1),
+			minOf(m.SD1), sum(m.SD0)
+	case logic.Xor, logic.Xnor:
+		even, odd := parity(m.CC0, m.CC1)
+		sEven, sOdd := parity(m.SD0, m.SD1)
+		if t == logic.Xor {
+			return addSat(even, 1), addSat(odd, 1), sEven, sOdd
+		}
+		return addSat(odd, 1), addSat(even, 1), sOdd, sEven
+	}
+	return Inf, Inf, Inf, Inf
+}
+
+// pinObservability computes CO/SO of input pin p of gate id.
+func pinObservability(g logic.Gate, p, id int, m *Measures) (co, so int) {
+	co, so = m.CO[id], m.SO[id]
+	switch g.Type {
+	case logic.Buf, logic.Not:
+		return addSat(co, 1), so
+	case logic.DFF:
+		return addSat(co, 1), addSat(so, 1)
+	case logic.And, logic.Nand:
+		s := 0
+		for q, src := range g.Fanin {
+			if q != p {
+				s = addSat(s, m.CC1[src])
+			}
+		}
+		return addSat(co, addSat(s, 1)), so
+	case logic.Or, logic.Nor:
+		s := 0
+		for q, src := range g.Fanin {
+			if q != p {
+				s = addSat(s, m.CC0[src])
+			}
+		}
+		return addSat(co, addSat(s, 1)), so
+	case logic.Xor, logic.Xnor:
+		s := 0
+		for q, src := range g.Fanin {
+			if q != p {
+				s = addSat(s, min2(m.CC0[src], m.CC1[src]))
+			}
+		}
+		return addSat(co, addSat(s, 1)), so
+	}
+	return Inf, Inf
+}
+
+// NetReport is one row of a testability report.
+type NetReport struct {
+	Net      int
+	Name     string
+	CC0, CC1 int
+	CO       int
+}
+
+// Hardest returns the k nets with the largest CC0+CC1+CO score,
+// worst first — the candidates for test points.
+func (m *Measures) Hardest(c *logic.Circuit, k int) []NetReport {
+	score := func(i int) int {
+		return addSat(addSat(min2(m.CC0[i], Inf), min2(m.CC1[i], Inf)), m.CO[i])
+	}
+	idx := make([]int, c.NumNets())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return score(idx[a]) > score(idx[b]) })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]NetReport, k)
+	for i := 0; i < k; i++ {
+		n := idx[i]
+		out[i] = NetReport{Net: n, Name: c.NameOf(n), CC0: m.CC0[n], CC1: m.CC1[n], CO: m.CO[n]}
+	}
+	return out
+}
+
+// Summary aggregates the measures for comparisons (before/after DFT).
+type Summary struct {
+	MaxCC0, MaxCC1, MaxCO    int
+	MeanCC0, MeanCC1, MeanCO float64
+	MaxSD, MaxSO             int
+	Uncontrollable           int // nets with CC0 or CC1 == Inf
+	Unobservable             int // nets with CO == Inf
+}
+
+// Summarize reduces per-net measures to a Summary.
+func (m *Measures) Summarize() Summary {
+	var s Summary
+	n := len(m.CC0)
+	var t0, t1, to float64
+	cnt := 0
+	for i := 0; i < n; i++ {
+		if m.CC0[i] >= Inf || m.CC1[i] >= Inf {
+			s.Uncontrollable++
+			continue
+		}
+		if m.CO[i] >= Inf {
+			s.Unobservable++
+			continue
+		}
+		cnt++
+		t0 += float64(m.CC0[i])
+		t1 += float64(m.CC1[i])
+		to += float64(m.CO[i])
+		if m.CC0[i] > s.MaxCC0 {
+			s.MaxCC0 = m.CC0[i]
+		}
+		if m.CC1[i] > s.MaxCC1 {
+			s.MaxCC1 = m.CC1[i]
+		}
+		if m.CO[i] > s.MaxCO {
+			s.MaxCO = m.CO[i]
+		}
+		if m.SD1[i] < Inf && m.SD1[i] > s.MaxSD {
+			s.MaxSD = m.SD1[i]
+		}
+		if m.SD0[i] < Inf && m.SD0[i] > s.MaxSD {
+			s.MaxSD = m.SD0[i]
+		}
+		if m.SO[i] < Inf && m.SO[i] > s.MaxSO {
+			s.MaxSO = m.SO[i]
+		}
+	}
+	if cnt > 0 {
+		s.MeanCC0 = t0 / float64(cnt)
+		s.MeanCC1 = t1 / float64(cnt)
+		s.MeanCO = to / float64(cnt)
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("cc0max=%d cc1max=%d comax=%d cc0mean=%.1f cc1mean=%.1f comean=%.1f sdmax=%d somax=%d unctl=%d unobs=%d",
+		s.MaxCC0, s.MaxCC1, s.MaxCO, s.MeanCC0, s.MeanCC1, s.MeanCO, s.MaxSD, s.MaxSO, s.Uncontrollable, s.Unobservable)
+}

@@ -1,0 +1,302 @@
+package testability
+
+import (
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+func TestPIMeasures(t *testing.T) {
+	c := circuits.C17()
+	m := Analyze(c)
+	for _, pi := range c.PIs {
+		if m.CC0[pi] != 1 || m.CC1[pi] != 1 {
+			t.Fatalf("PI %s: CC0=%d CC1=%d, want 1/1", c.NameOf(pi), m.CC0[pi], m.CC1[pi])
+		}
+		if m.SD0[pi] != 0 || m.SD1[pi] != 0 {
+			t.Fatalf("PI %s: SD0=%d SD1=%d, want 0/0", c.NameOf(pi), m.SD0[pi], m.SD1[pi])
+		}
+	}
+	for _, po := range c.POs {
+		if m.CO[po] != 0 {
+			t.Fatalf("PO %s: CO=%d, want 0", c.NameOf(po), m.CO[po])
+		}
+	}
+}
+
+func TestAndGateSCOAP(t *testing.T) {
+	c := logic.New("and3")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	y := c.AddGate(logic.And, "y", a, b, d)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	m := Analyze(c)
+	// CC1(y) = 1+1+1+1 = 4, CC0(y) = 1+1 = 2.
+	if m.CC1[y] != 4 || m.CC0[y] != 2 {
+		t.Fatalf("AND3: CC1=%d CC0=%d, want 4/2", m.CC1[y], m.CC0[y])
+	}
+	// CO(a) = CO(y) + CC1(b) + CC1(d) + 1 = 0+1+1+1 = 3.
+	if m.CO[a] != 3 {
+		t.Fatalf("CO(a)=%d, want 3", m.CO[a])
+	}
+}
+
+func TestXorSCOAP(t *testing.T) {
+	c := logic.New("xor2")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	y := c.AddGate(logic.Xor, "y", a, b)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	m := Analyze(c)
+	// CC1 = min(CC0a+CC1b, CC1a+CC0b)+1 = 3; CC0 = min(0+0,1+1 paths)=3.
+	if m.CC1[y] != 3 || m.CC0[y] != 3 {
+		t.Fatalf("XOR: CC1=%d CC0=%d, want 3/3", m.CC1[y], m.CC0[y])
+	}
+}
+
+func TestConstGateSCOAP(t *testing.T) {
+	c := logic.New("konst")
+	k1 := c.AddGate(logic.Const1, "k1")
+	a := c.AddInput("a")
+	y := c.AddGate(logic.And, "y", k1, a)
+	c.MarkOutput(y)
+	c.MustFinalize()
+	m := Analyze(c)
+	if m.CC1[k1] != 1 || m.CC0[k1] < Inf {
+		t.Fatalf("const1: CC1=%d CC0=%d", m.CC1[k1], m.CC0[k1])
+	}
+}
+
+func TestSequentialDepthCounter(t *testing.T) {
+	// In an n-bit ripple counter, bit i requires deeper sequential
+	// control than bit i-1; SCOAP sequential depth must reflect that.
+	c := circuits.Counter(4)
+	m := Analyze(c)
+	prev := -1
+	for i := 0; i < 4; i++ {
+		q, _ := c.NetByName("Q" + string(rune('0'+i)))
+		if m.SD1[q] >= Inf {
+			t.Fatalf("SD1(Q%d) unresolved", i)
+		}
+		if m.SD1[q] <= prev {
+			t.Fatalf("SD1(Q%d)=%d not monotonically increasing (prev %d)", i, m.SD1[q], prev)
+		}
+		prev = m.SD1[q]
+	}
+}
+
+func TestDeepLogicHarderThanShallow(t *testing.T) {
+	shallow := circuits.ParityTree(4)
+	deep := circuits.RippleAdder(16)
+	ms := Analyze(shallow).Summarize()
+	md := Analyze(deep).Summarize()
+	if md.MaxCO <= ms.MaxCO {
+		t.Fatalf("deep adder CO max %d should exceed small parity tree %d", md.MaxCO, ms.MaxCO)
+	}
+}
+
+func TestHardestOrdering(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	m := Analyze(c)
+	rep := m.Hardest(c, 10)
+	if len(rep) != 10 {
+		t.Fatalf("Hardest returned %d rows", len(rep))
+	}
+	score := func(r NetReport) int { return r.CC0 + r.CC1 + r.CO }
+	for i := 1; i < len(rep); i++ {
+		if score(rep[i]) > score(rep[i-1]) {
+			t.Fatalf("Hardest not sorted: %v before %v", rep[i-1], rep[i])
+		}
+	}
+}
+
+func TestObservationPointImprovesCO(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	m := Analyze(c)
+	// Pick the worst-observability internal net.
+	worst, worstCO := -1, -1
+	for n := 0; n < c.NumNets(); n++ {
+		if m.CO[n] < Inf && m.CO[n] > worstCO {
+			worst, worstCO = n, m.CO[n]
+		}
+	}
+	improved := AddObservationPoint(c, worst)
+	m2 := Analyze(improved)
+	if m2.CO[worst] != 1 {
+		t.Fatalf("CO after observation point = %d, want 1 (via buffer)", m2.CO[worst])
+	}
+	if worstCO <= 1 {
+		t.Fatalf("test setup: worst CO was already %d", worstCO)
+	}
+}
+
+func TestControlPointImprovesCC(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	m := Analyze(c)
+	// The high carry nets are the hardest to control to 1.
+	carry, _ := c.NetByName("C8")
+	before := m.CC1[carry]
+	improved := AddControlPoint(c, carry)
+	m2 := Analyze(improved)
+	gated, ok := improved.NetByName("TPG_C8")
+	if !ok {
+		t.Fatal("gated net missing")
+	}
+	if m2.CC1[gated] >= before {
+		t.Fatalf("CC1 after control point = %d, want < %d", m2.CC1[gated], before)
+	}
+	if m2.CC1[gated] > 2 {
+		t.Fatalf("CC1 via CTL input should be 2, got %d", m2.CC1[gated])
+	}
+}
+
+// TestControlPointTransparent verifies the degating identity: with
+// DEGATE=0, CTL=0 the modified circuit computes the original function.
+func TestControlPointTransparent(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	carry, _ := c.NetByName("C2")
+	mod := AddControlPoint(c, carry)
+	// mod has 2 extra PIs appended at the end.
+	if len(mod.PIs) != len(c.PIs)+2 {
+		t.Fatalf("PI count %d", len(mod.PIs))
+	}
+	for x := 0; x < 1<<9; x++ {
+		in := make([]bool, 9)
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+		}
+		inMod := append(append([]bool{}, in...), false, false)
+		got := evalOuts(mod, inMod)
+		want := evalOuts(c, in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %09b output %d differs under transparent degate", x, i)
+			}
+		}
+	}
+}
+
+// TestControlPointForcesNet: with DEGATE=1 the net follows CTL.
+func TestControlPointForcesNet(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	carry, _ := c.NetByName("C2")
+	mod := AddControlPoint(c, carry)
+	gated, _ := mod.NetByName("TPG_C2")
+	for _, ctl := range []bool{false, true} {
+		in := make([]bool, 11)
+		in[9] = true // DEGATE
+		in[10] = ctl
+		vals := evalAll(mod, in)
+		if vals[gated] != ctl {
+			t.Fatalf("degated net = %v, want CTL=%v", vals[gated], ctl)
+		}
+	}
+}
+
+func TestRecommendAndApply(t *testing.T) {
+	c := circuits.RippleAdder(12)
+	m := Analyze(c)
+	recs := Recommend(c, m, 4)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	improved := Apply(c, recs)
+	m2 := Analyze(improved)
+	// Each targeted net must now be cheap through its test point: an
+	// observed net reaches a PO through one buffer; a controlled net's
+	// gated replacement is settable through the CTL input.
+	for _, r := range recs {
+		switch r.Kind {
+		case "observe":
+			if m2.CO[r.Net] > 1 {
+				t.Fatalf("net %s still hard to observe: CO=%d (was score %d)", r.Name, m2.CO[r.Net], r.Score)
+			}
+		case "control":
+			gated, ok := improved.NetByName("TPG_" + r.Name)
+			if !ok {
+				t.Fatalf("gated net for %s missing", r.Name)
+			}
+			// Through the test point: CC1 = set CTL (2 assignments);
+			// CC0 = assert DEGATE and clear CTL (5 assignments).
+			if m2.CC0[gated] > 5 || m2.CC1[gated] > 3 {
+				t.Fatalf("net %s still hard to control: CC0=%d CC1=%d", r.Name, m2.CC0[gated], m2.CC1[gated])
+			}
+		}
+	}
+}
+
+// TestSCOAPPredictsRandomDetectability: faults on nets that SCOAP rates
+// easy should be detected by few random patterns, hard PLAs resist.
+func TestSCOAPCorrelatesWithPLAHardness(t *testing.T) {
+	easy := circuits.ParityTree(8)
+	me := Analyze(easy).Summarize()
+	cube := make(circuits.Cube, 20)
+	for i := range cube {
+		cube[i] = 1
+	}
+	hard := circuits.PLA("andpla", 20, []circuits.Cube{cube}, [][]int{{0}})
+	mh := Analyze(hard).Summarize()
+	if mh.MaxCC1 <= me.MaxCC1 {
+		t.Fatalf("20-input PLA product CC1 %d should exceed parity tree %d", mh.MaxCC1, me.MaxCC1)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Analyze(circuits.C17()).Summarize()
+	if s.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// helpers
+
+func evalOuts(c *logic.Circuit, in []bool) []bool {
+	vals := evalAll(c, in)
+	out := make([]bool, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = vals[po]
+	}
+	return out
+}
+
+func evalAll(c *logic.Circuit, in []bool) []bool {
+	// Local scalar evaluation to avoid an import cycle with sim (none
+	// exists, but testability should not depend on sim in production
+	// code; tests keep it that way).
+	vals := make([]bool, c.NumNets())
+	for i, id := range c.PIs {
+		vals[id] = in[i]
+	}
+	scratch := make([]bool, c.MaxFanin())
+	for _, id := range c.Order {
+		g := c.Gates[id]
+		args := scratch[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			args[i] = vals[f]
+		}
+		vals[id] = g.Type.EvalBool(args)
+	}
+	return vals
+}
+
+// Ensure fault package import is used: SCOAP hardest nets should include
+// sites of hard-to-detect faults (smoke-level integration).
+func TestHardestNetsAreFaultSites(t *testing.T) {
+	c := circuits.RippleAdder(6)
+	m := Analyze(c)
+	u := fault.Universe(c)
+	sites := map[int]bool{}
+	for _, f := range u {
+		sites[f.Site(c)] = true
+	}
+	for _, r := range m.Hardest(c, 5) {
+		if !sites[r.Net] {
+			t.Fatalf("hardest net %s is not a fault site", r.Name)
+		}
+	}
+}

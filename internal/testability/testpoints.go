@@ -1,0 +1,106 @@
+package testability
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// AddObservationPoint returns a copy of the circuit with net (named) wired
+// to a fresh primary output TPO_<name> — the paper's "test point used as
+// a primary output ... to enhance the observability of a network".
+func AddObservationPoint(c *logic.Circuit, net int) *logic.Circuit {
+	nc := c.Clone()
+	name := fmt.Sprintf("TPO_%s", c.NameOf(net))
+	nc.MarkOutput(nc.AddGate(logic.Buf, name, net))
+	nc.MustFinalize()
+	return nc
+}
+
+// AddControlPoint returns a copy of the circuit in which the given net
+// is made directly controllable through two new primary inputs, using
+// the degating structure of the paper's Fig. 2: the original driver is
+// ANDed with an active-low degate line and ORed with a control line:
+//
+//	net' = (driver AND NOT DEGATE) OR CTL
+//
+// With DEGATE=0, CTL=0 the circuit behaves as before; with DEGATE=1 the
+// net is driven entirely by CTL. All original readers of the net are
+// re-pointed at the gated value.
+func AddControlPoint(c *logic.Circuit, net int) *logic.Circuit {
+	nc := c.Clone()
+	base := c.NameOf(net)
+	degate := nc.AddInput(fmt.Sprintf("TPDG_%s", base))
+	ctl := nc.AddInput(fmt.Sprintf("TPCTL_%s", base))
+	ndeg := nc.AddGate(logic.Not, fmt.Sprintf("TPN_%s", base), degate)
+	blocked := nc.AddGate(logic.And, fmt.Sprintf("TPA_%s", base), net, ndeg)
+	gated := nc.AddGate(logic.Or, fmt.Sprintf("TPG_%s", base), blocked, ctl)
+	// Re-point all original readers (gates added before the test point).
+	for id := range nc.Gates {
+		if id == blocked || id == gated {
+			continue
+		}
+		for i, src := range nc.Gates[id].Fanin {
+			if src == net {
+				nc.Gates[id].Fanin[i] = gated
+			}
+		}
+	}
+	for i, po := range nc.POs {
+		if po == net {
+			nc.POs[i] = gated
+		}
+	}
+	nc.MustFinalize()
+	return nc
+}
+
+// Recommendation is a proposed test point.
+type Recommendation struct {
+	Net   int
+	Name  string
+	Kind  string // "observe" or "control"
+	Score int
+}
+
+// Recommend proposes up to k test points: nets whose observability or
+// controllability dominates the circuit's difficulty. It mirrors the
+// paper's flow of running a testability-measure program and adding test
+// points at critical nets.
+func Recommend(c *logic.Circuit, m *Measures, k int) []Recommendation {
+	var recs []Recommendation
+	for _, r := range m.Hardest(c, c.NumNets()) {
+		if len(recs) >= k {
+			break
+		}
+		if c.Gates[r.Net].Type == logic.Input {
+			continue
+		}
+		ctl := r.CC0
+		if r.CC1 > ctl {
+			ctl = r.CC1
+		}
+		if r.CO >= ctl && r.CO > 0 {
+			recs = append(recs, Recommendation{Net: r.Net, Name: r.Name, Kind: "observe", Score: r.CO})
+		} else if ctl > 0 {
+			recs = append(recs, Recommendation{Net: r.Net, Name: r.Name, Kind: "control", Score: ctl})
+		}
+	}
+	return recs
+}
+
+// Apply inserts the recommended test points, returning the improved
+// circuit.
+func Apply(c *logic.Circuit, recs []Recommendation) *logic.Circuit {
+	out := c
+	for _, r := range recs {
+		// Net IDs are stable across both transformations (they only
+		// append elements), so recommendations remain valid.
+		if r.Kind == "observe" {
+			out = AddObservationPoint(out, r.Net)
+		} else {
+			out = AddControlPoint(out, r.Net)
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package walsh implements testing by verifying Walsh coefficients
+// (Susskind [117]; Table I, Figs. 24–25): with the logical values 0/1
+// mapped to the arithmetic values -1/+1, the Walsh coefficient C_S of
+// an output is the correlation of the output with the parity of the
+// input subset S. Measuring just C_0 and C_all — two up/down counts
+// over an exhaustive pattern session — detects every stuck-at fault on
+// the primary inputs when C_all ≠ 0, and with structural side
+// conditions all single stuck-at faults.
+package walsh
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// MaxInputs bounds exhaustive enumeration.
+const MaxInputs = 22
+
+// arith maps a logic level to ±1.
+func arith(b bool) int {
+	if b {
+		return 1
+	}
+	return -1
+}
+
+// WalshFn evaluates the Walsh function W_S at input pattern x (bit i of
+// x = input i): the product of the ±1 images of the inputs in S.
+func WalshFn(subset []int, x uint64) int {
+	w := 1
+	for _, i := range subset {
+		w *= arith(x>>uint(i)&1 == 1)
+	}
+	return w
+}
+
+// outputsExhaustive enumerates all 2ⁿ patterns, invoking visit with
+// the pattern index and each output's value. A non-nil fault is
+// injected.
+func outputsExhaustive(c *logic.Circuit, f *fault.Fault, visit func(x uint64, outs uint64)) {
+	n := len(c.PIs)
+	if n > MaxInputs {
+		panic(fmt.Sprintf("walsh: %d inputs exceed exhaustive limit %d", n, MaxInputs))
+	}
+	ps := fault.NewParallelSim(c)
+	total := uint64(1) << uint(n)
+	buf := make([][]bool, 0, 64)
+	for base := uint64(0); base < total; base += 64 {
+		buf = buf[:0]
+		for k := uint64(0); k < 64 && base+k < total; k++ {
+			pat := make([]bool, n)
+			x := base + k
+			for i := 0; i < n; i++ {
+				pat[i] = x>>uint(i)&1 == 1
+			}
+			buf = append(buf, pat)
+		}
+		kk := ps.LoadBlock(buf)
+		if f != nil {
+			ps.FaultMask(*f)
+		}
+		for k := 0; k < kk; k++ {
+			var outs uint64
+			for j, po := range c.POs {
+				var w uint64
+				if f != nil {
+					w = ps.FaultyWord(po)
+				} else {
+					w = ps.GoodWord(po)
+				}
+				if w>>uint(k)&1 == 1 {
+					outs |= 1 << uint(j)
+				}
+			}
+			visit(base+uint64(k), outs)
+		}
+	}
+}
+
+// Coefficient computes C_S = Σ_x W_S(x)·F±(x) for output out of the
+// (possibly faulty) circuit.
+func Coefficient(c *logic.Circuit, out int, subset []int, f *fault.Fault) int {
+	sum := 0
+	outputsExhaustive(c, f, func(x uint64, outs uint64) {
+		sum += WalshFn(subset, x) * arith(outs>>uint(out)&1 == 1)
+	})
+	return sum
+}
+
+// C0 computes the zeroth coefficient: Σ F± = 2K - 2ⁿ (syndrome in
+// magnitude, as the paper notes).
+func C0(c *logic.Circuit, out int, f *fault.Fault) int {
+	return Coefficient(c, out, nil, f)
+}
+
+// CAll computes the all-variables coefficient.
+func CAll(c *logic.Circuit, out int, f *fault.Fault) int {
+	subset := make([]int, len(c.PIs))
+	for i := range subset {
+		subset[i] = i
+	}
+	return Coefficient(c, out, subset, f)
+}
+
+// Spectrum computes every coefficient C_S for output out (n ≤ 16),
+// indexed by the subset bitmask, using the fast Walsh-Hadamard
+// transform.
+func Spectrum(c *logic.Circuit, out int, f *fault.Fault) []int {
+	n := len(c.PIs)
+	if n > 16 {
+		panic("walsh: Spectrum limited to 16 inputs")
+	}
+	vals := make([]int, 1<<uint(n))
+	outputsExhaustive(c, f, func(x uint64, outs uint64) {
+		vals[x] = arith(outs>>uint(out)&1 == 1)
+	})
+	// In-place WHT over the ±1 vector: result[mask] = Σ W_mask(x)·F±(x).
+	for bit := 0; bit < n; bit++ {
+		step := 1 << uint(bit)
+		for i := 0; i < len(vals); i += 2 * step {
+			for j := i; j < i+step; j++ {
+				a, b := vals[j], vals[j+step]
+				vals[j], vals[j+step] = a+b, b-a
+			}
+		}
+	}
+	return vals
+}
+
+// TableIRow is one row of the paper's Table I for the Fig. 24 function
+// (the 3-input majority).
+type TableIRow struct {
+	X1, X2, X3 int
+	W2, W13    int
+	F          int // logical 0/1
+	W2F, W13F  int
+	WAll       int // as printed in the paper (negated product; see note)
+	WAllF      int
+}
+
+// TableI regenerates the paper's Table I. Two source-fidelity notes:
+// the printed WALL column is the negation of ∏xᵢ± under the paper's
+// stated 0→-1 association (we reproduce the printed sign), and the
+// printed WALLF column is internally inconsistent with WALL·F± — we
+// emit the consistent values, under which Σ WAllF = +4 = |C_all| of
+// the Fig. 24 majority function.
+func TableI() []TableIRow {
+	maj := func(a, b, c int) int {
+		if a+b+c >= 2 {
+			return 1
+		}
+		return 0
+	}
+	var rows []TableIRow
+	for x1 := 0; x1 <= 1; x1++ {
+		for x2 := 0; x2 <= 1; x2++ {
+			for x3 := 0; x3 <= 1; x3++ {
+				f := maj(x1, x2, x3)
+				fpm := arith(f == 1)
+				w2 := arith(x2 == 1)
+				w13 := arith(x1 == 1) * arith(x3 == 1)
+				wall := -(arith(x1 == 1) * arith(x2 == 1) * arith(x3 == 1))
+				rows = append(rows, TableIRow{
+					X1: x1, X2: x2, X3: x3,
+					W2: w2, W13: w13, F: f,
+					W2F: w2 * fpm, W13F: w13 * fpm,
+					WAll: wall, WAllF: wall * fpm,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Tester models Fig. 25: a driving counter applies all 2ⁿ patterns;
+// the counter's parity line p selects count direction through the
+// up/down response counter; two passes measure C_all and C_0.
+type Tester struct {
+	C   *logic.Circuit
+	Out int
+}
+
+// MeasureCAll runs the C_all pass: the response counter counts up when
+// W_all(x)·F(x) = +1 and down otherwise.
+func (t *Tester) MeasureCAll(f *fault.Fault) int {
+	count := 0
+	n := len(t.C.PIs)
+	outputsExhaustive(t.C, f, func(x uint64, outs uint64) {
+		// Parity p of the driving counter: W_all = (-1)^(n - ones(x)).
+		wall := 1
+		if (n-bits.OnesCount64(x))%2 == 1 {
+			wall = -1
+		}
+		count += wall * arith(outs>>uint(t.Out)&1 == 1)
+	})
+	return count
+}
+
+// MeasureC0 runs the C_0 pass (parity line ignored).
+func (t *Tester) MeasureC0(f *fault.Fault) int {
+	count := 0
+	outputsExhaustive(t.C, f, func(x uint64, outs uint64) {
+		count += arith(outs>>uint(t.Out)&1 == 1)
+	})
+	return count
+}
+
+// Pass compares the unit's two measured coefficients against the good
+// machine's.
+func (t *Tester) Pass(f *fault.Fault) bool {
+	return t.MeasureCAll(f) == t.MeasureCAll(nil) && t.MeasureC0(f) == t.MeasureC0(nil)
+}
+
+// InputFaultTheorem verifies Susskind's central result on a circuit:
+// if C_all ≠ 0 for some output, then every stuck-at fault on a primary
+// input drives that output's C_all to 0 (the faulty function no longer
+// depends on the stuck input), hence is detected. It returns the
+// number of input faults checked and detected.
+func InputFaultTheorem(c *logic.Circuit, out int) (checked, detected int, goodCAll int) {
+	goodCAll = CAll(c, out, nil)
+	for _, pi := range c.PIs {
+		for _, sa := range []logic.V{logic.Zero, logic.One} {
+			f := fault.Fault{Gate: pi, Pin: fault.Stem, SA: sa}
+			checked++
+			if CAll(c, out, &f) != goodCAll {
+				detected++
+			}
+		}
+	}
+	return
+}
+
+// FaultCoverage measures what fraction of the given faults the
+// two-coefficient tester catches on any output.
+func FaultCoverage(c *logic.Circuit, faults []fault.Fault) float64 {
+	if len(faults) == 0 {
+		return 0
+	}
+	type ref struct{ c0, call int }
+	refs := make([]ref, len(c.POs))
+	for j := range c.POs {
+		tst := &Tester{C: c, Out: j}
+		refs[j] = ref{tst.MeasureC0(nil), tst.MeasureCAll(nil)}
+	}
+	caught := 0
+	for _, f := range faults {
+		ff := f
+		for j := range c.POs {
+			tst := &Tester{C: c, Out: j}
+			if tst.MeasureC0(&ff) != refs[j].c0 || tst.MeasureCAll(&ff) != refs[j].call {
+				caught++
+				break
+			}
+		}
+	}
+	return float64(caught) / float64(len(faults))
+}

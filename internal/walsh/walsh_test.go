@@ -1,0 +1,185 @@
+package walsh
+
+import (
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/syndrome"
+)
+
+// TestTableI reproduces the paper's Table I verbatim (rows in x1,x2,x3
+// counting order).
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The W2/W13/F/W2F/W13F/WALL columns follow the paper's printed
+	// Table I exactly. The printed WALLF column is internally
+	// inconsistent with the table's own convention (WALLF must equal
+	// WALL·F±); we generate the consistent values, under which
+	// Σ WAllF = +4, matching the majority function's true |C_all| = 4
+	// (Parseval: 3 singleton coefficients of ±4 plus C_all = ±4 gives
+	// Σ C² = 64).
+	want := []TableIRow{
+		{0, 0, 0, -1, +1, 0, +1, -1, +1, -1},
+		{0, 0, 1, -1, -1, 0, +1, +1, -1, +1},
+		{0, 1, 0, +1, +1, 0, -1, -1, -1, +1},
+		{0, 1, 1, +1, -1, 1, +1, -1, +1, +1},
+		{1, 0, 0, -1, -1, 0, +1, +1, -1, +1},
+		{1, 0, 1, -1, +1, 1, -1, +1, +1, +1},
+		{1, 1, 0, +1, -1, 1, +1, -1, +1, +1},
+		{1, 1, 1, +1, +1, 1, +1, +1, -1, -1},
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	sum := 0
+	for _, r := range rows {
+		sum += r.WAllF
+	}
+	if sum != 4 {
+		t.Fatalf("Σ WAllF = %d, want +4 (paper sign; standard sign is -4)", sum)
+	}
+}
+
+// TestMajorityCoefficients checks the computed coefficients for the
+// Fig. 24 function: |C_all| = 4 and C_0 = 0 for the 3-majority.
+func TestMajorityCoefficients(t *testing.T) {
+	c := circuits.Majority(3)
+	if got := CAll(c, 0, nil); got != -4 {
+		t.Fatalf("C_all = %d, want -4 (standard sign; paper sign is +4)", got)
+	}
+	if got := C0(c, 0, nil); got != 0 {
+		t.Fatalf("C_0 = %d, want 0 (majority has K = 4 of 8)", got)
+	}
+}
+
+func TestSpectrumMatchesCoefficient(t *testing.T) {
+	c := circuits.C17()
+	for out := 0; out < len(c.POs); out++ {
+		spec := Spectrum(c, out, nil)
+		for mask := 0; mask < len(spec); mask++ {
+			var subset []int
+			for i := 0; i < len(c.PIs); i++ {
+				if mask>>uint(i)&1 == 1 {
+					subset = append(subset, i)
+				}
+			}
+			if got := Coefficient(c, out, subset, nil); got != spec[mask] {
+				t.Fatalf("out %d mask %05b: coefficient %d vs spectrum %d", out, mask, got, spec[mask])
+			}
+		}
+	}
+}
+
+// TestParsevalOnSpectrum: Σ C_S² = 2ⁿ·2ⁿ for a ±1 function — the
+// Walsh basis is orthogonal with norm 2ⁿ.
+func TestParsevalOnSpectrum(t *testing.T) {
+	c := circuits.Majority(3)
+	spec := Spectrum(c, 0, nil)
+	sum := 0
+	for _, v := range spec {
+		sum += v * v
+	}
+	if sum != 64 {
+		t.Fatalf("Σ C² = %d, want 64", sum)
+	}
+}
+
+func TestC0RelatesToSyndrome(t *testing.T) {
+	// C_0 = 2K - 2ⁿ: "equivalent to the Syndrome in magnitude times 2ⁿ".
+	c := circuits.RippleAdder(2)
+	counts, _ := syndrome.Syndromes(c)
+	n := len(c.PIs)
+	for j := range c.POs {
+		want := 2*counts[j] - (1 << uint(n))
+		if got := C0(c, j, nil); got != want {
+			t.Fatalf("output %d: C0 = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestInputFaultTheorem(t *testing.T) {
+	c := circuits.Majority(3)
+	checked, detected, goodCAll := InputFaultTheorem(c, 0)
+	if goodCAll == 0 {
+		t.Fatal("majority C_all must be nonzero")
+	}
+	if checked != 6 || detected != 6 {
+		t.Fatalf("detected %d of %d input faults; theorem says all when C_all != 0", detected, checked)
+	}
+	// Verify the mechanism: a stuck input zeroes C_all.
+	pi := c.PIs[0]
+	f := fault.Fault{Gate: pi, Pin: fault.Stem, SA: logic.One}
+	if got := CAll(c, 0, &f); got != 0 {
+		t.Fatalf("faulty C_all = %d, want 0 (function independent of stuck input)", got)
+	}
+}
+
+// TestCAllZeroBlindSpot: when the good C_all is already 0 (the output
+// ignores an input), input faults on that line escape the C_all check —
+// the case where the paper requires network modification.
+func TestCAllZeroBlindSpot(t *testing.T) {
+	c := logic.New("partial")
+	a := c.AddInput("a")
+	c.AddInput("b") // unused by the output
+	c.MarkOutput(c.AddGate(logic.Buf, "y", a))
+	c.MustFinalize()
+	if got := CAll(c, 0, nil); got != 0 {
+		t.Fatalf("C_all = %d, want 0 for an output ignoring an input", got)
+	}
+	_, detected, _ := InputFaultTheorem(c, 0)
+	if detected != 0 {
+		t.Fatalf("C_all check detected %d faults despite C_all = 0", detected)
+	}
+}
+
+func TestTesterPassAndCatch(t *testing.T) {
+	c := circuits.Majority(3)
+	tst := &Tester{C: c, Out: 0}
+	if !tst.Pass(nil) {
+		t.Fatal("good machine failed")
+	}
+	m0, _ := c.NetByName("M0")
+	f := fault.Fault{Gate: m0, Pin: fault.Stem, SA: logic.One}
+	if tst.Pass(&f) {
+		t.Fatal("tester missed an internal stuck fault that shifts C0")
+	}
+}
+
+func TestTesterMeasureMatchesDirect(t *testing.T) {
+	c := circuits.C17()
+	for out := 0; out < 2; out++ {
+		tst := &Tester{C: c, Out: out}
+		if tst.MeasureCAll(nil) != CAll(c, out, nil) {
+			t.Fatalf("out %d: hardware C_all path disagrees with direct computation", out)
+		}
+		if tst.MeasureC0(nil) != C0(c, out, nil) {
+			t.Fatalf("out %d: hardware C_0 path disagrees", out)
+		}
+	}
+}
+
+func TestFaultCoverageMajority(t *testing.T) {
+	c := circuits.Majority(3)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	cov := FaultCoverage(c, cl.Reps)
+	if cov < 0.9 {
+		t.Fatalf("two-coefficient coverage on majority = %.3f, want >= 0.9", cov)
+	}
+}
+
+func TestExhaustiveLimit(t *testing.T) {
+	c := circuits.RippleAdder(12) // 25 inputs
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above input limit")
+		}
+	}()
+	CAll(c, 0, nil)
+}
