@@ -1,0 +1,35 @@
+# Standard entry points for the DFT toolkit. `make check` is the
+# pre-commit gate: build, vet, and the full test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-json clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the benchmarks and leaves the accumulated telemetry
+# as a dft.run-report/v1 document in BENCH_telemetry.json.
+bench-json:
+	DFT_BENCH_JSON=BENCH_telemetry.json $(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_telemetry.json

@@ -5,7 +5,10 @@ package dft
 // with: go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 
 	"dft/internal/atpg"
@@ -27,9 +30,37 @@ import (
 	"dft/internal/signature"
 	"dft/internal/sim"
 	"dft/internal/syndrome"
+	"dft/internal/telemetry"
 	"dft/internal/testability"
 	"dft/internal/walsh"
 )
+
+// TestMain lets a benchmark run leave a machine-readable trail: when
+// DFT_BENCH_JSON names a file, the process-wide telemetry accumulated
+// by every benchmark and test in this package is written there as a
+// dft.run-report/v1 document after the run.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("DFT_BENCH_JSON"); path != "" {
+		rep := telemetry.NewReport("go-test", "bench", "dft")
+		rep.Config["args"] = strings.Join(os.Args[1:], " ")
+		rep.Results["exit_code"] = code
+		f, err := os.Create(path)
+		if err == nil {
+			err = rep.Finish(telemetry.Default()).WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "DFT_BENCH_JSON:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // --- Figure/table regenerators ---
 

@@ -21,7 +21,7 @@ func cmdBridge(args []string) error {
 	limit := fs.Int("limit", 200, "bridge pairs to sample")
 	window := fs.Int("window", 1, "level-adjacency window")
 	seed := fs.Int64("seed", 9, "sampling seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -45,7 +45,7 @@ func cmdBridge(args []string) error {
 func cmdCMOS(args []string) error {
 	fs := flag.NewFlagSet("cmos", flag.ContinueOnError)
 	seed := fs.Int64("seed", 5, "search seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -71,7 +71,7 @@ func cmdCMOS(args []string) error {
 func cmdSeqTest(args []string) error {
 	fs := flag.NewFlagSet("seqtest", flag.ContinueOnError)
 	frames := fs.Int("frames", 8, "maximum unrolling depth")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -100,7 +100,7 @@ func cmdDiagnose(args []string) error {
 	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
 	patterns := fs.Int("patterns", 64, "random patterns for the dictionary")
 	seed := fs.Int64("seed", 6, "pattern seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {

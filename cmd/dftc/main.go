@@ -1,21 +1,32 @@
 // Command dftc is the toolkit's command-line front end: circuit
 // inspection, SCOAP testability analysis, ATPG, fault simulation, scan
 // insertion, BILBO self-test planning, syndrome/Walsh measurement,
-// LFSR utilities, and regeneration of every paper experiment.
+// LFSR utilities, bridging/stuck-open/sequential extensions, fault
+// diagnosis, profiling, and regeneration of every paper experiment.
 //
 // Usage:
 //
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
-//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact]
-//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-json]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
 //	dftc syndrome  <file.bench>
 //	dftc walsh     <file.bench> [-out K]
 //	dftc lfsr      [-width N] [-clocks K]
 //	dftc bench     <generator> [args...]   (emit a library circuit as .bench)
-//	dftc experiments [id]
+//	dftc bridge    <file.bench> [-limit N] [-window W] [-seed S]
+//	dftc cmos      <file.bench> [-seed S]
+//	dftc seqtest   <file.bench> [-frames N]
+//	dftc diagnose  <file.bench> [-patterns N] [-seed S]
+//	dftc profile   <file.bench> [-seed S] [-json]
+//	dftc experiments [id] [-json]
+//
+// The global -stats flag (accepted anywhere on the command line) dumps
+// a telemetry summary — counters, timers, histograms, trace — to
+// stderr after the subcommand finishes. Subcommands with -json emit a
+// machine-readable run report (schema dft.run-report/v1) on stdout.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"dft/internal/logic"
 	"dft/internal/lssd"
 	"dft/internal/syndrome"
+	"dft/internal/telemetry"
 	"dft/internal/walsh"
 )
 
@@ -44,49 +56,128 @@ func main() {
 	}
 }
 
+// subcommands maps names to implementations; run dispatches through it
+// and the unknown-subcommand path mines it for suggestions.
+var subcommands = map[string]func([]string) error{
+	"info":        cmdInfo,
+	"scoap":       cmdScoap,
+	"atpg":        cmdATPG,
+	"faultsim":    cmdFaultSim,
+	"scan":        cmdScan,
+	"bilbo":       cmdBILBO,
+	"syndrome":    cmdSyndrome,
+	"walsh":       cmdWalsh,
+	"lfsr":        cmdLFSR,
+	"bench":       cmdBench,
+	"bridge":      cmdBridge,
+	"cmos":        cmdCMOS,
+	"seqtest":     cmdSeqTest,
+	"diagnose":    cmdDiagnose,
+	"profile":     cmdProfile,
+	"experiments": cmdExperiments,
+}
+
 func run(args []string) error {
+	args, stats := stripStatsFlag(args)
+	if stats {
+		defer func() {
+			fmt.Fprint(os.Stderr, "\n-- telemetry --\n"+telemetry.Default().Snapshot().Summary())
+		}()
+	}
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
 	}
 	cmd, rest := args[0], args[1:]
+	if fn, ok := subcommands[cmd]; ok {
+		return fn(rest)
+	}
 	switch cmd {
-	case "info":
-		return cmdInfo(rest)
-	case "scoap":
-		return cmdScoap(rest)
-	case "atpg":
-		return cmdATPG(rest)
-	case "faultsim":
-		return cmdFaultSim(rest)
-	case "scan":
-		return cmdScan(rest)
-	case "bilbo":
-		return cmdBILBO(rest)
-	case "syndrome":
-		return cmdSyndrome(rest)
-	case "walsh":
-		return cmdWalsh(rest)
-	case "lfsr":
-		return cmdLFSR(rest)
-	case "bench":
-		return cmdBench(rest)
-	case "bridge":
-		return cmdBridge(rest)
-	case "cmos":
-		return cmdCMOS(rest)
-	case "seqtest":
-		return cmdSeqTest(rest)
-	case "diagnose":
-		return cmdDiagnose(rest)
-	case "experiments":
-		return cmdExperiments(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
 	}
 	usage()
+	if near := closestSubcommand(cmd); near != "" {
+		return fmt.Errorf("unknown subcommand %q (did you mean %q?)", cmd, near)
+	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// parseFlags parses like fs.Parse but accepts flags after positional
+// arguments (the flag package stops at the first non-flag token, which
+// would silently drop `dftc atpg file.bench -json`).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	var pos []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	return fs.Parse(pos)
+}
+
+// stripStatsFlag removes every bare -stats/--stats token so the flag
+// works globally, before or after the subcommand.
+func stripStatsFlag(args []string) (out []string, stats bool) {
+	out = args[:0:0]
+	for _, a := range args {
+		if a == "-stats" || a == "--stats" {
+			stats = true
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, stats
+}
+
+// closestSubcommand returns the known subcommand nearest to cmd by
+// edit distance, or "" when nothing is plausibly close.
+func closestSubcommand(cmd string) string {
+	best, bestDist := "", len(cmd)/2+1 // allow at most ~half the name wrong
+	for name := range subcommands {
+		if d := editDistance(cmd, name); d < bestDist {
+			best, bestDist = name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }
 
 func usage() {
@@ -110,7 +201,13 @@ subcommands:
   cmos <f.bench>                      stuck-open two-pattern testing
   seqtest <f.bench> [-frames N]       sequential ATPG (time-frame expansion)
   diagnose <f.bench> [flags]          fault-dictionary resolution
-  experiments [id]                    regenerate paper tables/figures`)
+  profile <f.bench> [-seed S] [-json] standard workload with per-phase timing
+  experiments [id] [-json]            regenerate paper tables/figures
+
+global flags:
+  -stats            dump telemetry (counters/timers/trace) to stderr at exit
+  -json             on atpg/faultsim/profile/experiments: machine-readable
+                    run report (schema dft.run-report/v1) on stdout`)
 }
 
 func loadDesign(path string) (*core.Design, error) {
@@ -124,7 +221,7 @@ func loadDesign(path string) (*core.Design, error) {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -142,7 +239,7 @@ func cmdInfo(args []string) error {
 func cmdScoap(args []string) error {
 	fs := flag.NewFlagSet("scoap", flag.ContinueOnError)
 	top := fs.Int("top", 10, "hardest nets to list")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -168,7 +265,8 @@ func cmdATPG(args []string) error {
 	random := fs.Int("random", 0, "random-first pattern budget")
 	compact := fs.Bool("compact", false, "reverse-order compaction")
 	seed := fs.Int64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
+	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -192,6 +290,27 @@ func cmdATPG(args []string) error {
 	ts := d.Generate(core.GenerateOptions{
 		Engine: e, RandomFirst: *random, Seed: *seed, Compact: *compact,
 	})
+	if *jsonOut {
+		rep := telemetry.NewReport("dftc", "atpg", fs.Arg(0))
+		rep.Config = map[string]any{
+			"engine":  *engine,
+			"scan":    *scan,
+			"random":  *random,
+			"compact": *compact,
+			"seed":    *seed,
+		}
+		rep.Results = map[string]any{
+			"patterns":     len(ts.Patterns),
+			"coverage":     ts.Coverage,
+			"raw_coverage": ts.RawCover,
+			"untestable":   ts.Untestable,
+			"aborted":      ts.Aborted,
+			"targets":      ts.TargetN,
+			"gates":        d.Circuit.NumGates(),
+			"dffs":         d.Circuit.NumDFFs(),
+		}
+		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
+	}
 	fmt.Print(d.BuildReport(ts))
 	if ts.Untestable > 0 {
 		fmt.Printf("untestable (redundant) faults: %d\n", ts.Untestable)
@@ -207,7 +326,8 @@ func cmdFaultSim(args []string) error {
 	n := fs.Int("patterns", 1024, "random patterns to grade")
 	seed := fs.Int64("seed", 1, "random seed")
 	scan := fs.Bool("scan", false, "assume full scan view")
-	if err := fs.Parse(args); err != nil {
+	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -223,6 +343,16 @@ func cmdFaultSim(args []string) error {
 		}
 	}
 	ts := d.RandomTests(*n, *seed)
+	if *jsonOut {
+		rep := telemetry.NewReport("dftc", "faultsim", fs.Arg(0))
+		rep.Config = map[string]any{"patterns": *n, "seed": *seed, "scan": *scan}
+		rep.Results = map[string]any{
+			"coverage":      ts.Coverage,
+			"kept_patterns": len(ts.Patterns),
+			"targets":       ts.TargetN,
+		}
+		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
+	}
 	fmt.Printf("applied %d random patterns: coverage %.2f%% with %d kept patterns\n",
 		*n, ts.Coverage*100, len(ts.Patterns))
 	return nil
@@ -231,7 +361,7 @@ func cmdFaultSim(args []string) error {
 func cmdScan(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
 	style := fs.String("style", "lssd", "lssd or mux")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -259,7 +389,7 @@ func cmdScan(args []string) error {
 func cmdBILBO(args []string) error {
 	fs := flag.NewFlagSet("bilbo", flag.ContinueOnError)
 	patterns := fs.Int("patterns", 255, "PN patterns per session")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
@@ -286,7 +416,7 @@ func cmdBILBO(args []string) error {
 
 func cmdSyndrome(args []string) error {
 	fs := flag.NewFlagSet("syndrome", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -309,7 +439,7 @@ func cmdSyndrome(args []string) error {
 func cmdWalsh(args []string) error {
 	fs := flag.NewFlagSet("walsh", flag.ContinueOnError)
 	out := fs.Int("out", 0, "output index")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -333,7 +463,7 @@ func cmdLFSR(args []string) error {
 	fs := flag.NewFlagSet("lfsr", flag.ContinueOnError)
 	width := fs.Int("width", 3, "register width")
 	clocks := fs.Int("clocks", 10, "clocks to print")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	l := lfsr.NewMaximal(*width)
@@ -397,15 +527,38 @@ func cmdBench(args []string) error {
 }
 
 func cmdExperiments(args []string) error {
-	if len(args) == 1 {
-		e, ok := experiments.ByID(args[0])
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try: dftc experiments)", args[0])
-		}
-		fmt.Println(e.Run().Render())
-		return nil
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	for _, e := range experiments.All() {
+	var todo []experiments.Experiment
+	switch fs.NArg() {
+	case 0:
+		todo = experiments.All()
+	case 1:
+		e, ok := experiments.ByID(fs.Arg(0))
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: dftc experiments)", fs.Arg(0))
+		}
+		todo = []experiments.Experiment{e}
+	default:
+		return fmt.Errorf("experiments takes at most one id")
+	}
+	if *jsonOut {
+		rep := telemetry.NewReport("dftc", "experiments", "")
+		var outs []map[string]any
+		for _, e := range todo {
+			outs = append(outs, map[string]any{
+				"id":       e.ID,
+				"title":    e.Title,
+				"rendered": e.Run().Render(),
+			})
+		}
+		rep.Results = map[string]any{"experiments": outs}
+		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
+	}
+	for _, e := range todo {
 		fmt.Println(e.Run().Render())
 	}
 	return nil

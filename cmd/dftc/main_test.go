@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// writeBench materializes a library circuit for CLI runs.
+func writeBench(t *testing.T, c *logic.Circuit) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), c.Name+".bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := logic.WriteBench(f, c); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", runErr, out)
+	}
+	return out
+}
+
+// TestATPGJSONReport is the golden test for `dftc atpg -json`: the
+// report must parse under the versioned schema and carry nonzero
+// search and fault-simulation telemetry.
+func TestATPGJSONReport(t *testing.T) {
+	telemetry.Default().Reset()
+	bench := writeBench(t, circuits.ALU74181())
+	out := captureStdout(t, func() error {
+		return run([]string{"atpg", bench, "-json", "-stats"})
+	})
+	rep, err := telemetry.ParseReport([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseReport: %v\noutput:\n%s", err, out)
+	}
+	if rep.Tool != "dftc" || rep.Command != "atpg" || rep.Input != bench {
+		t.Fatalf("report header = %q/%q/%q", rep.Tool, rep.Command, rep.Input)
+	}
+	if rep.Config["engine"] != "podem" {
+		t.Fatalf("config engine = %v", rep.Config["engine"])
+	}
+	cov, ok := rep.Results["coverage"].(float64)
+	if !ok || cov <= 0.9 {
+		t.Fatalf("coverage = %v, want > 0.9", rep.Results["coverage"])
+	}
+	c := rep.Metrics.Counters
+	for _, name := range []string{
+		"atpg.backtracks",
+		"atpg.podem.decisions",
+		"atpg.faults.detected",
+		"fault.sim.events",
+		"fault.sim.patterns",
+	} {
+		if c[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, c[name])
+		}
+	}
+	gen, ok := rep.Metrics.Timers["atpg.generate"]
+	if !ok || gen.Count != 1 || gen.TotalNs <= 0 {
+		t.Fatalf("atpg.generate timer = %+v", gen)
+	}
+}
+
+// TestProfileJSONReport exercises the profile subcommand end to end.
+func TestProfileJSONReport(t *testing.T) {
+	telemetry.Default().Reset()
+	bench := writeBench(t, circuits.C17())
+	out := captureStdout(t, func() error {
+		return run([]string{"profile", bench, "-json"})
+	})
+	rep, err := telemetry.ParseReport([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseReport: %v\noutput:\n%s", err, out)
+	}
+	for _, phase := range []string{"load", "scoap", "faultsim", "atpg-podem", "atpg-dalg", "compact", "signature"} {
+		ns, ok := rep.Results["phase_"+phase+"_ns"].(float64)
+		if !ok || ns <= 0 {
+			t.Errorf("phase %s duration = %v, want > 0", phase, rep.Results["phase_"+phase+"_ns"])
+		}
+		if _, ok := rep.Metrics.Timers["profile."+phase]; !ok {
+			t.Errorf("missing span timer profile.%s", phase)
+		}
+	}
+}
+
+// TestUnknownSubcommandSuggests checks the did-you-mean path.
+func TestUnknownSubcommandSuggests(t *testing.T) {
+	err := run([]string{"atgp"})
+	if err == nil || !strings.Contains(err.Error(), `did you mean "atpg"`) {
+		t.Fatalf("err = %v, want atpg suggestion", err)
+	}
+	if err := run([]string{"zzzzqq"}); err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("err = %v, want no suggestion for gibberish", err)
+	}
+}
+
+// TestStatsFlagStripping ensures -stats is accepted anywhere.
+func TestStatsFlagStripping(t *testing.T) {
+	args, stats := stripStatsFlag([]string{"-stats", "atpg", "f.bench", "--stats"})
+	if !stats || len(args) != 2 || args[0] != "atpg" || args[1] != "f.bench" {
+		t.Fatalf("stripStatsFlag = %v, %v", args, stats)
+	}
+	if _, stats := stripStatsFlag([]string{"atpg"}); stats {
+		t.Fatal("phantom -stats")
+	}
+}

@@ -3,6 +3,7 @@ package atpg
 import (
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // DAlg generates a test with Roth's D-algorithm: unlike PODEM it makes
@@ -25,6 +26,14 @@ func DAlg(c *logic.Circuit, view View, f fault.Fault, cfg PodemConfig) (Test, er
 		f:      f,
 		budget: maxBT,
 	}
+	defer func() {
+		// Flush once per fault: the search itself stays atomic-free.
+		reg := telemetry.OrDefault(cfg.Metrics)
+		reg.Counter("atpg.dalg.decisions").Add(int64(d.decisions))
+		reg.Counter("atpg.dalg.backtracks").Add(int64(d.backtracks))
+		reg.Counter("atpg.dalg.implications").Add(int64(d.implications))
+		reg.Counter("atpg.backtracks").Add(int64(d.backtracks))
+	}()
 	// Seed: activate the fault by requiring the site at NOT(SA).
 	site := f.Site(c)
 	asg := assignment{}
@@ -57,6 +66,13 @@ type dalg struct {
 	budget  int
 	found   Test
 	pending []int // assigned nets not yet produced by simulation
+
+	// Search-effort counters, flushed to telemetry once per fault:
+	// decisions = search nodes entered, implications = forward
+	// simulation passes, backtracks = alternatives that failed.
+	decisions    int
+	implications int
+	backtracks   int
 }
 
 // effective returns the value of a net under the current simulation
@@ -82,6 +98,7 @@ func (d *dalg) effective(asg assignment, net int) logic.V {
 func (d *dalg) simulate(asg assignment) bool {
 	s := d.s
 	c := d.c
+	d.implications++
 	d.pending = d.pending[:0]
 	for i := range s.assign {
 		s.assign[i] = logic.X
@@ -161,6 +178,7 @@ func (d *dalg) search(asg assignment) (ok, aborted bool) {
 		return false, true
 	}
 	d.budget--
+	d.decisions++
 	if !d.simulate(asg) {
 		return false, false
 	}
@@ -213,6 +231,7 @@ func (d *dalg) search(asg assignment) (ok, aborted bool) {
 			if ok || ab {
 				return ok, ab
 			}
+			d.backtracks++
 			continue
 		}
 		// XOR-class: any known side values propagate, but which values
@@ -235,6 +254,7 @@ func (d *dalg) search(asg assignment) (ok, aborted bool) {
 			if ok || ab {
 				return ok, ab
 			}
+			d.backtracks++
 		}
 	}
 	return false, false
@@ -320,6 +340,7 @@ func (d *dalg) justify(asg assignment, net int) (ok, aborted bool) {
 		if ok || ab {
 			return ok, ab
 		}
+		d.backtracks++
 	}
 	return false, false
 }

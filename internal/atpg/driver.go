@@ -6,6 +6,7 @@ import (
 
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // Engine selects the deterministic test-generation algorithm.
@@ -36,6 +37,14 @@ type Config struct {
 	// RandomFirst applies this many random patterns (with fault
 	// dropping) before any deterministic generation; 0 disables.
 	RandomFirst int
+	// Rand, when non-nil, is the injected random source for the
+	// random-first phase and X-fill. When nil, Generate derives a
+	// private source from RandomSeed, so either way a run never touches
+	// shared global random state and a fixed seed reproduces exactly.
+	Rand *rand.Rand
+	// Metrics receives the run's telemetry; nil selects
+	// telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 // Generate runs the classical ATPG flow over the collapsed fault list:
@@ -44,9 +53,16 @@ type Config struct {
 // remaining faults so each test is credited with everything it catches.
 func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *GenerateResult {
 	start := time.Now()
-	rng := rand.New(rand.NewSource(cfg.RandomSeed + 1))
+	reg := telemetry.OrDefault(cfg.Metrics)
+	defer reg.Timer("atpg.generate").Time()()
+	reg.Counter("atpg.faults.targeted").Add(int64(len(targets)))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.RandomSeed + 1))
+	}
 	res := &GenerateResult{Detected: make([]bool, len(targets))}
 	h := newHarness(c, view, targets)
+	h.reg = reg
 
 	if cfg.RandomFirst > 0 {
 		applied := 0
@@ -69,10 +85,16 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 			}
 			applied += len(block)
 		}
+		reg.Counter("atpg.random.patterns").Add(int64(applied))
 	}
 
-	pcfg := PodemConfig{MaxBacktracks: cfg.MaxBacktracks}
+	pcfg := PodemConfig{MaxBacktracks: cfg.MaxBacktracks, Metrics: cfg.Metrics}
+	engineTimer := reg.Timer("atpg.engine.podem")
+	if cfg.Engine == EngineDAlg {
+		engineTimer = reg.Timer("atpg.engine.dalg")
+	}
 	gen := func(f fault.Fault) (Test, error) {
+		defer engineTimer.Time()()
 		if cfg.Engine == EngineDAlg {
 			return DAlg(c, view, f, pcfg)
 		}
@@ -127,6 +149,10 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 		res.Coverage = float64(caught) / float64(testable)
 	}
 	res.Elapsed = time.Since(start)
+	reg.Counter("atpg.faults.detected").Add(int64(caught))
+	reg.Counter("atpg.faults.untestable").Add(int64(len(res.Untestable)))
+	reg.Counter("atpg.faults.aborted").Add(int64(len(res.Aborted)))
+	reg.Histogram("atpg.patterns_per_run").Observe(int64(len(res.Patterns)))
 	return res
 }
 
@@ -135,6 +161,8 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 // that detect something new are kept. Typical shrink is 2–5× on
 // deterministic test sets.
 func Compact(c *logic.Circuit, view View, targets []fault.Fault, patterns [][]bool) [][]bool {
+	reg := telemetry.Default()
+	defer reg.Timer("atpg.compact").Time()()
 	h := newHarness(c, view, targets)
 	detected := make([]bool, len(targets))
 	var kept [][]bool
@@ -148,5 +176,7 @@ func Compact(c *logic.Circuit, view View, targets []fault.Fault, patterns [][]bo
 	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
 		kept[i], kept[j] = kept[j], kept[i]
 	}
+	reg.Counter("atpg.compact.in").Add(int64(len(patterns)))
+	reg.Counter("atpg.compact.kept").Add(int64(len(kept)))
 	return kept
 }

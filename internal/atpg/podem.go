@@ -5,6 +5,7 @@ import (
 
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // ErrUntestable is returned when the search space is exhausted without
@@ -15,9 +16,12 @@ var ErrUntestable = errors.New("atpg: fault is untestable (redundant)")
 // search concludes.
 var ErrAborted = errors.New("atpg: backtrack limit exceeded")
 
-// PodemConfig tunes the PODEM search.
+// PodemConfig tunes the PODEM (and D-algorithm) search.
 type PodemConfig struct {
 	MaxBacktracks int // 0 means DefaultBacktracks
+	// Metrics receives decision/backtrack/implication counts; nil
+	// selects telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 // DefaultBacktracks bounds the search effort per fault.
@@ -40,9 +44,19 @@ func Podem(c *logic.Circuit, view View, f fault.Fault, cfg PodemConfig) (Test, e
 	}
 	var stack []decision
 	backtracks := 0
+	decisions, implications := 0, 0
+	defer func() {
+		// Flush once per fault: the search loop itself stays atomic-free.
+		reg := telemetry.OrDefault(cfg.Metrics)
+		reg.Counter("atpg.podem.decisions").Add(int64(decisions))
+		reg.Counter("atpg.podem.backtracks").Add(int64(backtracks))
+		reg.Counter("atpg.podem.implications").Add(int64(implications))
+		reg.Counter("atpg.backtracks").Add(int64(backtracks))
+	}()
 
 	for {
 		s.run()
+		implications++
 		if s.detected() {
 			return s.test(), nil
 		}
@@ -51,6 +65,7 @@ func Podem(c *logic.Circuit, view View, f fault.Fault, cfg PodemConfig) (Test, e
 			if idx, v, ok := backtrace(s, obj, objVal); ok {
 				s.assign[idx] = v
 				stack = append(stack, decision{idx: idx, val: v})
+				decisions++
 				continue
 			}
 			// No X path to an input: treat as a dead end.

@@ -5,6 +5,7 @@ import (
 
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // RandomResult reports a random-pattern generation run.
@@ -40,6 +41,8 @@ func WeightedRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
 	}
 	h := newHarness(c, view, faults)
 	res := &RandomResult{Detected: make([]bool, len(faults))}
+	defer h.reg.Timer("atpg.random").Time()()
+	defer func() { h.reg.Counter("atpg.random.patterns").Add(int64(res.Applied)) }()
 	for res.Applied < maxPatterns {
 		block := make([][]bool, 0, 64)
 		for k := 0; k < 64 && res.Applied+len(block) < maxPatterns; k++ {
@@ -73,6 +76,8 @@ func AdaptiveRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
 	}
 	h := newHarness(c, view, faults)
 	res := &RandomResult{Detected: make([]bool, len(faults))}
+	defer h.reg.Timer("atpg.random").Time()()
+	defer func() { h.reg.Counter("atpg.random.patterns").Add(int64(res.Applied)) }()
 	const alpha = 0.15 // adaptation rate
 	for res.Applied < maxPatterns {
 		block := make([][]bool, 0, 64)
@@ -131,12 +136,14 @@ type harness struct {
 	ps     *fault.ParallelSim
 	live   []int
 	caught int
+	reg    *telemetry.Registry
 }
 
 func newHarness(c *logic.Circuit, view View, faults []fault.Fault) *harness {
 	h := &harness{
 		c: c, view: view, faults: faults,
-		ps: fault.NewParallelSimView(c, view.Inputs, view.Outputs),
+		ps:  fault.NewParallelSimView(c, view.Inputs, view.Outputs),
+		reg: telemetry.Default(),
 	}
 	h.live = make([]int, len(faults))
 	for i := range h.live {
@@ -178,6 +185,11 @@ func (h *harness) applyBlock(block [][]bool, detected []bool) [][]bool {
 			useful = append(useful, block[i])
 		}
 	}
+	masks, evals := h.ps.TakeCounts()
+	h.reg.Counter("fault.sim.faultmasks").Add(masks)
+	h.reg.Counter("fault.sim.events").Add(evals)
+	h.reg.Counter("fault.sim.blocks").Inc()
+	h.reg.Counter("fault.sim.patterns").Add(int64(len(block)))
 	return useful
 }
 

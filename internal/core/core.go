@@ -17,6 +17,7 @@ import (
 	"dft/internal/fault"
 	"dft/internal/logic"
 	"dft/internal/lssd"
+	"dft/internal/telemetry"
 	"dft/internal/testability"
 )
 
@@ -126,16 +127,23 @@ type GenerateOptions struct {
 	MaxBacktracks int
 	Seed          int64
 	Compact       bool
+	// Rand, when non-nil, is the injected random source; it takes
+	// precedence over Seed.
+	Rand *rand.Rand
 }
 
 // Generate runs ATPG under the design's view.
 func (d *Design) Generate(opt GenerateOptions) TestSet {
+	span := telemetry.Default().StartSpan("core.generate")
+	span.SetDetail(d.Circuit.Name)
+	defer span.End()
 	targets := d.Faults()
 	res := atpg.Generate(d.Circuit, d.View(), targets, atpg.Config{
 		Engine:        opt.Engine,
 		MaxBacktracks: opt.MaxBacktracks,
 		RandomSeed:    opt.Seed,
 		RandomFirst:   opt.RandomFirst,
+		Rand:          opt.Rand,
 	})
 	patterns := res.Patterns
 	if opt.Compact {
@@ -152,10 +160,19 @@ func (d *Design) Generate(opt GenerateOptions) TestSet {
 }
 
 // RandomTests generates random patterns with fault dropping and
-// returns the resulting set and coverage.
+// returns the resulting set and coverage. The source is private to the
+// call, so a fixed seed reproduces exactly; see RandomTestsRand to
+// inject one.
 func (d *Design) RandomTests(budget int, seed int64) TestSet {
+	return d.RandomTestsRand(budget, rand.New(rand.NewSource(seed)))
+}
+
+// RandomTestsRand is RandomTests with an injected random source.
+func (d *Design) RandomTestsRand(budget int, rng *rand.Rand) TestSet {
+	span := telemetry.Default().StartSpan("core.randomtests")
+	span.SetDetail(d.Circuit.Name)
+	defer span.End()
 	targets := d.Faults()
-	rng := rand.New(rand.NewSource(seed))
 	res := atpg.RandomGenerate(d.Circuit, d.View(), targets, 1.0, budget, rng)
 	return TestSet{
 		Patterns: res.Patterns,
@@ -168,6 +185,9 @@ func (d *Design) RandomTests(budget int, seed int64) TestSet {
 // FaultGrade fault-simulates an arbitrary pattern set under the
 // design's view.
 func (d *Design) FaultGrade(patterns [][]bool) float64 {
+	span := telemetry.Default().StartSpan("core.faultgrade")
+	span.SetDetail(d.Circuit.Name)
+	defer span.End()
 	view := d.View()
 	targets := d.Faults()
 	res := fault.SimulateView(d.Circuit, view.Inputs, view.Outputs, targets, patterns)

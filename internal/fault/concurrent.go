@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // SimulateConcurrent fault-simulates the pattern set with the fault
@@ -25,6 +26,9 @@ func SimulateConcurrent(c *logic.Circuit, faults []Fault, patterns [][]bool, wor
 	if workers <= 1 {
 		return SimulatePatterns(c, faults, patterns)
 	}
+	reg := telemetry.Default()
+	defer reg.Timer("fault.sim.concurrent").Time()()
+	reg.Gauge("fault.sim.workers").Set(int64(workers))
 	res := &Result{
 		Faults:     faults,
 		Detected:   make([]bool, len(faults)),

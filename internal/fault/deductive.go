@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // DeductiveSim implements Armstrong's deductive fault simulation
@@ -192,6 +193,11 @@ func (ds *DeductiveSim) effectivePin(dst []uint64, gate, pin, src int) {
 // pattern (no dropping: every pattern is fully processed), returning
 // the same Result shape as the parallel-pattern engine.
 func SimulateDeductive(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
+	reg := telemetry.Default()
+	defer reg.Timer("fault.sim.deductive").Time()()
+	reg.Counter("fault.deductive.patterns").Add(int64(len(patterns)))
+	// One levelized pass per pattern carries every fault list at once.
+	reg.Counter("fault.sim.events").Add(int64(len(patterns)) * int64(len(c.Order)))
 	ds := NewDeductiveSim(c, faults)
 	res := &Result{
 		Faults:     faults,

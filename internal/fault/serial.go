@@ -2,6 +2,7 @@ package fault
 
 import (
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // EvalFaulty computes all net values of the faulty machine for one
@@ -49,7 +50,13 @@ func DetectsCombinational(c *logic.Circuit, pi []bool, f Fault) bool {
 	return detectsWithState(c, pi, state, f)
 }
 
+// cSerialEvals counts full-circuit machine passes, the paper's serial
+// simulation unit of work ("3001 good machine simulations").
+var cSerialEvals = telemetry.Default().Counter("fault.serial.evals")
+
 func detectsWithState(c *logic.Circuit, pi, state []bool, f Fault) bool {
+	// One good-machine pass plus one faulty-machine pass.
+	cSerialEvals.Add(2)
 	good := make([]bool, len(c.Gates))
 	bad := make([]bool, len(c.Gates))
 	scratch := make([]bool, c.MaxFanin())
@@ -105,6 +112,9 @@ func (r *SequentialResult) Coverage() float64 {
 // cycle where a primary output differs. This is the paper's "3001 good
 // machine simulations" model of fault simulation cost, run serially.
 func SimulateSequence(c *logic.Circuit, faults []Fault, seq [][]bool) *SequentialResult {
+	defer telemetry.Default().Timer("fault.sim.serial").Time()()
+	machineEvals := int64(len(seq)) // the shared good-machine trajectory
+	defer func() { cSerialEvals.Add(machineEvals) }()
 	res := &SequentialResult{
 		Faults:    faults,
 		Detected:  make([]bool, len(faults)),
@@ -145,6 +155,7 @@ func SimulateSequence(c *logic.Circuit, faults []Fault, seq [][]bool) *Sequentia
 		}
 		for t, pat := range seq {
 			evalFaultyInto(c, pat, badState, f, badVals, scratch)
+			machineEvals++
 			for k, po := range c.POs {
 				if badVals[po] != goodOuts[t][k] {
 					res.Detected[fi] = true

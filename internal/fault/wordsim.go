@@ -3,6 +3,7 @@ package fault
 import (
 	"dft/internal/logic"
 	"dft/internal/sim"
+	"dft/internal/telemetry"
 )
 
 // Result accumulates combinational fault-simulation outcomes across
@@ -56,6 +57,21 @@ type ParallelSim struct {
 	byLevel [][]int // worklist buckets indexed by level
 	isObs   []bool
 	scratch []uint64
+
+	// Work counters, accumulated as plain ints (the simulator is owned
+	// by one goroutine) and drained in batches via TakeCounts so hot
+	// loops pay no atomics.
+	nMasks int64 // FaultMask invocations
+	nEvals int64 // gate (word) evaluations, good + faulty
+}
+
+// TakeCounts returns and resets the simulator's work counters: fault
+// injections simulated and gate-level word evaluations performed.
+// Drivers drain this into a telemetry registry once per block or run.
+func (ps *ParallelSim) TakeCounts() (masks, evals int64) {
+	masks, evals = ps.nMasks, ps.nEvals
+	ps.nMasks, ps.nEvals = 0, 0
+	return masks, evals
 }
 
 // NewParallelSim builds a simulator observing the primary view
@@ -125,6 +141,7 @@ func (ps *ParallelSim) LoadBlock(patterns [][]bool) int {
 		}
 		ps.good[id] = g.Type.EvalWord(in)
 	}
+	ps.nEvals += int64(len(c.Order))
 	return k
 }
 
@@ -140,6 +157,7 @@ func (ps *ParallelSim) value(n int) uint64 {
 // bitmask of the patterns (bit p = pattern p) that detect it.
 func (ps *ParallelSim) FaultMask(f Fault) uint64 {
 	ps.cur++
+	ps.nMasks++
 	c := ps.c
 	stuckWord := uint64(0)
 	if f.SA == logic.One {
@@ -181,6 +199,7 @@ func (ps *ParallelSim) FaultMask(f Fault) uint64 {
 		}
 		in[f.Pin] = stuckWord
 		push(f.Gate, g.Type.EvalWord(in))
+		ps.nEvals++
 		startLevel = c.Level[f.Gate]
 	}
 
@@ -198,6 +217,7 @@ func (ps *ParallelSim) FaultMask(f Fault) uint64 {
 				in[i] = ps.value(src)
 			}
 			w := g.Type.EvalWord(in)
+			ps.nEvals++
 			if f.Pin == Stem && id == f.Gate {
 				w = stuckWord
 			}
@@ -216,6 +236,10 @@ func (ps *ParallelSim) FaultyWord(n int) uint64 { return ps.value(n) }
 
 // runBlocks drives the block loop shared by the package-level helpers.
 func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *Result {
+	reg := telemetry.Default()
+	defer reg.Timer("fault.sim.parallel").Time()()
+	dropHist := reg.Histogram("fault.sim.drops_per_block")
+	blocks := int64(0)
 	res := &Result{
 		Faults:     faults,
 		Detected:   make([]bool, len(faults)),
@@ -235,6 +259,8 @@ func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *R
 			end = len(patterns)
 		}
 		k := ps.LoadBlock(patterns[base:end])
+		blocks++
+		caughtBefore := res.NumCaught
 		mask := ^uint64(0)
 		if k < 64 {
 			mask = 1<<uint(k) - 1
@@ -260,11 +286,20 @@ func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *R
 				next = append(next, fi)
 			}
 		}
+		if drop {
+			dropHist.Observe(int64(res.NumCaught - caughtBefore))
+		}
 		live = next
 		if len(live) == 0 {
 			break
 		}
 	}
+	masks, evals := ps.TakeCounts()
+	reg.Counter("fault.sim.faultmasks").Add(masks)
+	reg.Counter("fault.sim.events").Add(evals)
+	reg.Counter("fault.sim.blocks").Add(blocks)
+	reg.Counter("fault.sim.patterns").Add(int64(len(patterns)))
+	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
 	return res
 }
 

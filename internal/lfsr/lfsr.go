@@ -8,6 +8,18 @@ package lfsr
 import (
 	"fmt"
 	"math/bits"
+
+	"dft/internal/telemetry"
+)
+
+// Batched telemetry on the Default registry. Clock/ClockIn are a few
+// nanoseconds each, so single clocks are never counted individually —
+// only the stream-level entry points add their clock totals here.
+var (
+	cClocks         = telemetry.Default().Counter("lfsr.clocks")
+	cSignatures     = telemetry.Default().Counter("lfsr.signatures")
+	cMISRWords      = telemetry.Default().Counter("lfsr.misr.words")
+	cAliasingChecks = telemetry.Default().Counter("lfsr.aliasing.checks")
 )
 
 // maximalTaps[n] lists tap positions (1-based, counting from the input
@@ -149,6 +161,7 @@ func (l *LFSR) Sequence(k int) []uint64 {
 		l.Clock()
 		out[i] = l.state
 	}
+	cClocks.Add(int64(k))
 	return out
 }
 
@@ -159,9 +172,11 @@ func (l *LFSR) Period(limit int) int {
 	for i := 1; i <= limit; i++ {
 		l.Clock()
 		if l.state == start {
+			cClocks.Add(int64(i))
 			return i
 		}
 	}
+	cClocks.Add(int64(limit))
 	return 0
 }
 
@@ -174,6 +189,8 @@ func (l *LFSR) Signature(stream []uint64) uint64 {
 	for _, b := range stream {
 		l.ClockIn(b)
 	}
+	cClocks.Add(int64(len(stream)))
+	cSignatures.Inc()
 	return l.state
 }
 
@@ -187,6 +204,8 @@ func (l *LFSR) SignatureBits(stream []bool) uint64 {
 			l.ClockIn(0)
 		}
 	}
+	cClocks.Add(int64(len(stream)))
+	cSignatures.Inc()
 	return l.state
 }
 
@@ -234,6 +253,9 @@ func (m *MISR) Compress(words []uint64) uint64 {
 	for _, w := range words {
 		m.Clock(w)
 	}
+	cClocks.Add(int64(len(words)))
+	cMISRWords.Add(int64(len(words)))
+	cSignatures.Inc()
 	return m.l.State()
 }
 
@@ -242,6 +264,7 @@ func (m *MISR) Compress(words []uint64) uint64 {
 // paper's "with a 16-bit LFSR the probability of detecting one or more
 // errors is extremely high".
 func AliasingProbability(width int) float64 {
+	cAliasingChecks.Inc()
 	return 1.0 / float64(uint64(1)<<uint(width))
 }
 

@@ -16,6 +16,7 @@ import (
 	"dft/internal/lfsr"
 	"dft/internal/logic"
 	"dft/internal/sim"
+	"dft/internal/telemetry"
 )
 
 // machine abstracts good and faulty board simulations.
@@ -40,6 +41,10 @@ func NewAnalyzer(width int) *Analyzer { return &Analyzer{Width: width} }
 // probing, which is why the board needs initialization and a fixed
 // clock count.
 func (a *Analyzer) Probe(m machine, stimulus [][]bool, net int) uint64 {
+	reg := telemetry.Default()
+	defer reg.Timer("signature.probe").Time()()
+	reg.Counter("signature.probes").Inc()
+	reg.Counter("signature.probe.cycles").Add(int64(len(stimulus)))
 	l := lfsr.NewMaximal(a.Width)
 	l.SetState(0)
 	for _, pat := range stimulus {
@@ -202,6 +207,9 @@ type Diagnosis struct {
 // inputs' signatures are all good but whose output signature is bad is
 // the culprit. The board's module graph must be loop-free.
 func (b *Board) Diagnose(a *Analyzer, f fault.Fault) (Diagnosis, error) {
+	reg := telemetry.Default()
+	defer reg.Timer("signature.diagnose").Time()()
+	reg.Counter("signature.diagnoses").Inc()
 	if loops := b.DetectLoops(); len(loops) != 0 {
 		return Diagnosis{}, fmt.Errorf("signature: closed loops present, break them first: %v", loops)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // HazardClass classifies a net's behavior during an input transition.
@@ -52,7 +53,10 @@ func (h HazardClass) String() string {
 // A net whose pass-1 value is X but whose initial and final values are
 // equal carries a static hazard; if its pass-2 value is still X the
 // transition may never settle.
+var cHazardChecks = telemetry.Default().Counter("sim.hazard.checks")
+
 func HazardAnalysis(c *logic.Circuit, p1, p2 []bool) []HazardClass {
+	cHazardChecks.Inc()
 	if len(p1) != len(c.PIs) || len(p2) != len(c.PIs) {
 		panic(fmt.Sprintf("sim: transition width %d/%d for %d inputs", len(p1), len(p2), len(c.PIs)))
 	}

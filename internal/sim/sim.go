@@ -12,6 +12,16 @@ import (
 	"fmt"
 
 	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// Levelized-evaluation counters on the Default registry. Handles are
+// cached at package level (Registry.Reset zeroes in place, so they
+// never detach) and bumped once per full pass, not per gate.
+var (
+	cLevelEvals   = telemetry.Default().Counter("sim.levelized.evals")
+	cTernaryEvals = telemetry.Default().Counter("sim.levelized.ternary_evals")
+	cWordEvals    = telemetry.Default().Counter("sim.levelized.word_evals")
 )
 
 // Eval runs a two-valued combinational simulation. pi maps each primary
@@ -52,6 +62,7 @@ func EvalInto(c *logic.Circuit, pi []bool, state []bool, vals []bool, scratch []
 		}
 		vals[id] = g.Type.EvalBool(in)
 	}
+	cLevelEvals.Add(int64(len(c.Order)))
 }
 
 // Outputs extracts the primary output values from a full net valuation.
@@ -108,6 +119,7 @@ func EvalTernary(c *logic.Circuit, pi []logic.V, state []logic.V) []logic.V {
 		}
 		vals[id] = g.Type.Eval(args)
 	}
+	cTernaryEvals.Add(int64(len(c.Order)))
 	return vals
 }
 
@@ -148,6 +160,7 @@ func EvalWordsInto(c *logic.Circuit, pi, state []uint64, vals Words, scratch []u
 		}
 		vals[id] = g.Type.EvalWord(in)
 	}
+	cWordEvals.Add(int64(len(c.Order)))
 }
 
 // PackPatterns packs up to 64 scalar patterns (each len(c.PIs) long)

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimerStat is the JSON-stable aggregate of a Timer.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MinNs   int64 `json:"min_ns"`
+	MaxNs   int64 `json:"max_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+}
+
+// HistBucket is one non-empty histogram bucket; Le is the inclusive
+// upper bound (2^i - 1), or -1 for the unbounded tail.
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistStat is the JSON-stable aggregate of a Histogram.
+type HistStat struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+// Maps are rendered with sorted keys by encoding/json, so serialized
+// snapshots are diff-stable.
+type Snapshot struct {
+	Counters      map[string]int64     `json:"counters,omitempty"`
+	Gauges        map[string]int64     `json:"gauges,omitempty"`
+	Timers        map[string]TimerStat `json:"timers,omitempty"`
+	Histograms    map[string]HistStat  `json:"histograms,omitempty"`
+	Events        []Event              `json:"events,omitempty"`
+	EventsDropped int64                `json:"events_dropped,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	r.mu.RLock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, t := range r.timers {
+		timers[k] = t
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+	// Timer/histogram stats take their own locks; collect them outside
+	// the registry lock.
+	if len(timers) > 0 {
+		s.Timers = make(map[string]TimerStat, len(timers))
+		for k, t := range timers {
+			s.Timers[k] = t.Stats()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistStat, len(hists))
+		for k, h := range hists {
+			s.Histograms[k] = h.Stats()
+		}
+	}
+	s.Events, s.EventsDropped = r.trace.Events()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// fmtDur renders nanoseconds with time.Duration's human units.
+func fmtDur(ns int64) string { return time.Duration(ns).String() }
+
+// Summary renders the snapshot as a fixed-width text block, the body
+// of the CLI's -stats output. Sections with no instruments are
+// omitted; names sort lexically so related instruments group by their
+// dotted prefix.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	sortedKeys := func(n int, each func(add func(string))) []string {
+		keys := make([]string, 0, n)
+		each(func(k string) { keys = append(keys, k) })
+		sort.Strings(keys)
+		return keys
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, k := range sortedKeys(len(s.Counters), func(add func(string)) {
+			for k := range s.Counters {
+				add(k)
+			}
+		}) {
+			fmt.Fprintf(&b, "  %-36s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges:\n")
+		for _, k := range sortedKeys(len(s.Gauges), func(add func(string)) {
+			for k := range s.Gauges {
+				add(k)
+			}
+		}) {
+			fmt.Fprintf(&b, "  %-36s %12d\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Timers) > 0 {
+		fmt.Fprintf(&b, "timers:%38s %10s %10s %10s %10s\n", "count", "total", "mean", "min", "max")
+		for _, k := range sortedKeys(len(s.Timers), func(add func(string)) {
+			for k := range s.Timers {
+				add(k)
+			}
+		}) {
+			t := s.Timers[k]
+			fmt.Fprintf(&b, "  %-36s %6d %10s %10s %10s %10s\n",
+				k, t.Count, fmtDur(t.TotalNs), fmtDur(t.MeanNs), fmtDur(t.MinNs), fmtDur(t.MaxNs))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		for _, k := range sortedKeys(len(s.Histograms), func(add func(string)) {
+			for k := range s.Histograms {
+				add(k)
+			}
+		}) {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-36s n=%d sum=%d", k, h.Count, h.Sum)
+			for _, bk := range h.Buckets {
+				if bk.Le < 0 {
+					fmt.Fprintf(&b, " [big]:%d", bk.Count)
+				} else {
+					fmt.Fprintf(&b, " [<=%d]:%d", bk.Le, bk.Count)
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintf(&b, "trace (%d events", len(s.Events))
+		if s.EventsDropped > 0 {
+			fmt.Fprintf(&b, ", %d dropped", s.EventsDropped)
+		}
+		fmt.Fprintf(&b, "):\n")
+		for _, e := range s.Events {
+			if e.DurNs > 0 {
+				fmt.Fprintf(&b, "  %-36s %10s", e.Name, fmtDur(e.DurNs))
+			} else {
+				fmt.Fprintf(&b, "  %-36s %10s", e.Name, "-")
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(&b, "  %s", e.Detail)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if b.Len() == 0 {
+		return "no telemetry recorded\n"
+	}
+	return b.String()
+}

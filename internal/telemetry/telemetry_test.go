@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters hammers one counter and one gauge from many
+// goroutines; run under -race this is the package's memory-safety
+// check, and the final values are the correctness check.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("work.items")
+			g := r.Gauge("work.live")
+			h := r.Histogram("work.sizes")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("work.items").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("work.live").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("work.sizes").Stats().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentRegistryAccess creates instruments under distinct
+// names concurrently — the get-or-create path under -race.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "c", "d"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				n := names[i%len(names)]
+				r.Counter(n).Inc()
+				r.Timer(n).Observe(time.Microsecond)
+				r.Trace().Event(n, "")
+			}
+		}()
+	}
+	wg.Wait()
+	for _, n := range names {
+		if got := r.Counter(n).Value(); got != 2000 {
+			t.Fatalf("counter %q = %d, want 2000", n, got)
+		}
+	}
+}
+
+func TestTimerAggregation(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("phase")
+	for _, d := range []time.Duration{
+		5 * time.Millisecond, time.Millisecond, 3 * time.Millisecond,
+	} {
+		tm.Observe(d)
+	}
+	s := tm.Stats()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.TotalNs != int64(9*time.Millisecond) {
+		t.Fatalf("total = %d, want 9ms", s.TotalNs)
+	}
+	if s.MinNs != int64(time.Millisecond) || s.MaxNs != int64(5*time.Millisecond) {
+		t.Fatalf("min/max = %d/%d, want 1ms/5ms", s.MinNs, s.MaxNs)
+	}
+	if s.MeanNs != int64(3*time.Millisecond) {
+		t.Fatalf("mean = %d, want 3ms", s.MeanNs)
+	}
+}
+
+func TestTimerTimeBrackets(t *testing.T) {
+	r := NewRegistry()
+	done := r.Timer("region").Time()
+	time.Sleep(2 * time.Millisecond)
+	done()
+	s := r.Timer("region").Stats()
+	if s.Count != 1 || s.TotalNs < int64(time.Millisecond) {
+		t.Fatalf("stats = %+v, want one observation >= 1ms", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	want := map[int64]int64{
+		0:   1, // the zero
+		1:   1, // 1
+		3:   2, // 2, 3
+		7:   1, // 4
+		127: 1, // 100
+		-1:  0, // placeholder; 2^40 lands in its own bucket below
+	}
+	for _, b := range s.Buckets {
+		if b.Le == int64(1)<<41-1 {
+			if b.Count != 1 {
+				t.Fatalf("2^40 bucket count = %d, want 1", b.Count)
+			}
+			continue
+		}
+		if w, ok := want[b.Le]; ok && w > 0 && b.Count != w {
+			t.Fatalf("bucket le=%d count = %d, want %d", b.Le, b.Count, w)
+		}
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Event("e", string(rune('a'+i)))
+	}
+	events, dropped := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(events))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	// Oldest-first: the survivors are the last four records g,h,i,j.
+	for i, e := range events {
+		if want := string(rune('a' + 6 + i)); e.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, e.Detail, want)
+		}
+	}
+}
+
+func TestSpanRecordsTimerAndEvent(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("phase.load")
+	sp.SetDetail("c17.bench")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+	if s := r.Timer("phase.load").Stats(); s.Count != 1 {
+		t.Fatalf("span timer count = %d, want 1", s.Count)
+	}
+	events, _ := r.Trace().Events()
+	if len(events) != 1 || events[0].Name != "phase.load" || events[0].DurNs <= 0 {
+		t.Fatalf("trace events = %+v, want one phase.load span", events)
+	}
+	if events[0].Detail != "c17.bench" {
+		t.Fatalf("detail = %q", events[0].Detail)
+	}
+}
+
+// TestSnapshotJSONRoundTrip serializes a populated snapshot and reads
+// it back; every instrument must survive unchanged.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("atpg.backtracks").Add(42)
+	r.Gauge("fault.sim.workers").Set(8)
+	r.Timer("atpg.engine.podem").Observe(1500 * time.Microsecond)
+	r.Timer("atpg.engine.podem").Observe(500 * time.Microsecond)
+	r.Histogram("fault.sim.block_size").Observe(64)
+	r.StartSpan("core.generate").End()
+
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip changed the snapshot:\n got %+v\nwant %+v", back, snap)
+	}
+	if back.Counters["atpg.backtracks"] != 42 {
+		t.Fatalf("counter lost: %+v", back.Counters)
+	}
+	if ts := back.Timers["atpg.engine.podem"]; ts.Count != 2 || ts.MeanNs != int64(time.Millisecond) {
+		t.Fatalf("timer stats lost: %+v", ts)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	rep := NewReport("dftc", "atpg", "c17.bench")
+	rep.Config["engine"] = "podem"
+	rep.Results["coverage"] = 1.0
+	rep.Finish(r)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.Command != "atpg" || back.Input != "c17.bench" {
+		t.Fatalf("report header lost: %+v", back)
+	}
+	if back.Metrics.Counters["x"] != 7 {
+		t.Fatalf("metrics lost: %+v", back.Metrics)
+	}
+	if _, err := ParseReport([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("ParseReport accepted a bogus schema")
+	}
+}
+
+func TestResetZeroesInPlace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	r.Timer("t").Observe(time.Millisecond)
+	r.Histogram("h").Observe(5)
+	r.Trace().Event("e", "")
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["a"] != 0 || s.Timers["t"].Count != 0 ||
+		s.Histograms["h"].Count != 0 || len(s.Events) != 0 {
+		t.Fatalf("reset left state: %+v", s)
+	}
+	// Cached handles must stay live across Reset.
+	c.Inc()
+	if r.Snapshot().Counters["a"] != 1 {
+		t.Fatal("cached counter handle detached by Reset")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Snapshot().Summary(); got != "no telemetry recorded\n" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	r.Counter("atpg.backtracks").Add(3)
+	r.Timer("core.generate").Observe(time.Millisecond)
+	out := r.Snapshot().Summary()
+	for _, want := range []string{"counters:", "atpg.backtracks", "timers:", "core.generate"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

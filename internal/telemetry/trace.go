@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the ring-buffer capacity of a new registry's
+// trace: enough for a full CLI run's phase spans without growing.
+const DefaultTraceCap = 256
+
+// Event is one trace record: an instantaneous event (DurNs == 0 and
+// no span) or a completed span with a duration.
+type Event struct {
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	StartNs int64  `json:"start_ns"` // unix nanoseconds
+	DurNs   int64  `json:"dur_ns,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of events. Writers never
+// block and never allocate beyond the ring; when full, the oldest
+// events are overwritten and counted as dropped.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // next write position
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten
+}
+
+// NewTrace creates a ring of the given capacity (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Event records an instantaneous event.
+func (t *Trace) Event(name, detail string) {
+	t.record(Event{Name: name, Detail: detail, StartNs: time.Now().UnixNano()})
+}
+
+func (t *Trace) record(e Event) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.dropped++
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first, plus the number of
+// older events lost to the ring.
+func (t *Trace) Events() (events []Event, dropped int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events = make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		events = append(events, t.buf[t.next:]...)
+		events = append(events, t.buf[:t.next]...)
+	} else {
+		events = append(events, t.buf...)
+	}
+	return events, t.dropped
+}
+
+// Reset empties the ring.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.total = 0
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Span is an in-flight traced region started by Registry.StartSpan.
+type Span struct {
+	reg    *Registry
+	name   string
+	detail string
+	start  time.Time
+	ended  bool
+}
+
+// StartSpan opens a span; End records it into the trace ring and into
+// a same-named timer, so spans show up both as individual events and
+// as aggregated durations.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// SetDetail attaches a free-form annotation reported with the event.
+func (s *Span) SetDetail(detail string) { s.detail = detail }
+
+// End closes the span. Multiple End calls record once.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.reg.Timer(s.name).Observe(d)
+	s.reg.trace.record(Event{
+		Name:    s.name,
+		Detail:  s.detail,
+		StartNs: s.start.UnixNano(),
+		DurNs:   d.Nanoseconds(),
+	})
+	return d
+}
