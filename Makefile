@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json clean
+.PHONY: all build vet test race race-fault check bench bench-json bench-faultsim clean
 
 all: check
 
@@ -20,7 +20,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# race-fault gives fast feedback on the engine's shard merge — the one
+# place in the tree with lock-free concurrent writes — before the full
+# race suite runs.
+race-fault:
+	$(GO) test -race ./internal/fault/...
+
+check: build vet race-fault race
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -30,6 +36,11 @@ bench:
 bench-json:
 	DFT_BENCH_JSON=BENCH_telemetry.json $(GO) test -bench=. -benchmem .
 
+# bench-faultsim measures engine scaling at 1/2/4/8 workers and leaves
+# the shard counters as a dft.run-report/v1 document.
+bench-faultsim:
+	DFT_BENCH_JSON=BENCH_faultsim.json $(GO) test -bench=BenchmarkEngineScaling -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json

@@ -5,6 +5,7 @@ package dft
 // with: go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -322,6 +323,29 @@ func BenchmarkAblationSimUncollapsed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fault.SimulatePatterns(c, u, pats)
+	}
+}
+
+// Engine scaling: the sharded scheduler at 1/2/4/8 workers on the
+// largest library netlist, reusing one engine per row so the pooled
+// per-worker simulators are measured, not their construction. On a
+// multicore machine the 4-worker row should run ≥ 2× faster than the
+// 1-worker row; run via `make bench-faultsim` to capture the telemetry
+// (per-shard counters included) in BENCH_faultsim.json.
+func BenchmarkEngineScaling(b *testing.B) {
+	c := circuits.ArrayMultiplier(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 256)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			eng := fault.NewEngine(c, fault.Options{Backend: fault.BackendParallel, Workers: w})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cl.Reps, pats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

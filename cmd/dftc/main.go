@@ -8,8 +8,8 @@
 //
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
-//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-json]
-//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-json]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-json]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
 //	dftc syndrome  <file.bench>
@@ -30,8 +30,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 
@@ -207,7 +209,13 @@ subcommands:
 global flags:
   -stats            dump telemetry (counters/timers/trace) to stderr at exit
   -json             on atpg/faultsim/profile/experiments: machine-readable
-                    run report (schema dft.run-report/v1) on stdout`)
+                    run report (schema dft.run-report/v1) on stdout
+
+fault-simulation engine (atpg/faultsim):
+  -workers N        shard the fault list across N workers (0 = all CPUs);
+                    results are bit-identical for every worker count
+  -engine B         faultsim backend: auto (default), parallel (64-wide
+                    PPSFP), deductive (Armstrong fault lists), serial`)
 }
 
 func loadDesign(path string) (*core.Design, error) {
@@ -265,6 +273,7 @@ func cmdATPG(args []string) error {
 	random := fs.Int("random", 0, "random-first pattern budget")
 	compact := fs.Bool("compact", false, "reverse-order compaction")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -289,6 +298,7 @@ func cmdATPG(args []string) error {
 	}
 	ts := d.Generate(core.GenerateOptions{
 		Engine: e, RandomFirst: *random, Seed: *seed, Compact: *compact,
+		Workers: *workers,
 	})
 	if *jsonOut {
 		rep := telemetry.NewReport("dftc", "atpg", fs.Arg(0))
@@ -298,6 +308,7 @@ func cmdATPG(args []string) error {
 			"random":  *random,
 			"compact": *compact,
 			"seed":    *seed,
+			"workers": *workers,
 		}
 		rep.Results = map[string]any{
 			"patterns":     len(ts.Patterns),
@@ -326,12 +337,18 @@ func cmdFaultSim(args []string) error {
 	n := fs.Int("patterns", 1024, "random patterns to grade")
 	seed := fs.Int64("seed", 1, "random seed")
 	scan := fs.Bool("scan", false, "assume full scan view")
+	engine := fs.String("engine", "auto", "backend: auto, parallel, deductive or serial")
+	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("faultsim needs one .bench file")
+	}
+	backend, err := fault.ParseBackend(*engine)
+	if err != nil {
+		return err
 	}
 	d, err := loadDesign(fs.Arg(0))
 	if err != nil {
@@ -342,19 +359,47 @@ func cmdFaultSim(args []string) error {
 			return err
 		}
 	}
-	ts := d.RandomTests(*n, *seed)
+	view := d.View()
+	rng := rand.New(rand.NewSource(*seed))
+	pats := make([][]bool, *n)
+	for i := range pats {
+		p := make([]bool, len(view.Inputs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	res, err := fault.Simulate(context.Background(), d.Circuit, d.Faults(), pats, fault.Options{
+		Backend: backend,
+		Workers: *workers,
+		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+	})
+	if err != nil {
+		return err
+	}
+	// A pattern is kept when it was the first detector of some fault —
+	// the same set reverse-order compaction would retain.
+	kept := make(map[int]bool)
+	for _, pi := range res.DetectedBy {
+		if pi >= 0 {
+			kept[pi] = true
+		}
+	}
 	if *jsonOut {
 		rep := telemetry.NewReport("dftc", "faultsim", fs.Arg(0))
-		rep.Config = map[string]any{"patterns": *n, "seed": *seed, "scan": *scan}
+		rep.Config = map[string]any{
+			"patterns": *n, "seed": *seed, "scan": *scan,
+			"engine": backend.String(), "workers": *workers,
+		}
 		rep.Results = map[string]any{
-			"coverage":      ts.Coverage,
-			"kept_patterns": len(ts.Patterns),
-			"targets":       ts.TargetN,
+			"coverage":      res.Coverage(),
+			"kept_patterns": len(kept),
+			"targets":       len(res.Faults),
 		}
 		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
 	}
 	fmt.Printf("applied %d random patterns: coverage %.2f%% with %d kept patterns\n",
-		*n, ts.Coverage*100, len(ts.Patterns))
+		*n, res.Coverage()*100, len(kept))
 	return nil
 }
 

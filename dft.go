@@ -1,0 +1,98 @@
+package dft
+
+import (
+	"context"
+	"io"
+
+	"dft/internal/core"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// This file is the public façade over the toolkit's unified surface:
+// the implementation lives under internal/, and the aliases below
+// re-export exactly the API a downstream adopter needs — circuit
+// loading, the design flow, and the sharded fault-simulation engine
+// behind Simulate. Everything else stays internal.
+
+// Circuit is a finalized gate-level netlist (see logic.ParseBench).
+type Circuit = logic.Circuit
+
+// Fault is a single stuck-at fault site.
+type Fault = fault.Fault
+
+// SimOptions configures Simulate; the zero value selects automatic
+// backend choice, one worker per CPU, fault dropping and the primary
+// view.
+type SimOptions = fault.Options
+
+// SimResult reports per-fault detection outcomes and coverage.
+type SimResult = fault.Result
+
+// SimBackend selects the fault-simulation algorithm.
+type SimBackend = fault.Backend
+
+// SimView names the nets the tester controls and observes.
+type SimView = fault.View
+
+// SimEngine is the reusable sharded fault-simulation scheduler behind
+// Simulate; construct one with NewSimEngine to amortize per-worker
+// simulator state across runs.
+type SimEngine = fault.Engine
+
+// Re-exported SimOptions constants.
+const (
+	BackendAuto      = fault.Auto
+	BackendParallel  = fault.BackendParallel
+	BackendDeductive = fault.BackendDeductive
+	BackendSerial    = fault.BackendSerial
+	WorkersAuto      = fault.WorkersAuto
+	DropOn           = fault.DropOn
+	DropOff          = fault.DropOff
+)
+
+// Simulate fault-simulates the pattern set against the fault list; see
+// fault.Simulate. Results are bit-identical for every backend and
+// worker count.
+func Simulate(ctx context.Context, c *Circuit, faults []Fault, patterns [][]bool, opts SimOptions) (*SimResult, error) {
+	return fault.Simulate(ctx, c, faults, patterns, opts)
+}
+
+// NewSimEngine prepares a reusable engine for the circuit.
+func NewSimEngine(c *Circuit, opts SimOptions) *SimEngine {
+	return fault.NewEngine(c, opts)
+}
+
+// FaultUniverse enumerates every uncollapsed stuck-at fault of the
+// circuit.
+func FaultUniverse(c *Circuit) []Fault {
+	return fault.Universe(c)
+}
+
+// Design is a circuit moving through the DFT flow.
+type Design = core.Design
+
+// GenerateOptions tunes Design.Generate; its Workers field has the
+// same meaning as SimOptions.Workers.
+type GenerateOptions = core.GenerateOptions
+
+// TestSet is the outcome of test generation.
+type TestSet = core.TestSet
+
+// Report summarizes the flow economics for a test set.
+type Report = core.Report
+
+// Load parses a .bench document into a Design.
+func Load(name string, r io.Reader) (*Design, error) {
+	return core.Load(name, r)
+}
+
+// LoadString is Load over a string.
+func LoadString(name, src string) (*Design, error) {
+	return core.LoadString(name, src)
+}
+
+// FromCircuit wraps an existing finalized circuit.
+func FromCircuit(c *Circuit) *Design {
+	return core.FromCircuit(c)
+}

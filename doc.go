@@ -6,8 +6,11 @@
 // Analysis, BILBO self-test, Syndrome and Walsh-coefficient testing,
 // and autonomous testing with multiplexer and sensitized partitioning.
 //
-// The implementation lives under internal/; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the paper-versus-measured
-// record. The repository-root tests and benchmarks regenerate every
-// table and figure of the paper.
+// The implementation lives under internal/; this package re-exports
+// the unified public surface — circuit loading, the Design flow, and
+// the sharded fault-simulation engine behind Simulate — as a façade
+// (see dft.go). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The
+// repository-root tests and benchmarks regenerate every table and
+// figure of the paper.
 package dft

@@ -1,0 +1,65 @@
+package dft
+
+// Façade tests: the public dft-root surface must carry a downstream
+// adopter through load → generate → grade without reaching into
+// internal/ packages directly.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	faults := FaultUniverse(c)
+	rng := rand.New(rand.NewSource(3))
+	pats := make([][]bool, 128)
+	for i := range pats {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	base, err := Simulate(context.Background(), c, faults, pats, SimOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Coverage() <= 0.5 {
+		t.Fatalf("implausible coverage %.3f", base.Coverage())
+	}
+	for _, opts := range []SimOptions{
+		{Backend: BackendParallel, Workers: 4},
+		{Backend: BackendSerial},
+		{Backend: BackendDeductive, Drop: DropOff},
+		{Backend: BackendAuto, Workers: WorkersAuto},
+	} {
+		got, err := Simulate(context.Background(), c, faults, pats, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Backend, err)
+		}
+		if got.NumCaught != base.NumCaught {
+			t.Fatalf("%v: caught %d, want %d", opts.Backend, got.NumCaught, base.NumCaught)
+		}
+		for i := range faults {
+			if got.DetectedBy[i] != base.DetectedBy[i] {
+				t.Fatalf("%v fault %d: DetectedBy %d, want %d",
+					opts.Backend, i, got.DetectedBy[i], base.DetectedBy[i])
+			}
+		}
+	}
+}
+
+func TestFacadeFlow(t *testing.T) {
+	d := FromCircuit(circuits.C17())
+	ts := d.Generate(GenerateOptions{RandomFirst: 64, Workers: WorkersAuto})
+	if ts.Coverage < 1.0 {
+		t.Fatalf("C17 coverage %.3f, want 1.0", ts.Coverage)
+	}
+	if got := d.FaultGrade(ts.Patterns); got < 1.0 {
+		t.Fatalf("FaultGrade %.3f, want 1.0", got)
+	}
+}

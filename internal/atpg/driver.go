@@ -42,6 +42,10 @@ type Config struct {
 	// private source from RandomSeed, so either way a run never touches
 	// shared global random state and a fixed seed reproduces exactly.
 	Rand *rand.Rand
+	// Workers is the fault-simulation sharding degree, with the same
+	// meaning as fault.Options.Workers: 0 selects GOMAXPROCS. Detection
+	// outcomes are identical for every worker count.
+	Workers int
 	// Metrics receives the run's telemetry; nil selects
 	// telemetry.Default().
 	Metrics *telemetry.Registry
@@ -61,8 +65,7 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 		rng = rand.New(rand.NewSource(cfg.RandomSeed + 1))
 	}
 	res := &GenerateResult{Detected: make([]bool, len(targets))}
-	h := newHarness(c, view, targets)
-	h.reg = reg
+	h := newHarness(c, view, targets, cfg.Workers, reg)
 
 	if cfg.RandomFirst > 0 {
 		applied := 0
@@ -163,7 +166,7 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 func Compact(c *logic.Circuit, view View, targets []fault.Fault, patterns [][]bool) [][]bool {
 	reg := telemetry.Default()
 	defer reg.Timer("atpg.compact").Time()()
-	h := newHarness(c, view, targets)
+	h := newHarness(c, view, targets, fault.WorkersAuto, reg)
 	detected := make([]bool, len(targets))
 	var kept [][]bool
 	for i := len(patterns) - 1; i >= 0; i-- {

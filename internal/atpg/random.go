@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"dft/internal/fault"
@@ -39,7 +40,7 @@ func WeightedRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
 	if len(weights) != len(view.Inputs) {
 		panic("atpg: weight count mismatch")
 	}
-	h := newHarness(c, view, faults)
+	h := newHarness(c, view, faults, fault.WorkersAuto, nil)
 	res := &RandomResult{Detected: make([]bool, len(faults))}
 	defer h.reg.Timer("atpg.random").Time()()
 	defer func() { h.reg.Counter("atpg.random.patterns").Add(int64(res.Applied)) }()
@@ -74,7 +75,7 @@ func AdaptiveRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
 	for i := range weights {
 		weights[i] = 0.5
 	}
-	h := newHarness(c, view, faults)
+	h := newHarness(c, view, faults, fault.WorkersAuto, nil)
 	res := &RandomResult{Detected: make([]bool, len(faults))}
 	defer h.reg.Timer("atpg.random").Time()()
 	defer func() { h.reg.Counter("atpg.random.patterns").Add(int64(res.Applied)) }()
@@ -126,79 +127,40 @@ func AdaptiveRandomGenerate(c *logic.Circuit, view View, faults []fault.Fault,
 }
 
 // harness runs view-level fault simulation with dropping over an
-// explicit fault list, backed by the 64-way parallel-pattern simulator
+// explicit fault list, backed by a fault.Session on the sharded engine
 // so the same fast path serves scan views and plain combinational
-// circuits.
+// circuits — multicore when the live list is large enough to pay for
+// it.
 type harness struct {
-	c      *logic.Circuit
-	view   View
-	faults []fault.Fault
-	ps     *fault.ParallelSim
-	live   []int
-	caught int
-	reg    *telemetry.Registry
+	session *fault.Session
+	reg     *telemetry.Registry
 }
 
-func newHarness(c *logic.Circuit, view View, faults []fault.Fault) *harness {
-	h := &harness{
-		c: c, view: view, faults: faults,
-		ps:  fault.NewParallelSimView(c, view.Inputs, view.Outputs),
-		reg: telemetry.Default(),
-	}
-	h.live = make([]int, len(faults))
-	for i := range h.live {
-		h.live[i] = i
-	}
-	return h
+func newHarness(c *logic.Circuit, view View, faults []fault.Fault, workers int, reg *telemetry.Registry) *harness {
+	reg = telemetry.OrDefault(reg)
+	eng := fault.NewEngine(c, fault.Options{
+		Workers: workers,
+		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+		Metrics: reg,
+	})
+	return &harness{session: eng.NewSession(faults), reg: reg}
 }
 
 // applyBlock simulates a block of up to 64 patterns against all live
 // faults (with dropping), marks detections, and returns the subset of
 // patterns that were the first detector of some fault.
 func (h *harness) applyBlock(block [][]bool, detected []bool) [][]bool {
-	k := h.ps.LoadBlock(block)
-	mask := ^uint64(0)
-	if k < 64 {
-		mask = 1<<uint(k) - 1
-	}
-	usefulIdx := make(map[int]bool)
-	next := h.live[:0]
-	for _, fi := range h.live {
-		det := h.ps.FaultMask(h.faults[fi]) & mask
-		if det == 0 {
-			next = append(next, fi)
-			continue
-		}
-		first := 0
-		for det&1 == 0 {
-			det >>= 1
-			first++
-		}
-		detected[fi] = true
-		h.caught++
-		usefulIdx[first] = true
-	}
-	h.live = next
+	usefulMask := h.session.ApplyBlock(block, detected)
 	var useful [][]bool
-	for i := 0; i < len(block); i++ {
-		if usefulIdx[i] {
-			useful = append(useful, block[i])
-		}
+	for usefulMask != 0 {
+		i := bits.TrailingZeros64(usefulMask)
+		usefulMask &= usefulMask - 1
+		useful = append(useful, block[i])
 	}
-	masks, evals := h.ps.TakeCounts()
-	h.reg.Counter("fault.sim.faultmasks").Add(masks)
-	h.reg.Counter("fault.sim.events").Add(evals)
-	h.reg.Counter("fault.sim.blocks").Inc()
-	h.reg.Counter("fault.sim.patterns").Add(int64(len(block)))
 	return useful
 }
 
 // remaining reports the number of still-undetected faults.
-func (h *harness) remaining() int { return len(h.live) }
+func (h *harness) remaining() int { return h.session.Remaining() }
 
-func (h *harness) coverage() float64 {
-	if len(h.faults) == 0 {
-		return 0
-	}
-	return float64(h.caught) / float64(len(h.faults))
-}
+func (h *harness) coverage() float64 { return h.session.Coverage() }

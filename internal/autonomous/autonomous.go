@@ -7,6 +7,7 @@
 package autonomous
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -373,7 +374,7 @@ func (mp *MuxPartition) RunAutonomousTest(orig *logic.Circuit) (coverage float64
 		}
 	}
 	pats := mp.TestPatterns(orig)
-	res := fault.SimulatePatterns(mp.C, targets, pats)
+	res, _ := fault.Simulate(context.Background(), mp.C, targets, pats, fault.Options{})
 	return res.Coverage(), len(pats)
 }
 
@@ -492,7 +493,7 @@ func SensitizedPatterns() [][]bool {
 func RunSensitized74181(c *logic.Circuit) SensitizedReport {
 	cl := fault.CollapseEquiv(c, fault.Universe(c))
 	pats := SensitizedPatterns()
-	res := fault.SimulatePatterns(c, cl.Reps, pats)
+	res, _ := fault.Simulate(context.Background(), c, cl.Reps, pats, fault.Options{})
 	rep := SensitizedReport{
 		Patterns:       len(pats),
 		ExhaustiveSize: 1 << uint(len(c.PIs)),

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -130,6 +131,10 @@ type GenerateOptions struct {
 	// Rand, when non-nil, is the injected random source; it takes
 	// precedence over Seed.
 	Rand *rand.Rand
+	// Workers is the fault-simulation sharding degree, with the same
+	// meaning as fault.Options.Workers: 0 selects GOMAXPROCS. Detection
+	// outcomes are identical for every worker count.
+	Workers int
 }
 
 // Generate runs ATPG under the design's view.
@@ -144,6 +149,7 @@ func (d *Design) Generate(opt GenerateOptions) TestSet {
 		RandomSeed:    opt.Seed,
 		RandomFirst:   opt.RandomFirst,
 		Rand:          opt.Rand,
+		Workers:       opt.Workers,
 	})
 	patterns := res.Patterns
 	if opt.Compact {
@@ -190,7 +196,9 @@ func (d *Design) FaultGrade(patterns [][]bool) float64 {
 	defer span.End()
 	view := d.View()
 	targets := d.Faults()
-	res := fault.SimulateView(d.Circuit, view.Inputs, view.Outputs, targets, patterns)
+	res, _ := fault.Simulate(context.Background(), d.Circuit, targets, patterns, fault.Options{
+		View: fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+	})
 	return res.Coverage()
 }
 

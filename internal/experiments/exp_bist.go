@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -114,8 +115,8 @@ func Fig22PLA() Result {
 	r := PLAResult{ProductWidth: 20}
 	for _, n := range []int{64, 256, 1024, 4096} {
 		pats := randomPatterns(20, n, int64(n))
-		pr := fault.SimulatePatterns(pla, plaF, pats)
-		nr := fault.SimulatePatterns(nice, niceF, pats)
+		pr, _ := fault.Simulate(context.Background(), pla, plaF, pats, fault.Options{})
+		nr, _ := fault.Simulate(context.Background(), nice, niceF, pats, fault.Options{})
 		r.Series = append(r.Series, struct {
 			Patterns  int
 			PLACov    float64

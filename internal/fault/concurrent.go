@@ -1,63 +1,24 @@
 package fault
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"dft/internal/logic"
-	"dft/internal/telemetry"
 )
 
 // SimulateConcurrent fault-simulates the pattern set with the fault
-// list sharded across worker goroutines, each running its own
-// parallel-pattern engine. Semantics match SimulatePatterns (with
-// dropping, first-detection indices); workers ≤ 0 selects GOMAXPROCS.
+// list sharded across worker goroutines. Semantics match
+// SimulatePatterns (dropping, first-detection indices) for every
+// worker count; workers ≤ 0 selects GOMAXPROCS.
 //
-// Sharding by fault keeps workers fully independent — each re-runs the
-// cheap good-machine pass per block but shares nothing, so the speedup
-// on fault-dominated workloads approaches the worker count.
+// Deprecated: use Simulate with Options{Workers: n}; the engine pools
+// per-worker simulator state across runs and flushes telemetry per
+// worker, which this wrapper's original implementation did not.
 func SimulateConcurrent(c *logic.Circuit, faults []Fault, patterns [][]bool, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if workers < 0 {
+		workers = WorkersAuto
 	}
-	if workers > len(faults) {
-		workers = len(faults)
-	}
-	if workers <= 1 {
-		return SimulatePatterns(c, faults, patterns)
-	}
-	reg := telemetry.Default()
-	defer reg.Timer("fault.sim.concurrent").Time()()
-	reg.Gauge("fault.sim.workers").Set(int64(workers))
-	res := &Result{
-		Faults:     faults,
-		Detected:   make([]bool, len(faults)),
-		DetectedBy: make([]int, len(faults)),
-		NumPats:    len(patterns),
-	}
-	for i := range res.DetectedBy {
-		res.DetectedBy[i] = -1
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		lo := w * len(faults) / workers
-		hi := (w + 1) * len(faults) / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			shard := runBlocks(NewParallelSim(c), faults[lo:hi], patterns, true)
-			mu.Lock()
-			for i := lo; i < hi; i++ {
-				res.Detected[i] = shard.Detected[i-lo]
-				res.DetectedBy[i] = shard.DetectedBy[i-lo]
-				if shard.Detected[i-lo] {
-					res.NumCaught++
-				}
-			}
-			mu.Unlock()
-		}(lo, hi)
-	}
-	wg.Wait()
+	res, _ := Simulate(context.Background(), c, faults, patterns,
+		Options{Backend: BackendParallel, Workers: workers})
 	return res
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/bits"
 
 	"dft/internal/logic"
@@ -28,26 +29,58 @@ import (
 //     the symmetric difference of the pin lists;
 //   - every gate adds its own output stem fault s-a-¬v.
 type DeductiveSim struct {
-	c      *logic.Circuit
-	faults []Fault
-	index  map[Fault]int
-	words  int
-	lists  [][]uint64 // per net
-	vals   []bool
-	// scratch bitsets
+	c       *logic.Circuit
+	faults  []Fault
+	index   map[Fault]int
+	words   int
+	lists   [][]uint64 // per net
+	vals    []bool
+	inputs  []int // view inputs, driven by the pattern
+	others  []int // source elements outside the view, held at 0
+	outputs []int // view outputs, where detection is observed
+	// scratch
 	acc, tmp []uint64
+	pinVals  []bool
 }
 
-// NewDeductiveSim prepares a simulator for the fault list.
+// NewDeductiveSim prepares a simulator for the fault list under the
+// primary view (patterns over c.PIs, detection at c.POs).
 func NewDeductiveSim(c *logic.Circuit, faults []Fault) *DeductiveSim {
+	return NewDeductiveSimView(c, c.PIs, c.POs, faults)
+}
+
+// NewDeductiveSimView prepares a simulator with explicit controllable
+// and observable nets, following the same view conventions as
+// ParallelSim: every input must be a source element, and source
+// elements outside the view are held at 0.
+func NewDeductiveSimView(c *logic.Circuit, inputs, outputs []int, faults []Fault) *DeductiveSim {
 	ds := &DeductiveSim{
-		c:      c,
-		faults: faults,
-		index:  make(map[Fault]int, len(faults)),
-		words:  (len(faults) + 63) / 64,
+		c:       c,
+		faults:  faults,
+		index:   make(map[Fault]int, len(faults)),
+		words:   (len(faults) + 63) / 64,
+		inputs:  append([]int(nil), inputs...),
+		outputs: append([]int(nil), outputs...),
 	}
 	for i, f := range faults {
 		ds.index[f] = i
+	}
+	driven := make(map[int]bool, len(inputs))
+	for _, in := range inputs {
+		if c.Gates[in].Type.IsCombinational() {
+			panic("fault: view input " + c.NameOf(in) + " is not a source element")
+		}
+		driven[in] = true
+	}
+	for _, id := range c.PIs {
+		if !driven[id] {
+			ds.others = append(ds.others, id)
+		}
+	}
+	for _, id := range c.DFFs {
+		if !driven[id] {
+			ds.others = append(ds.others, id)
+		}
 	}
 	ds.lists = make([][]uint64, c.NumNets())
 	for i := range ds.lists {
@@ -56,6 +89,7 @@ func NewDeductiveSim(c *logic.Circuit, faults []Fault) *DeductiveSim {
 	ds.vals = make([]bool, c.NumNets())
 	ds.acc = make([]uint64, ds.words)
 	ds.tmp = make([]uint64, ds.words)
+	ds.pinVals = make([]bool, c.MaxFanin())
 	return ds
 }
 
@@ -98,20 +132,20 @@ func xorWords(dst, src []uint64) {
 }
 
 // Pattern runs one deductive pass, returning the bitset of faults
-// detected at the primary outputs (valid until the next call).
+// detected at the view outputs (valid until the next call).
 func (ds *DeductiveSim) Pattern(pi []bool) []uint64 {
 	c := ds.c
-	for i, id := range c.PIs {
+	for i, id := range ds.inputs {
 		ds.vals[id] = pi[i]
 		clearWords(ds.lists[id])
 		ds.setBit(ds.lists[id], Fault{id, Stem, logic.FromBool(!pi[i])})
 	}
-	for _, id := range c.DFFs {
-		ds.vals[id] = false // reset state
+	for _, id := range ds.others {
+		ds.vals[id] = false // held at the reset state
 		clearWords(ds.lists[id])
 		ds.setBit(ds.lists[id], Fault{id, Stem, logic.One})
 	}
-	scratch := make([]bool, c.MaxFanin())
+	scratch := ds.pinVals
 	pinList := ds.tmp
 	for _, id := range c.Order {
 		g := &c.Gates[id]
@@ -176,7 +210,7 @@ func (ds *DeductiveSim) Pattern(pi []bool) []uint64 {
 		ds.setBit(out, Fault{id, Stem, logic.FromBool(!v)})
 	}
 	clearWords(ds.acc)
-	for _, po := range c.POs {
+	for _, po := range ds.outputs {
 		orWords(ds.acc, ds.lists[po])
 	}
 	return ds.acc
@@ -189,26 +223,23 @@ func (ds *DeductiveSim) effectivePin(dst []uint64, gate, pin, src int) {
 	ds.setBit(dst, Fault{gate, pin, logic.FromBool(!ds.vals[src])})
 }
 
-// SimulateDeductive grades the pattern set with one deductive pass per
-// pattern (no dropping: every pattern is fully processed), returning
-// the same Result shape as the parallel-pattern engine.
-func SimulateDeductive(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	reg := telemetry.Default()
+// runDeductive is the engine's deductive backend: one deductive pass
+// per pattern (no dropping — every pattern is fully processed, since a
+// pass carries all fault lists at once), with cancellation checked
+// between patterns.
+func runDeductive(ctx context.Context, c *logic.Circuit, inputs, outputs []int,
+	faults []Fault, patterns [][]bool, reg *telemetry.Registry) (*Result, error) {
 	defer reg.Timer("fault.sim.deductive").Time()()
-	reg.Counter("fault.deductive.patterns").Add(int64(len(patterns)))
-	// One levelized pass per pattern carries every fault list at once.
-	reg.Counter("fault.sim.events").Add(int64(len(patterns)) * int64(len(c.Order)))
-	ds := NewDeductiveSim(c, faults)
-	res := &Result{
-		Faults:     faults,
-		Detected:   make([]bool, len(faults)),
-		DetectedBy: make([]int, len(faults)),
-		NumPats:    len(patterns),
-	}
-	for i := range res.DetectedBy {
-		res.DetectedBy[i] = -1
-	}
+	ds := NewDeductiveSimView(c, inputs, outputs, faults)
+	res := newResult(faults, len(patterns))
 	for pi, p := range patterns {
+		if err := ctx.Err(); err != nil {
+			reg.Counter("fault.engine.cancelled").Inc()
+			return nil, err
+		}
+		reg.Counter("fault.deductive.patterns").Inc()
+		// One levelized pass per pattern carries every fault list at once.
+		reg.Counter("fault.sim.events").Add(int64(len(c.Order)))
 		det := ds.Pattern(p)
 		for w, word := range det {
 			for word != 0 {
@@ -223,5 +254,17 @@ func SimulateDeductive(c *logic.Circuit, faults []Fault, patterns [][]bool) *Res
 			}
 		}
 	}
+	reg.Counter("fault.sim.patterns").Add(int64(len(patterns)))
+	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
+	return res, nil
+}
+
+// SimulateDeductive grades the pattern set with one deductive pass per
+// pattern, returning the same Result shape as the parallel-pattern
+// engine.
+//
+// Deprecated: use Simulate with Options{Backend: BackendDeductive}.
+func SimulateDeductive(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
+	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendDeductive})
 	return res
 }

@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+func enginePatterns(width, n int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	pats := make([][]bool, n)
+	for i := range pats {
+		p := make([]bool, width)
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	return pats
+}
+
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.NumCaught != want.NumCaught {
+		t.Fatalf("%s: caught %d, want %d", label, got.NumCaught, want.NumCaught)
+	}
+	for i := range want.Faults {
+		if got.Detected[i] != want.Detected[i] || got.DetectedBy[i] != want.DetectedBy[i] {
+			t.Fatalf("%s fault %d: (%v,%d), want (%v,%d)", label, i,
+				got.Detected[i], got.DetectedBy[i], want.Detected[i], want.DetectedBy[i])
+		}
+	}
+}
+
+// The acceptance criterion: any worker count produces byte-identical
+// results to the single-threaded path, dropping or not.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	c := circuits.ArrayMultiplier(5)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 200, 11)
+	for _, drop := range []DropMode{DropOn, DropOff} {
+		base, err := Simulate(context.Background(), c, faults, pats,
+			Options{Backend: BackendParallel, Workers: 1, Drop: drop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 4, 8, 16} {
+			got, err := Simulate(context.Background(), c, faults, pats,
+				Options{Backend: BackendParallel, Workers: w, Drop: drop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, fmt.Sprintf("workers=%d drop=%v", w, drop), got, base)
+		}
+	}
+}
+
+// All three backends agree on outcomes for a combinational circuit.
+func TestEngineBackendAgreement(t *testing.T) {
+	c := circuits.RippleAdder(6)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 100, 5)
+	base, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range []Backend{BackendSerial, BackendDeductive, Auto} {
+		got, err := Simulate(context.Background(), c, faults, pats, Options{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, be.String(), got, base)
+	}
+}
+
+// The serial backend must mirror the PPSFP view conventions on scan
+// views, including faults on the flip-flops themselves.
+func TestEngineSerialScanView(t *testing.T) {
+	c := circuits.Counter(4)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	inputs := append(append([]int{}, c.PIs...), c.DFFs...)
+	outputs := append([]int{}, c.POs...)
+	for _, d := range c.DFFs {
+		outputs = append(outputs, c.Gates[d].Fanin[0])
+	}
+	view := View{Inputs: inputs, Outputs: outputs}
+	pats := enginePatterns(len(inputs), 64, 9)
+	base, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 1, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendSerial, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "serial scan view", got, base)
+}
+
+func TestEngineCancellation(t *testing.T) {
+	c := circuits.ArrayMultiplier(4)
+	faults := Universe(c)
+	pats := enginePatterns(len(c.PIs), 256, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, be := range []Backend{BackendParallel, BackendSerial, BackendDeductive} {
+		res, err := Simulate(ctx, c, faults, pats, Options{Backend: be, Workers: 4})
+		if err == nil || res != nil {
+			t.Fatalf("%s: want cancellation error, got res=%v err=%v", be, res, err)
+		}
+	}
+}
+
+// A session must catch the same faults as a one-shot run over the same
+// stream, block by block, at every worker count.
+func TestEngineSessionMatchesRun(t *testing.T) {
+	c := circuits.ArrayMultiplier(5)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 192, 17)
+	want, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		eng := NewEngine(c, Options{Workers: w, Metrics: telemetry.NewRegistry()})
+		s := eng.NewSession(faults)
+		detected := make([]bool, len(faults))
+		var useful uint64
+		for base := 0; base < len(pats); base += 64 {
+			useful |= s.ApplyBlock(pats[base:base+64], detected)
+		}
+		if s.Caught() != want.NumCaught {
+			t.Fatalf("workers=%d: session caught %d, want %d", w, s.Caught(), want.NumCaught)
+		}
+		if s.Remaining() != len(faults)-want.NumCaught {
+			t.Fatalf("workers=%d: remaining %d", w, s.Remaining())
+		}
+		for i := range faults {
+			if detected[i] != want.Detected[i] {
+				t.Fatalf("workers=%d fault %d: detected %v, want %v", w, i, detected[i], want.Detected[i])
+			}
+		}
+		if useful == 0 {
+			t.Fatal("no useful patterns recorded")
+		}
+	}
+}
+
+// Engines are reusable: a second Run on the same engine (pooled
+// simulators, dirty overlay state) must match a fresh one.
+func TestEngineReuse(t *testing.T) {
+	c := circuits.RippleAdder(5)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	eng := NewEngine(c, Options{Backend: BackendParallel, Workers: 4, Metrics: telemetry.NewRegistry()})
+	pats1 := enginePatterns(len(c.PIs), 96, 1)
+	pats2 := enginePatterns(len(c.PIs), 96, 2)
+	if _, err := eng.Run(context.Background(), faults, pats1); err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Run(context.Background(), faults, pats2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Simulate(context.Background(), c, faults, pats2,
+		Options{Backend: BackendParallel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "reused engine", again, fresh)
+}
+
+func TestEngineEmptyInputs(t *testing.T) {
+	c := circuits.C17()
+	faults := Universe(c)
+	if res, err := Simulate(context.Background(), c, nil, enginePatterns(len(c.PIs), 8, 1),
+		Options{Backend: BackendParallel, Workers: 4}); err != nil || res.NumCaught != 0 {
+		t.Fatalf("empty faults: res=%+v err=%v", res, err)
+	}
+	if res, err := Simulate(context.Background(), c, faults, nil,
+		Options{Backend: BackendParallel, Workers: 4}); err != nil || res.NumCaught != 0 {
+		t.Fatalf("empty patterns: res=%+v err=%v", res, err)
+	}
+}
+
+func TestEngineShardTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := circuits.ArrayMultiplier(5)
+	faults := Universe(c) // uncollapsed: big enough to shard
+	pats := enginePatterns(len(c.PIs), 128, 3)
+	if _, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 4, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.engine.runs"] != 1 {
+		t.Fatalf("fault.engine.runs = %d", snap.Counters["fault.engine.runs"])
+	}
+	if snap.Counters["fault.engine.shards"] < 2 {
+		t.Fatalf("fault.engine.shards = %d, want sharded run", snap.Counters["fault.engine.shards"])
+	}
+	if snap.Counters["fault.sim.events"] == 0 || snap.Counters["fault.sim.faultmasks"] == 0 {
+		t.Fatal("per-worker counters not flushed")
+	}
+	if snap.Gauges["fault.sim.workers"] != 4 {
+		t.Fatalf("fault.sim.workers = %d", snap.Gauges["fault.sim.workers"])
+	}
+}
+
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, be := range []Backend{Auto, BackendParallel, BackendDeductive, BackendSerial} {
+		got, err := ParseBackend(be.String())
+		if err != nil || got != be {
+			t.Fatalf("round trip %v: got %v err %v", be, got, err)
+		}
+	}
+	if _, err := ParseBackend("nope"); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}
+
+// Auto must never hand a sequential circuit to the deductive backend
+// and must agree with parallel outcomes regardless of what it picks.
+func TestEngineAutoHeuristic(t *testing.T) {
+	if be := pickBackend(circuits.C17(), 4, 4, true); be != BackendSerial {
+		t.Fatalf("tiny job picked %v", be)
+	}
+	comb := circuits.RippleAdder(8)
+	if be := pickBackend(comb, 4096, 64, false); be != BackendDeductive {
+		t.Fatalf("no-drop fault-heavy job picked %v", be)
+	}
+	seq := circuits.Counter(8)
+	if be := pickBackend(seq, 4096, 64, false); be == BackendDeductive {
+		t.Fatal("deductive picked for a sequential circuit")
+	}
+	if be := pickBackend(comb, 4096, 4096, true); be != BackendParallel {
+		t.Fatalf("dropping bulk job picked %v", be)
+	}
+}
+
+func TestLegacyWrappersStillAgree(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 64, 21)
+	want, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "SimulatePatterns", SimulatePatterns(c, faults, pats), want)
+	sameResult(t, "SimulateConcurrent", SimulateConcurrent(c, faults, pats, 4), want)
+	sameResult(t, "SimulateView", SimulateView(c, c.PIs, c.POs, faults, pats), want)
+	nd := SimulateNoDrop(c, faults, pats)
+	sameResult(t, "SimulateNoDrop", nd, want)
+	ded := SimulateDeductive(c, faults, pats)
+	sameResult(t, "SimulateDeductive", ded, want)
+}
+
+// Stem faults on a view input held at a constant must still be modeled
+// identically across backends (serial holds unlisted sources at 0).
+func TestEnginePartialViewAgreement(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	view := View{Inputs: c.PIs[:len(c.PIs)-2], Outputs: c.POs}
+	pats := enginePatterns(len(view.Inputs), 64, 13)
+	base, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendParallel, Workers: 1, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Backend: BackendParallel, Workers: 4, View: view},
+		{Backend: BackendSerial, View: view},
+		{Backend: BackendDeductive, View: view},
+	} {
+		got, err := Simulate(context.Background(), c, faults, pats, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, opts.Backend.String(), got, base)
+	}
+}
+
+func TestEngineDFFBranchFaultSerial(t *testing.T) {
+	// A DFF D-pin fault is equivalent to the stem fault on the same
+	// element (CollapseEquiv merges them), and the PPSFP simulator never
+	// sees D-pin faults for that reason. The serial backend accepts
+	// them; it must honor the equivalence.
+	c := circuits.Counter(3)
+	var stems []Fault
+	for _, f := range Universe(c) {
+		if c.Gates[f.Gate].Type == logic.DFF && f.Pin == Stem {
+			stems = append(stems, f)
+		}
+	}
+	if len(stems) == 0 {
+		t.Skip("no DFF stem faults in universe")
+	}
+	branches := make([]Fault, len(stems))
+	for i, f := range stems {
+		branches[i] = Fault{Gate: f.Gate, Pin: 0, SA: f.SA}
+	}
+	inputs := append(append([]int{}, c.PIs...), c.DFFs...)
+	outputs := append([]int{}, c.POs...)
+	for _, d := range c.DFFs {
+		outputs = append(outputs, c.Gates[d].Fanin[0])
+	}
+	view := View{Inputs: inputs, Outputs: outputs}
+	pats := enginePatterns(len(inputs), 32, 4)
+	base, err := Simulate(context.Background(), c, stems, pats,
+		Options{Backend: BackendParallel, Workers: 1, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onStems, err := Simulate(context.Background(), c, stems, pats,
+		Options{Backend: BackendSerial, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "serial DFF stems", onStems, base)
+	onBranches, err := Simulate(context.Background(), c, branches, pats,
+		Options{Backend: BackendSerial, View: view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stems {
+		if onBranches.DetectedBy[i] != onStems.DetectedBy[i] {
+			t.Fatalf("fault %v: branch DetectedBy %d, stem %d",
+				stems[i], onBranches.DetectedBy[i], onStems.DetectedBy[i])
+		}
+	}
+}

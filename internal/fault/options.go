@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// Backend selects the fault-simulation algorithm behind Simulate. The
+// zero value, Auto, picks one from circuit and workload heuristics;
+// the selection table lives in DESIGN.md.
+type Backend int
+
+const (
+	// Auto picks a backend from fault-count, pattern-count and circuit
+	// heuristics: tiny jobs run serially, large no-drop gradings of
+	// combinational circuits run deductively, everything else runs on
+	// the sharded parallel-pattern engine.
+	Auto Backend = iota
+	// BackendParallel is the 64-way parallel-pattern single-fault
+	// (PPSFP) simulator, sharded across workers.
+	BackendParallel
+	// BackendDeductive is Armstrong's deductive simulator: one
+	// levelized pass per pattern carrying every fault list at once.
+	BackendDeductive
+	// BackendSerial simulates one good/faulty machine pair per pattern
+	// — the paper's "3001 good machine simulations" cost model.
+	BackendSerial
+)
+
+// String names the backend as accepted by the dftc -engine flag.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case BackendParallel:
+		return "parallel"
+	case BackendDeductive:
+		return "deductive"
+	case BackendSerial:
+		return "serial"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a dftc -engine flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "parallel":
+		return BackendParallel, nil
+	case "deductive":
+		return BackendDeductive, nil
+	case "serial":
+		return BackendSerial, nil
+	}
+	return Auto, fmt.Errorf("fault: unknown backend %q (want auto, parallel, deductive or serial)", s)
+}
+
+// DropMode controls fault dropping. The zero value enables dropping —
+// the production configuration — so a zero Options is the fast path.
+type DropMode int
+
+const (
+	// DropOn removes a fault from further simulation after its first
+	// detection. Detection outcomes (Detected, DetectedBy) are
+	// identical either way; dropping only saves work.
+	DropOn DropMode = iota
+	// DropOff grades every fault against every pattern — the ablation
+	// setting measuring what dropping buys.
+	DropOff
+)
+
+// WorkersAuto (the Workers zero value) shards the fault list across
+// runtime.GOMAXPROCS(0) workers. Results are bit-identical for every
+// worker count, so auto is safe as a default.
+const WorkersAuto = 0
+
+// View names the nets the tester controls and observes. The zero value
+// selects the primary view (pattern bits over c.PIs, detection at
+// c.POs); a full-scan view adds the flip-flops on both sides. Every
+// input must be a source element (Input or DFF); source elements not
+// listed are held at 0, the toolkit's reset state.
+type View struct {
+	Inputs  []int
+	Outputs []int
+}
+
+// isPrimary reports whether the view is the zero value.
+func (v View) isPrimary() bool { return v.Inputs == nil && v.Outputs == nil }
+
+// resolve returns the concrete input/output net lists for c.
+func (v View) resolve(c *logic.Circuit) (inputs, outputs []int) {
+	if v.isPrimary() {
+		return c.PIs, c.POs
+	}
+	return v.Inputs, v.Outputs
+}
+
+// Options configures Simulate and NewEngine. The zero value is the
+// recommended production configuration: automatic backend selection,
+// one worker per CPU, fault dropping, the primary view, and the
+// process-wide telemetry registry.
+type Options struct {
+	// Backend selects the simulation algorithm; Auto (zero) picks one.
+	Backend Backend
+	// Workers is the sharding degree of the parallel-pattern backend:
+	// WorkersAuto (0) means runtime.GOMAXPROCS(0), n ≥ 1 is explicit.
+	// Every worker count produces bit-identical Results.
+	Workers int
+	// Drop controls fault dropping; the zero value drops.
+	Drop DropMode
+	// View selects controllable/observable nets; zero is the primary
+	// view.
+	View View
+	// Metrics receives the run's telemetry; nil selects
+	// telemetry.Default().
+	Metrics *telemetry.Registry
+}
+
+// workers resolves the Workers field to a concrete count ≥ 1.
+func (o Options) workers() int {
+	if o.Workers <= WorkersAuto {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}

@@ -1,6 +1,9 @@
 package fault
 
 import (
+	"context"
+	"math/bits"
+
 	"dft/internal/logic"
 	"dft/internal/sim"
 	"dft/internal/telemetry"
@@ -57,6 +60,7 @@ type ParallelSim struct {
 	byLevel [][]int // worklist buckets indexed by level
 	isObs   []bool
 	scratch []uint64
+	liveBuf []int // blockLoop's live list, reused across calls
 
 	// Work counters, accumulated as plain ints (the simulator is owned
 	// by one goroutine) and drained in batches via TakeCounts so hot
@@ -234,33 +238,40 @@ func (ps *ParallelSim) GoodWord(n int) uint64 { return ps.good[n] }
 // call (the good word if the fault never reached n).
 func (ps *ParallelSim) FaultyWord(n int) uint64 { return ps.value(n) }
 
-// runBlocks drives the block loop shared by the package-level helpers.
-func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *Result {
-	reg := telemetry.Default()
-	defer reg.Timer("fault.sim.parallel").Time()()
-	dropHist := reg.Histogram("fault.sim.drops_per_block")
-	blocks := int64(0)
-	res := &Result{
-		Faults:     faults,
-		Detected:   make([]bool, len(faults)),
-		DetectedBy: make([]int, len(faults)),
-		NumPats:    len(patterns),
+// liveFor returns the simulator's reusable live-fault scratch list,
+// grown to n entries.
+func (ps *ParallelSim) liveFor(n int) []int {
+	if cap(ps.liveBuf) < n {
+		ps.liveBuf = make([]int, n)
 	}
-	for i := range res.DetectedBy {
-		res.DetectedBy[i] = -1
-	}
-	live := make([]int, len(faults))
+	return ps.liveBuf[:n]
+}
+
+// blockLoop grades faults against the pattern set in 64-wide blocks on
+// ps, writing outcomes into detected and detectedBy (indexed like
+// faults; recorded pattern indices are absolute within patterns). It is
+// the shared inner loop of every parallel-pattern path: the engine
+// calls it once per shard with subslices of the full result arrays, so
+// all writes stay inside the caller's range. Work counters accumulate
+// on ps for the caller to drain, the live list reuses ps scratch (no
+// allocation after warmup), and cancellation is checked between blocks.
+func blockLoop(ctx context.Context, ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool,
+	detected []bool, detectedBy []int, dropHist *telemetry.Histogram) (caught int, blocks int64, err error) {
+	live := ps.liveFor(len(faults))
 	for i := range live {
 		live[i] = i
 	}
 	for base := 0; base < len(patterns); base += 64 {
+		if err := ctx.Err(); err != nil {
+			return caught, blocks, err
+		}
 		end := base + 64
 		if end > len(patterns) {
 			end = len(patterns)
 		}
 		k := ps.LoadBlock(patterns[base:end])
 		blocks++
-		caughtBefore := res.NumCaught
+		caughtBefore := caught
 		mask := ^uint64(0)
 		if k < 64 {
 			mask = 1<<uint(k) - 1
@@ -272,53 +283,53 @@ func runBlocks(ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool) *R
 				next = append(next, fi)
 				continue
 			}
-			if !res.Detected[fi] {
-				first := 0
-				for det&1 == 0 {
-					det >>= 1
-					first++
-				}
-				res.Detected[fi] = true
-				res.DetectedBy[fi] = base + first
-				res.NumCaught++
+			if !detected[fi] {
+				detected[fi] = true
+				detectedBy[fi] = base + bits.TrailingZeros64(det)
+				caught++
 			}
 			if !drop {
 				next = append(next, fi)
 			}
 		}
-		if drop {
-			dropHist.Observe(int64(res.NumCaught - caughtBefore))
+		if drop && dropHist != nil {
+			dropHist.Observe(int64(caught - caughtBefore))
 		}
 		live = next
 		if len(live) == 0 {
 			break
 		}
 	}
-	masks, evals := ps.TakeCounts()
-	reg.Counter("fault.sim.faultmasks").Add(masks)
-	reg.Counter("fault.sim.events").Add(evals)
-	reg.Counter("fault.sim.blocks").Add(blocks)
-	reg.Counter("fault.sim.patterns").Add(int64(len(patterns)))
-	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
-	return res
+	return caught, blocks, nil
 }
 
 // SimulatePatterns fault-simulates the whole pattern set against the
 // fault list with fault dropping: a fault is removed from further
 // simulation after its first detection. It returns per-fault outcomes.
+//
+// Deprecated: use Simulate; a zero Options selects dropping and the
+// primary view.
 func SimulatePatterns(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	return runBlocks(NewParallelSim(c), faults, patterns, true)
+	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendParallel})
+	return res
 }
 
 // SimulateNoDrop is SimulatePatterns without fault dropping: every
 // fault is simulated against every pattern. It exists for the ablation
 // benches measuring what dropping buys.
+//
+// Deprecated: use Simulate with Options{Drop: DropOff}.
 func SimulateNoDrop(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	return runBlocks(NewParallelSim(c), faults, patterns, false)
+	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendParallel, Drop: DropOff})
+	return res
 }
 
 // SimulateView is SimulatePatterns under an explicit view: pattern bits
 // drive the listed inputs, detection is observed at the listed outputs.
+//
+// Deprecated: use Simulate with Options{View: View{Inputs, Outputs}}.
 func SimulateView(c *logic.Circuit, inputs, outputs []int, faults []Fault, patterns [][]bool) *Result {
-	return runBlocks(NewParallelSimView(c, inputs, outputs), faults, patterns, true)
+	res, _ := Simulate(context.Background(), c, faults, patterns,
+		Options{Backend: BackendParallel, View: View{Inputs: inputs, Outputs: outputs}})
+	return res
 }

@@ -20,6 +20,7 @@
 package plaatpg
 
 import (
+	"context"
 	"fmt"
 
 	"dft/internal/circuits"
@@ -127,7 +128,7 @@ func BuildAndTest(name string, s Spec) (*logic.Circuit, [][]bool, float64) {
 	c := circuits.PLA(name, s.NIn, s.Cubes, s.Outputs)
 	cl := fault.CollapseEquiv(c, fault.Universe(c))
 	pats := Generate(s)
-	res := fault.SimulatePatterns(c, cl.Reps, pats)
+	res, _ := fault.Simulate(context.Background(), c, cl.Reps, pats, fault.Options{})
 	return c, pats, res.Coverage()
 }
 
@@ -144,7 +145,7 @@ func TestableCoverage(c *logic.Circuit, pats [][]bool) (float64, int, int) {
 			targets = append(targets, f)
 		}
 	}
-	res := fault.SimulatePatterns(c, targets, pats)
+	res, _ := fault.Simulate(context.Background(), c, targets, pats, fault.Options{})
 	return res.Coverage(), res.NumCaught, len(targets)
 }
 

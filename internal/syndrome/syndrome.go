@@ -9,6 +9,7 @@
 package syndrome
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -121,7 +122,7 @@ func Classify(c *logic.Circuit, faults []fault.Fault) []Testability {
 		}
 		patterns[x] = pat
 	}
-	det := fault.SimulatePatterns(c, faults, patterns)
+	det, _ := fault.Simulate(context.Background(), c, faults, patterns, fault.Options{})
 
 	out := make([]Testability, len(faults))
 	for i, f := range faults {
