@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault check bench bench-json bench-faultsim clean
+.PHONY: all build vet test race race-fault race-sim check bench bench-json bench-faultsim bench-sim clean
 
 all: check
 
@@ -26,7 +26,12 @@ race:
 race-fault:
 	$(GO) test -race ./internal/fault/...
 
-check: build vet race-fault race
+# race-sim covers the compiled-kernel program cache, the other shared
+# structure hit concurrently by every simulation worker.
+race-sim:
+	$(GO) test -race ./internal/sim/...
+
+check: build vet race-fault race-sim race
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -41,6 +46,12 @@ bench-json:
 bench-faultsim:
 	DFT_BENCH_JSON=BENCH_faultsim.json $(GO) test -bench=BenchmarkEngineScaling -benchmem .
 
+# bench-sim measures the interpreted vs compiled good-machine kernels
+# (scalar word and blocked) and leaves the kernel counters as a
+# dft.run-report/v1 document.
+bench-sim:
+	DFT_BENCH_JSON=BENCH_simkernel.json $(GO) test -bench=BenchmarkKernelInterpVsCompiled -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_simkernel.json

@@ -455,6 +455,61 @@ func benchSigWidth(b *testing.B, w int) {
 	}
 }
 
+// BenchmarkKernelInterpVsCompiled is the kernel acceptance benchmark:
+// interpreted EvalWordsInterpInto vs the compiled program's word and
+// blocked execution, on three circuit sizes. The reported metric is
+// gate-evaluations per second (len(c.Order) nets × 64 patterns per
+// word pass), so rows are comparable across circuits; the compiled
+// word row must come out ≥ 2× the interp row on the largest circuit.
+// Run via `make bench-sim` to capture BENCH_simkernel.json.
+func BenchmarkKernelInterpVsCompiled(b *testing.B) {
+	const blockW = 8
+	for _, tc := range []struct {
+		name string
+		c    *logic.Circuit
+	}{
+		{"c17", circuits.C17()},
+		{"alu74181", circuits.ALU74181()},
+		{"mult8", circuits.ArrayMultiplier(8)},
+	} {
+		c := tc.c
+		p := sim.Compile(c)
+		rng := rand.New(rand.NewSource(3))
+		pi := make([]uint64, len(c.PIs))
+		for i := range pi {
+			pi[i] = rng.Uint64()
+		}
+		state := make([]uint64, len(c.DFFs))
+		vals := make([]uint64, c.NumNets())
+		scratch := make([]uint64, c.MaxFanin())
+		evalsPerPass := float64(len(c.Order)) * 64
+		b.Run(tc.name+"/interp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.EvalWordsInterpInto(c, pi, state, vals, scratch)
+			}
+			b.ReportMetric(evalsPerPass*float64(b.N)/b.Elapsed().Seconds(), "gateevals/s")
+		})
+		b.Run(tc.name+"/compiled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.EvalWordsInto(pi, state, vals)
+			}
+			b.ReportMetric(evalsPerPass*float64(b.N)/b.Elapsed().Seconds(), "gateevals/s")
+		})
+		piW := make([]uint64, len(c.PIs)*blockW)
+		for i := range piW {
+			piW[i] = rng.Uint64()
+		}
+		stateW := make([]uint64, len(c.DFFs)*blockW)
+		valsW := make([]uint64, c.NumNets()*blockW)
+		b.Run(fmt.Sprintf("%s/block%d", tc.name, blockW), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.EvalBlockInto(piW, stateW, valsW, blockW)
+			}
+			b.ReportMetric(evalsPerPass*blockW*float64(b.N)/b.Elapsed().Seconds(), "gateevals/s")
+		})
+	}
+}
+
 // BenchmarkExperimentRegistry keeps the full regeneration honest: one
 // iteration runs every fast experiment end to end.
 func BenchmarkExperimentRegistry(b *testing.B) {

@@ -8,8 +8,8 @@
 //
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
-//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-json]
-//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-json]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-kernel compiled|interp] [-json]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-kernel compiled|interp] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
 //	dftc syndrome  <file.bench>
@@ -46,6 +46,7 @@ import (
 	"dft/internal/lfsr"
 	"dft/internal/logic"
 	"dft/internal/lssd"
+	"dft/internal/sim"
 	"dft/internal/syndrome"
 	"dft/internal/telemetry"
 	"dft/internal/walsh"
@@ -215,7 +216,9 @@ fault-simulation engine (atpg/faultsim):
   -workers N        shard the fault list across N workers (0 = all CPUs);
                     results are bit-identical for every worker count
   -engine B         faultsim backend: auto (default), parallel (64-wide
-                    PPSFP), deductive (Armstrong fault lists), serial`)
+                    PPSFP), deductive (Armstrong fault lists), serial
+  -kernel K         good-machine kernel: compiled (default; flat opcode
+                    programs) or interp (levelized interpreter)`)
 }
 
 func loadDesign(path string) (*core.Design, error) {
@@ -274,6 +277,7 @@ func cmdATPG(args []string) error {
 	compact := fs.Bool("compact", false, "reverse-order compaction")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
+	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -281,6 +285,11 @@ func cmdATPG(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("atpg needs one .bench file")
 	}
+	k, err := sim.ParseKernel(*kernel)
+	if err != nil {
+		return err
+	}
+	sim.SetDefaultKernel(k)
 	d, err := loadDesign(fs.Arg(0))
 	if err != nil {
 		return err
@@ -309,6 +318,7 @@ func cmdATPG(args []string) error {
 			"compact": *compact,
 			"seed":    *seed,
 			"workers": *workers,
+			"kernel":  k.String(),
 		}
 		rep.Results = map[string]any{
 			"patterns":     len(ts.Patterns),
@@ -339,6 +349,7 @@ func cmdFaultSim(args []string) error {
 	scan := fs.Bool("scan", false, "assume full scan view")
 	engine := fs.String("engine", "auto", "backend: auto, parallel, deductive or serial")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
+	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -350,6 +361,11 @@ func cmdFaultSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	k, err := sim.ParseKernel(*kernel)
+	if err != nil {
+		return err
+	}
+	sim.SetDefaultKernel(k)
 	d, err := loadDesign(fs.Arg(0))
 	if err != nil {
 		return err
@@ -390,6 +406,7 @@ func cmdFaultSim(args []string) error {
 		rep.Config = map[string]any{
 			"patterns": *n, "seed": *seed, "scan": *scan,
 			"engine": backend.String(), "workers": *workers,
+			"kernel": k.String(),
 		}
 		rep.Results = map[string]any{
 			"coverage":      res.Coverage(),

@@ -362,6 +362,43 @@ func contains(xs []int, v int) bool {
 	return false
 }
 
+// PackedTestPatterns is TestPatterns built directly in packed PPSFP
+// form: each phase's enumeration is synthesized block-at-a-time from
+// periodic bit masks (with a scalar fallback when a phase starts
+// mid-block), so the pattern sequence is identical to TestPatterns
+// without materializing 2^N scalar vectors.
+func (mp *MuxPartition) PackedTestPatterns(orig *logic.Circuit) *fault.PackedPatterns {
+	up, down := mp.regionPIs(orig)
+	tmodeIdx := -1
+	testinIdx := make([]int, 0, len(mp.TestIns))
+	origIdx := map[int]int{}
+	for i, pi := range mp.C.PIs {
+		switch {
+		case pi == mp.TMode:
+			tmodeIdx = i
+		case contains(mp.TestIns, pi):
+			testinIdx = append(testinIdx, i)
+		default:
+			origIdx[pi] = i
+		}
+	}
+	pp := fault.NewPackedPatterns(len(mp.C.PIs))
+	// Upstream phase: enumerate the upstream original inputs.
+	upFree := make([]int, len(up))
+	for b, pi := range up {
+		upFree[b] = origIdx[pi]
+	}
+	pp.AppendEnum(upFree, nil)
+	// Downstream phase: TMode held at 1, test inputs then downstream
+	// original inputs enumerated.
+	free := append([]int{}, testinIdx...)
+	for _, pi := range down {
+		free = append(free, origIdx[pi])
+	}
+	pp.AppendEnum(free, []int{tmodeIdx})
+	return pp
+}
+
 // RunAutonomousTest applies the two-phase set to the partitioned
 // circuit and fault-grades the faults on the ORIGINAL logic (net IDs
 // are preserved by the insertion).
@@ -373,9 +410,9 @@ func (mp *MuxPartition) RunAutonomousTest(orig *logic.Circuit) (coverage float64
 			targets = append(targets, f)
 		}
 	}
-	pats := mp.TestPatterns(orig)
-	res, _ := fault.Simulate(context.Background(), mp.C, targets, pats, fault.Options{})
-	return res.Coverage(), len(pats)
+	pats := mp.PackedTestPatterns(orig)
+	res, _ := fault.NewEngine(mp.C, fault.Options{}).RunPacked(context.Background(), targets, pats)
+	return res.Coverage(), pats.NumPatterns()
 }
 
 // --- Sensitized partitioning of the 74181 (Figs. 33–34) ---

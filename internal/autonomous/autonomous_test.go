@@ -275,3 +275,25 @@ func TestAutonomousExhaustiveIsFaultModelIndependent(t *testing.T) {
 	}
 	_ = logic.Zero
 }
+
+// TestPackedTestPatternsMatchScalar pins the packed two-phase builder
+// to the scalar TestPatterns sequence, pattern for pattern — the
+// byte-identical guarantee RunAutonomousTest now relies on.
+func TestPackedTestPatternsMatchScalar(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	c4, _ := c.NetByName("C4")
+	mp := PartitionWithMux(c, []int{c4})
+	want := mp.TestPatterns(c)
+	got := mp.PackedTestPatterns(c)
+	if got.NumPatterns() != len(want) {
+		t.Fatalf("packed %d patterns, scalar %d", got.NumPatterns(), len(want))
+	}
+	for i, wp := range want {
+		gp := got.At(i)
+		for j := range wp {
+			if gp[j] != wp[j] {
+				t.Fatalf("pattern %d input %d: packed %v scalar %v", i, j, gp[j], wp[j])
+			}
+		}
+	}
+}

@@ -200,25 +200,42 @@ func sessionLen(requested, genWidth int) int {
 	return requested
 }
 
-// evalNet drives a combinational network from generator outputs and
-// returns its output bits (padded with zeros to the MISR width).
-func evalNet(c *logic.Circuit, gen *Register, misrWidth int, f *fault.Fault) []bool {
-	in := make([]bool, len(c.PIs))
+// netEval drives a combinational network from generator outputs once
+// per clock; its buffers are reused across the whole session so the
+// per-cycle loop allocates nothing (the MISR consumes the returned
+// slice before the next call).
+type netEval struct {
+	in, vals, scratch, out []bool
+}
+
+func newNetEval(c *logic.Circuit, misrWidth int) *netEval {
+	return &netEval{
+		in:      make([]bool, len(c.PIs)),
+		vals:    make([]bool, c.NumNets()),
+		scratch: make([]bool, c.MaxFanin()),
+		out:     make([]bool, misrWidth),
+	}
+}
+
+// eval returns the network's output bits (padded with zeros to the
+// MISR width). A non-nil fault is injected.
+func (ne *netEval) eval(c *logic.Circuit, gen *Register, f *fault.Fault) []bool {
 	q := gen.Q()
-	for i := range in {
-		in[i] = q[i]
+	for i := range ne.in {
+		ne.in[i] = q[i]
 	}
-	var vals []bool
 	if f == nil {
-		vals = sim.Eval(c, in, nil)
+		sim.EvalInto(c, ne.in, nil, ne.vals, ne.scratch)
 	} else {
-		vals = fault.EvalFaulty(c, in, nil, *f)
+		fault.EvalFaultyInto(c, ne.in, nil, *f, ne.vals, ne.scratch)
 	}
-	out := make([]bool, misrWidth)
+	for i := range ne.out {
+		ne.out[i] = false
+	}
 	for i, po := range c.POs {
-		out[i] = vals[po]
+		ne.out[i] = ne.vals[po]
 	}
-	return out
+	return ne.out
 }
 
 // SessionSignatures runs the two-phase self-test and returns the two
@@ -237,8 +254,9 @@ func (s *SelfTest) SessionSignatures(faultIn int, f *fault.Fault) (sig1, sig2 ui
 			f2 = f
 		}
 	}
+	ne1 := newNetEval(s.C1, s.R2.n)
 	for p := 0; p < sessionLen(s.Patterns, s.R1.n); p++ {
-		z := evalNet(s.C1, s.R1, s.R2.n, f1)
+		z := ne1.eval(s.C1, s.R1, f1)
 		s.R2.Clock(ModeSignature, z, false)
 		s.R1.Clock(ModeSignature, nil, false) // PN step
 	}
@@ -246,8 +264,9 @@ func (s *SelfTest) SessionSignatures(faultIn int, f *fault.Fault) (sig1, sig2 ui
 	// Phase 2: roles reversed.
 	s.R2.SetQ(seedBits(s.Seed, s.R2.n))
 	s.R1.Clock(ModeReset, nil, false)
+	ne2 := newNetEval(s.C2, s.R1.n)
 	for p := 0; p < sessionLen(s.Patterns, s.R2.n); p++ {
-		z := evalNet(s.C2, s.R2, s.R1.n, f2)
+		z := ne2.eval(s.C2, s.R2, f2)
 		s.R1.Clock(ModeSignature, z, false)
 		s.R2.Clock(ModeSignature, nil, false)
 	}

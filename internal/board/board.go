@@ -199,11 +199,16 @@ func (bn *BedOfNails) InCircuitTest(patterns map[string][][]bool) ([]string, err
 	for _, m := range bn.B.Modules {
 		pats := patterns[m.Name]
 		bad := false
+		// The golden pass reuses one valuation and scratch across the
+		// module's whole pattern set.
+		c := m.Logic
+		vals := make([]bool, c.NumNets())
+		scratch := make([]bool, c.MaxFanin())
 		for _, p := range pats {
 			got := m.Eval(p)
-			want := goldenEval(m.Logic, p)
-			for i := range want {
-				if got[i] != want[i] {
+			sim.EvalInto(c, p, nil, vals, scratch)
+			for i, po := range c.POs {
+				if got[i] != vals[po] {
 					bad = true
 				}
 			}
@@ -213,15 +218,6 @@ func (bn *BedOfNails) InCircuitTest(patterns map[string][][]bool) ([]string, err
 		}
 	}
 	return failing, nil
-}
-
-func goldenEval(c *logic.Circuit, in []bool) []bool {
-	vals := sim.Eval(c, in, nil)
-	out := make([]bool, len(c.POs))
-	for i, po := range c.POs {
-		out[i] = vals[po]
-	}
-	return out
 }
 
 // --- Degating (Figs. 2–3) ---

@@ -2,10 +2,12 @@ package fault
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dft/internal/logic"
+	"dft/internal/sim"
 	"dft/internal/telemetry"
 )
 
@@ -88,7 +90,33 @@ func (e *Engine) Run(ctx context.Context, faults []Fault, patterns [][]bool) (*R
 	case BackendSerial:
 		return e.runSerial(ctx, faults, patterns)
 	default:
-		return e.runParallel(ctx, faults, patterns)
+		// Pack the pattern set once; every worker shares the blocks
+		// read-only instead of repacking them per chunk.
+		return e.runParallel(ctx, faults, PackPatternSet(len(e.inputs), patterns))
+	}
+}
+
+// RunPacked is Run for a pattern set already in packed PPSFP form —
+// the natural input of the exhaustive 2^N consumers (syndrome, Walsh,
+// autonomous testing), which synthesize blocks from periodic masks
+// without ever materializing scalar vectors. Results are byte-identical
+// to Run on the equivalent scalar set. Backends that walk patterns one
+// at a time (serial, deductive) unpack on entry.
+func (e *Engine) RunPacked(ctx context.Context, faults []Fault, pats *PackedPatterns) (*Result, error) {
+	if pats.NumInputs() != len(e.inputs) {
+		panic(fmt.Sprintf("fault: packed patterns are %d wide for %d view inputs", pats.NumInputs(), len(e.inputs)))
+	}
+	be := e.opts.Backend
+	if be == Auto {
+		be = pickBackend(e.c, len(faults), pats.NumPatterns(), e.drop())
+	}
+	switch be {
+	case BackendDeductive:
+		return runDeductive(ctx, e.c, e.inputs, e.outputs, faults, pats.Patterns(), e.reg)
+	case BackendSerial:
+		return e.runSerial(ctx, faults, pats.Patterns())
+	default:
+		return e.runParallel(ctx, faults, pats)
 	}
 }
 
@@ -137,7 +165,7 @@ func chunkSize(n, workers int) int {
 // suffices, otherwise the fault list is sharded across workers in
 // dynamic chunks and every worker grades its chunks on its own pooled
 // simulator.
-func (e *Engine) runParallel(ctx context.Context, faults []Fault, patterns [][]bool) (*Result, error) {
+func (e *Engine) runParallel(ctx context.Context, faults []Fault, pats *PackedPatterns) (*Result, error) {
 	reg := e.reg
 	defer reg.Timer("fault.sim.engine").Time()()
 	w := e.workers
@@ -148,10 +176,11 @@ func (e *Engine) runParallel(ctx context.Context, faults []Fault, patterns [][]b
 	if e.drop() {
 		dropHist = reg.Histogram("fault.sim.drops_per_block")
 	}
-	res := newResult(faults, len(patterns))
+	nPats := pats.NumPatterns()
+	res := newResult(faults, nPats)
 	if w <= 1 {
 		ps := e.sim(0)
-		caught, blocks, err := blockLoop(ctx, ps, faults, patterns, e.drop(), res.Detected, res.DetectedBy, dropHist)
+		caught, blocks, err := blockLoop(ctx, ps, faults, pats, e.drop(), res.Detected, res.DetectedBy, dropHist)
 		masks, evals := ps.TakeCounts()
 		reg.Counter("fault.sim.faultmasks").Add(masks)
 		reg.Counter("fault.sim.events").Add(evals)
@@ -161,7 +190,7 @@ func (e *Engine) runParallel(ctx context.Context, faults []Fault, patterns [][]b
 			return nil, err
 		}
 		res.NumCaught = caught
-		reg.Counter("fault.sim.patterns").Add(int64(len(patterns)))
+		reg.Counter("fault.sim.patterns").Add(int64(nPats))
 		reg.Counter("fault.sim.detected").Add(int64(caught))
 		return res, nil
 	}
@@ -194,7 +223,7 @@ func (e *Engine) runParallel(ctx context.Context, faults []Fault, patterns [][]b
 				}
 				shards.Add(1)
 				shardHist.Observe(int64(hi - lo))
-				n, nb, err := blockLoop(ctx, ps, faults[lo:hi], patterns, e.drop(),
+				n, nb, err := blockLoop(ctx, ps, faults[lo:hi], pats, e.drop(),
 					res.Detected[lo:hi], res.DetectedBy[lo:hi], dropHist)
 				myCaught += int64(n)
 				myBlocks += nb
@@ -220,7 +249,7 @@ func (e *Engine) runParallel(ctx context.Context, faults []Fault, patterns [][]b
 		}
 	}
 	res.NumCaught = int(caught.Load())
-	reg.Counter("fault.sim.patterns").Add(int64(len(patterns)))
+	reg.Counter("fault.sim.patterns").Add(int64(nPats))
 	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
 	return res, nil
 }
@@ -238,6 +267,7 @@ func (e *Engine) runSerial(ctx context.Context, faults []Fault, patterns [][]boo
 	good := make([]bool, n)
 	bad := make([]bool, n)
 	scratch := make([]bool, e.c.MaxFanin())
+	prog := sim.ActiveProgram(e.c)
 	live := make([]int, len(faults))
 	for i := range live {
 		live[i] = i
@@ -253,7 +283,7 @@ func (e *Engine) runSerial(ctx context.Context, faults []Fault, patterns [][]boo
 		if len(live) == 0 && drop {
 			break
 		}
-		e.loadSerial(p, good, scratch)
+		e.loadSerial(p, good, scratch, prog)
 		passes++
 		next := live[:0]
 		for _, fi := range live {
@@ -288,8 +318,10 @@ func (e *Engine) runSerial(ctx context.Context, faults []Fault, patterns [][]boo
 
 // loadSerial computes the good machine for one pattern under the
 // engine's view: unlisted source elements at 0, pattern bits on the
-// view inputs, then a levelized pass.
-func (e *Engine) loadSerial(p []bool, vals, scratch []bool) {
+// view inputs, then a levelized pass through prog when the compiled
+// kernel is active (the faulty passes stay interpreted — they need
+// per-gate injection hooks the straight-line program doesn't have).
+func (e *Engine) loadSerial(p []bool, vals, scratch []bool, prog *sim.Program) {
 	c := e.c
 	for _, pi := range c.PIs {
 		vals[pi] = false
@@ -299,6 +331,10 @@ func (e *Engine) loadSerial(p []bool, vals, scratch []bool) {
 	}
 	for i, b := range p {
 		vals[e.inputs[i]] = b
+	}
+	if prog != nil {
+		prog.ExecBool(vals)
+		return
 	}
 	for _, id := range c.Order {
 		g := &c.Gates[id]
@@ -368,6 +404,10 @@ type Session struct {
 	counts  []int
 	caughts []int
 	usefuls []uint64
+
+	// packed holds the current block, packed once and shared read-only
+	// by every worker's LoadPackedBlock.
+	packed []uint64
 }
 
 // NewSession starts a grading session over faults. The session shares
@@ -385,6 +425,7 @@ func (e *Engine) NewSession(faults []Fault) *Session {
 		counts:  make([]int, e.workers),
 		caughts: make([]int, e.workers),
 		usefuls: make([]uint64, e.workers),
+		packed:  make([]uint64, len(e.inputs)),
 	}
 }
 
@@ -397,10 +438,10 @@ func (e *Engine) NewSession(faults []Fault) *Session {
 // per-worker good-machine pass; outcomes are bit-identical either way.
 func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 	e := s.e
-	k := len(block)
-	if k > 64 {
-		k = 64
+	if len(block) > 64 {
+		block = block[:64]
 	}
+	k := sim.PackPatternsInto(block, s.packed)
 	mask := ^uint64(0)
 	if k < 64 {
 		mask = 1<<uint(k) - 1
@@ -413,7 +454,7 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 	var masks, evals int64
 	if w <= 1 {
 		ps := e.sim(0)
-		ps.LoadBlock(block)
+		ps.LoadPackedBlock(s.packed, k)
 		wr := 0
 		for _, fi := range s.live {
 			det := ps.FaultMask(s.faults[fi]) & mask
@@ -441,7 +482,7 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 				defer wg.Done()
 				lo, hi := wi*nLive/w, (wi+1)*nLive/w
 				ps := e.sim(wi)
-				ps.LoadBlock(block)
+				ps.LoadPackedBlock(s.packed, k)
 				wr := lo
 				var myUseful uint64
 				myCaught := 0

@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/sim"
+)
+
+// withKernel runs fn under the given kernel default, restoring the
+// previous selection afterwards. Kernel-toggling tests must not run in
+// parallel with each other.
+func withKernel(k sim.Kernel, fn func()) {
+	prev := sim.SetDefaultKernel(k)
+	defer sim.SetDefaultKernel(prev)
+	fn()
+}
+
+// TestKernelInvariance is the cross-kernel acceptance criterion:
+// fault.Simulate produces byte-identical Results under the interpreted
+// and compiled kernels, at every worker count, on every backend,
+// dropping or not.
+func TestKernelInvariance(t *testing.T) {
+	c := circuits.ArrayMultiplier(5)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 200, 23)
+	for _, be := range []Backend{BackendSerial, BackendParallel, BackendDeductive} {
+		for _, drop := range []DropMode{DropOn, DropOff} {
+			if be == BackendDeductive && drop == DropOn {
+				continue // deductive backend is no-drop only
+			}
+			var base *Result
+			withKernel(sim.KernelInterp, func() {
+				var err error
+				base, err = Simulate(context.Background(), c, faults, pats,
+					Options{Backend: be, Workers: 1, Drop: drop})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			for _, w := range []int{1, 2, 4, 8} {
+				withKernel(sim.KernelCompiled, func() {
+					got, err := Simulate(context.Background(), c, faults, pats,
+						Options{Backend: be, Workers: w, Drop: drop})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResult(t, fmt.Sprintf("backend=%v kernel=compiled workers=%d drop=%v", be, w, drop), got, base)
+				})
+				if be != BackendParallel {
+					break // worker count only matters on the parallel path
+				}
+			}
+		}
+	}
+}
+
+// TestRunPackedMatchesRun checks that a pre-packed pattern set grades
+// identically to the scalar set it encodes, on every backend.
+func TestRunPackedMatchesRun(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 150, 5)
+	packed := PackPatternSet(len(c.PIs), pats)
+	if packed.NumPatterns() != len(pats) {
+		t.Fatalf("packed %d patterns, want %d", packed.NumPatterns(), len(pats))
+	}
+	for _, be := range []Backend{BackendSerial, BackendParallel} {
+		want, err := Simulate(context.Background(), c, faults, pats, Options{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewEngine(c, Options{Backend: be}).RunPacked(context.Background(), faults, packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fmt.Sprintf("packed backend=%v", be), got, want)
+	}
+}
+
+// TestPackedPatternsRoundTrip checks At/Patterns invert Append.
+func TestPackedPatternsRoundTrip(t *testing.T) {
+	pats := enginePatterns(9, 130, 77)
+	pp := NewPackedPatterns(9)
+	for _, p := range pats {
+		pp.Append(p)
+	}
+	if pp.NumBlocks() != 3 {
+		t.Fatalf("130 patterns in %d blocks, want 3", pp.NumBlocks())
+	}
+	for i, p := range pats {
+		got := pp.At(i)
+		for j := range p {
+			if got[j] != p[j] {
+				t.Fatalf("pattern %d input %d: %v want %v", i, j, got[j], p[j])
+			}
+		}
+	}
+}
+
+// TestAppendEnumMatchesScalar checks the mask-synthesized enumeration
+// (aligned and mid-block starts) against per-pattern appends.
+func TestAppendEnumMatchesScalar(t *testing.T) {
+	free := []int{2, 0, 5, 3, 1, 6, 4} // scrambled positions, n=7 crosses block boundary
+	fixed := []int{7}
+	for _, prefix := range []int{0, 3} { // 3 ≠ 0 mod 64 forces the unaligned path
+		fast := NewPackedPatterns(8)
+		slow := NewPackedPatterns(8)
+		pad := make([]bool, 8)
+		for i := 0; i < prefix; i++ {
+			fast.Append(pad)
+			slow.Append(pad)
+		}
+		fast.AppendEnum(free, fixed)
+		p := make([]bool, 8)
+		for _, pos := range fixed {
+			p[pos] = true
+		}
+		for x := 0; x < 1<<uint(len(free)); x++ {
+			for b, pos := range free {
+				p[pos] = x>>uint(b)&1 == 1
+			}
+			slow.Append(p)
+		}
+		if fast.NumPatterns() != slow.NumPatterns() {
+			t.Fatalf("prefix=%d: %d patterns, want %d", prefix, fast.NumPatterns(), slow.NumPatterns())
+		}
+		for i := 0; i < fast.NumPatterns(); i++ {
+			fp, sp := fast.At(i), slow.At(i)
+			for j := range fp {
+				if fp[j] != sp[j] {
+					t.Fatalf("prefix=%d pattern %d input %d: %v want %v", prefix, i, j, fp[j], sp[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionKernelInvariance re-checks the ATPG grading path: a
+// session's incremental blocks drop the same faults under both kernels.
+func TestSessionKernelInvariance(t *testing.T) {
+	c := circuits.ALU74181()
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 192, 9)
+	type outcome struct {
+		detected []bool
+		useful   []uint64
+		caught   int
+	}
+	run := func() outcome {
+		e := NewEngine(c, Options{Workers: 4, Drop: DropOn})
+		s := e.NewSession(faults)
+		o := outcome{detected: make([]bool, len(faults))}
+		for base := 0; base < len(pats); base += 64 {
+			o.useful = append(o.useful, s.ApplyBlock(pats[base:base+64], o.detected))
+		}
+		o.caught = s.Caught()
+		return o
+	}
+	var interp, compiled outcome
+	withKernel(sim.KernelInterp, func() { interp = run() })
+	withKernel(sim.KernelCompiled, func() { compiled = run() })
+	if interp.caught != compiled.caught {
+		t.Fatalf("caught %d interp vs %d compiled", interp.caught, compiled.caught)
+	}
+	for i := range interp.detected {
+		if interp.detected[i] != compiled.detected[i] {
+			t.Fatalf("fault %d: interp %v compiled %v", i, interp.detected[i], compiled.detected[i])
+		}
+	}
+	for b := range interp.useful {
+		if interp.useful[b] != compiled.useful[b] {
+			t.Fatalf("block %d useful mask: %#x vs %#x", b, interp.useful[b], compiled.useful[b])
+		}
+	}
+}

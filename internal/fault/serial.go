@@ -2,6 +2,7 @@ package fault
 
 import (
 	"dft/internal/logic"
+	"dft/internal/sim"
 	"dft/internal/telemetry"
 )
 
@@ -12,6 +13,13 @@ func EvalFaulty(c *logic.Circuit, pi, state []bool, f Fault) []bool {
 	vals := make([]bool, len(c.Gates))
 	evalFaultyInto(c, pi, state, f, vals, make([]bool, c.MaxFanin()))
 	return vals
+}
+
+// EvalFaultyInto is EvalFaulty into caller-provided storage, for
+// session loops that drive a faulty network once per clock. scratch
+// must have capacity for the widest gate fanin.
+func EvalFaultyInto(c *logic.Circuit, pi, state []bool, f Fault, vals, scratch []bool) {
+	evalFaultyInto(c, pi, state, f, vals, scratch)
 }
 
 func evalFaultyInto(c *logic.Circuit, pi, state []bool, f Fault, vals, scratch []bool) {
@@ -70,12 +78,19 @@ func detectsWithState(c *logic.Circuit, pi, state []bool, f Fault) bool {
 	return false
 }
 
+// goodEval is the serial good-machine pass; it rides the compiled
+// kernel when active (faulty passes stay interpreted for the
+// injection hooks).
 func goodEval(c *logic.Circuit, pi, state, vals, scratch []bool) {
 	for i, id := range c.PIs {
 		vals[id] = pi[i]
 	}
 	for i, id := range c.DFFs {
 		vals[id] = state[i]
+	}
+	if p := sim.ActiveProgram(c); p != nil {
+		p.ExecBool(vals)
+		return
 	}
 	for _, id := range c.Order {
 		g := &c.Gates[id]

@@ -51,6 +51,7 @@ func (r *Result) Undetected() []Fault {
 // the input list are held at 0, the toolkit's reset state.
 type ParallelSim struct {
 	c       *logic.Circuit
+	prog    *sim.Program // compiled good-machine kernel; nil under KernelInterp
 	inputs  []int
 	good    sim.Words
 	val     []uint64 // overlay of faulty values
@@ -60,7 +61,8 @@ type ParallelSim struct {
 	byLevel [][]int // worklist buckets indexed by level
 	isObs   []bool
 	scratch []uint64
-	liveBuf []int // blockLoop's live list, reused across calls
+	packBuf []uint64 // LoadBlock's packing buffer, one word per input
+	liveBuf []int    // blockLoop's live list, reused across calls
 
 	// Work counters, accumulated as plain ints (the simulator is owned
 	// by one goroutine) and drained in batches via TakeCounts so hot
@@ -90,6 +92,7 @@ func NewParallelSimView(c *logic.Circuit, inputs, outputs []int) *ParallelSim {
 	n := c.NumNets()
 	ps := &ParallelSim{
 		c:       c,
+		prog:    sim.ActiveProgram(c),
 		inputs:  append([]int(nil), inputs...),
 		good:    make(sim.Words, n),
 		val:     make([]uint64, n),
@@ -98,6 +101,7 @@ func NewParallelSimView(c *logic.Circuit, inputs, outputs []int) *ParallelSim {
 		byLevel: make([][]int, c.Depth()+1),
 		isObs:   make([]bool, n),
 		scratch: make([]uint64, c.MaxFanin()),
+		packBuf: make([]uint64, len(inputs)),
 	}
 	for _, in := range inputs {
 		if c.Gates[in].Type.IsCombinational() {
@@ -118,7 +122,18 @@ func NewParallelSimView(c *logic.Circuit, inputs, outputs []int) *ParallelSim {
 // computes the good-machine response. It returns the number of
 // patterns loaded.
 func (ps *ParallelSim) LoadBlock(patterns [][]bool) int {
-	k := len(patterns)
+	if len(patterns) > 64 {
+		patterns = patterns[:64]
+	}
+	k := sim.PackPatternsInto(patterns, ps.packBuf)
+	return ps.LoadPackedBlock(ps.packBuf, k)
+}
+
+// LoadPackedBlock loads an already-packed block (one word per view
+// input, k patterns in the low bits) and computes the good-machine
+// response through the active kernel. Words are masked to k bits, so a
+// shared block may carry stale high bits. It returns k (capped at 64).
+func (ps *ParallelSim) LoadPackedBlock(words []uint64, k int) int {
 	if k > 64 {
 		k = 64
 	}
@@ -130,20 +145,24 @@ func (ps *ParallelSim) LoadBlock(patterns [][]bool) int {
 	for _, d := range c.DFFs {
 		ps.good[d] = 0
 	}
-	for p := 0; p < k; p++ {
-		for i, b := range patterns[p] {
-			if b {
-				ps.good[ps.inputs[i]] |= 1 << uint(p)
-			}
-		}
+	mask := ^uint64(0)
+	if k < 64 {
+		mask = 1<<uint(k) - 1
 	}
-	for _, id := range c.Order {
-		g := &c.Gates[id]
-		in := ps.scratch[:len(g.Fanin)]
-		for i, src := range g.Fanin {
-			in[i] = ps.good[src]
+	for i, in := range ps.inputs {
+		ps.good[in] = words[i] & mask
+	}
+	if ps.prog != nil {
+		ps.prog.Exec(ps.good)
+	} else {
+		for _, id := range c.Order {
+			g := &c.Gates[id]
+			in := ps.scratch[:len(g.Fanin)]
+			for i, src := range g.Fanin {
+				in[i] = ps.good[src]
+			}
+			ps.good[id] = g.Type.EvalWord(in)
 		}
-		ps.good[id] = g.Type.EvalWord(in)
 	}
 	ps.nEvals += int64(len(c.Order))
 	return k
@@ -247,29 +266,29 @@ func (ps *ParallelSim) liveFor(n int) []int {
 	return ps.liveBuf[:n]
 }
 
-// blockLoop grades faults against the pattern set in 64-wide blocks on
-// ps, writing outcomes into detected and detectedBy (indexed like
-// faults; recorded pattern indices are absolute within patterns). It is
-// the shared inner loop of every parallel-pattern path: the engine
-// calls it once per shard with subslices of the full result arrays, so
-// all writes stay inside the caller's range. Work counters accumulate
-// on ps for the caller to drain, the live list reuses ps scratch (no
-// allocation after warmup), and cancellation is checked between blocks.
-func blockLoop(ctx context.Context, ps *ParallelSim, faults []Fault, patterns [][]bool, drop bool,
+// blockLoop grades faults against the packed pattern set block by
+// block on ps, writing outcomes into detected and detectedBy (indexed
+// like faults; recorded pattern indices are absolute within the set).
+// It is the shared inner loop of every parallel-pattern path: the
+// engine calls it once per shard with subslices of the full result
+// arrays, so all writes stay inside the caller's range. The pattern
+// blocks are packed once by the caller and shared read-only across
+// every shard and worker. Work counters accumulate on ps for the
+// caller to drain, the live list reuses ps scratch (no allocation
+// after warmup), and cancellation is checked between blocks.
+func blockLoop(ctx context.Context, ps *ParallelSim, faults []Fault, pats *PackedPatterns, drop bool,
 	detected []bool, detectedBy []int, dropHist *telemetry.Histogram) (caught int, blocks int64, err error) {
 	live := ps.liveFor(len(faults))
 	for i := range live {
 		live[i] = i
 	}
-	for base := 0; base < len(patterns); base += 64 {
+	for bi := 0; bi < pats.NumBlocks(); bi++ {
 		if err := ctx.Err(); err != nil {
 			return caught, blocks, err
 		}
-		end := base + 64
-		if end > len(patterns) {
-			end = len(patterns)
-		}
-		k := ps.LoadBlock(patterns[base:end])
+		base := bi * 64
+		words, kb := pats.Block(bi)
+		k := ps.LoadPackedBlock(words, kb)
 		blocks++
 		caughtBefore := caught
 		mask := ^uint64(0)

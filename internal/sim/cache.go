@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// Kernel selects the good-machine evaluation engine behind the
+// package's Eval/EvalWords entry points.
+type Kernel int32
+
+const (
+	// KernelCompiled evaluates through a cached compiled Program —
+	// the default.
+	KernelCompiled Kernel = iota
+	// KernelInterp is the original interpreted levelized walk,
+	// dispatching through GateType.EvalBool/EvalWord per gate. Kept for
+	// cross-checking and ablation benches.
+	KernelInterp
+)
+
+// String names the kernel as accepted by ParseKernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelCompiled:
+		return "compiled"
+	case KernelInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("Kernel(%d)", int32(k))
+}
+
+// ParseKernel parses a kernel name from the CLI.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "compiled":
+		return KernelCompiled, nil
+	case "interp":
+		return KernelInterp, nil
+	}
+	return KernelCompiled, fmt.Errorf("unknown kernel %q (want compiled or interp)", s)
+}
+
+// defaultKernel holds the process-wide kernel selection; the zero
+// value is KernelCompiled.
+var defaultKernel atomic.Int32
+
+// DefaultKernel returns the kernel Eval/EvalWords currently dispatch
+// to.
+func DefaultKernel() Kernel { return Kernel(defaultKernel.Load()) }
+
+// SetDefaultKernel selects the kernel for all subsequent evaluations
+// and returns the previous selection. It is safe for concurrent use,
+// but tests toggling it must not run in parallel with each other.
+func SetDefaultKernel(k Kernel) Kernel {
+	return Kernel(defaultKernel.Swap(int32(k)))
+}
+
+// The program cache maps a finalized *logic.Circuit to its compiled
+// Program. Circuits are immutable after Finalize, so identity keying
+// is sound. Reads take the lock-free sync.Map path; misses compile
+// under a mutex so concurrent first users of one circuit compile it
+// once. Eviction is FIFO with a generous cap: workloads like
+// syndrome.MakeTestable compile thousands of throwaway trial circuits,
+// and without a bound the cache would pin them all.
+const programCacheCap = 128
+
+var (
+	progCache    sync.Map // *logic.Circuit -> *Program
+	progCacheMu  sync.Mutex
+	progCacheAge []*logic.Circuit
+	gProgCached  = telemetry.Default().Gauge("sim.compile.cached")
+)
+
+// CompiledFor returns the cached compiled program for c, compiling on
+// first use.
+func CompiledFor(c *logic.Circuit) *Program {
+	if v, ok := progCache.Load(c); ok {
+		return v.(*Program)
+	}
+	progCacheMu.Lock()
+	defer progCacheMu.Unlock()
+	if v, ok := progCache.Load(c); ok {
+		return v.(*Program)
+	}
+	p := Compile(c)
+	progCache.Store(c, p)
+	progCacheAge = append(progCacheAge, c)
+	if len(progCacheAge) > programCacheCap {
+		progCache.Delete(progCacheAge[0])
+		progCacheAge = progCacheAge[1:]
+	}
+	gProgCached.Set(int64(len(progCacheAge)))
+	return p
+}
+
+// ActiveProgram returns the cached program for c when the compiled
+// kernel is selected, or nil under the interpreted kernel. Hot loops
+// use it to pick their fast path once per pass.
+func ActiveProgram(c *logic.Circuit) *Program {
+	if DefaultKernel() == KernelCompiled {
+		return CompiledFor(c)
+	}
+	return nil
+}

@@ -78,9 +78,16 @@ func HazardAnalysis(c *logic.Circuit, p1, p2 []bool) []HazardClass {
 	for i := range state {
 		state[i] = logic.Zero
 	}
-	v1 := EvalTernary(c, initial, state)
-	vm := EvalTernary(c, mid, state)
-	v2 := EvalTernary(c, final, state)
+	// One fanin scratch serves all three passes; each pass still needs
+	// its own valuation since the classification compares them.
+	n := c.NumNets()
+	scratch := make([]logic.V, c.MaxFanin())
+	v1 := make([]logic.V, n)
+	vm := make([]logic.V, n)
+	v2 := make([]logic.V, n)
+	EvalTernaryInto(c, initial, state, v1, scratch)
+	EvalTernaryInto(c, mid, state, vm, scratch)
+	EvalTernaryInto(c, final, state, v2, scratch)
 
 	out := make([]HazardClass, c.NumNets())
 	for n := range out {

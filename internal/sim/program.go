@@ -1,0 +1,608 @@
+// Compiled levelized simulation kernel.
+//
+// Compile lowers a finalized netlist once into a flat instruction
+// stream: one type-specialized instruction per net in levelized order,
+// with 2-input fast-path opcodes for the common gates, a single
+// contiguous fanin-index array for the n-ary fallback (no per-gate
+// slice gather), and constant folding of Const0/Const1 feeds and tied
+// inputs. The program is then executed scalar (ExecBool), 64-way
+// bit-parallel (Exec), or blocked W words at a time (ExecBlock) so
+// instruction decode and fanin-index loads amortize across up to W×64
+// patterns per pass.
+//
+// Every folding rule used here (idempotence of AND/OR, constant
+// absorption, XOR pair cancellation and parity flips) is an exact
+// Boolean identity that also holds bitwise on 64-bit words, so the
+// compiled kernel produces byte-identical net valuations to the
+// interpreter for every input — the invariant the cross-kernel
+// property tests pin down.
+package sim
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+var (
+	cCompilePrograms = telemetry.Default().Counter("sim.compile.programs")
+	cCompileFolded   = telemetry.Default().Counter("sim.compile.folded_gates")
+	cKernelBoolEvals = telemetry.Default().Counter("sim.kernel.bool_evals")
+	cKernelWordEvals = telemetry.Default().Counter("sim.kernel.word_evals")
+	cKernelBlockEvals = telemetry.Default().Counter("sim.kernel.block_evals")
+	tCompile          = telemetry.Default().Timer("sim.compile")
+	tKernelExec       = telemetry.Default().Timer("sim.kernel.exec")
+)
+
+// opcode is a compiled gate operation. The two-input fast paths cover
+// the overwhelming share of gates in the bench circuits; everything
+// else falls back to an n-ary reduce over the flat fanin array.
+type opcode uint8
+
+const (
+	opConst0 opcode = iota
+	opConst1
+	opBuf
+	opNot
+	opAnd2
+	opNand2
+	opOr2
+	opNor2
+	opXor2
+	opXnor2
+	opAndN
+	opNandN
+	opOrN
+	opNorN
+	opXorN
+	opXnorN
+)
+
+// instr is one compiled operation: write net out from operand net(s).
+// For 2-input opcodes a and b are net indices; for n-ary opcodes a is
+// an offset into Program.fanins and b is the operand count.
+type instr struct {
+	op   opcode
+	out  int32
+	a, b int32
+}
+
+// Program is a circuit compiled for repeated evaluation. A Program is
+// immutable after Compile and safe for concurrent use from any number
+// of goroutines (each call supplies its own value storage).
+type Program struct {
+	c      *logic.Circuit
+	code   []instr
+	fanins []int32
+	folded int
+}
+
+// Circuit returns the netlist the program was compiled from.
+func (p *Program) Circuit() *logic.Circuit { return p.c }
+
+// NumInstrs returns the instruction count (one per evaluated net).
+func (p *Program) NumInstrs() int { return len(p.code) }
+
+// Folded returns how many gates were simplified during compilation
+// (constant feeds absorbed, tied inputs deduplicated, or the whole
+// gate folded to a constant).
+func (p *Program) Folded() int { return p.folded }
+
+// knownness of a net's value at compile time.
+const (
+	kUnknown uint8 = iota
+	kZero
+	kOne
+)
+
+// Compile lowers the levelized netlist into a Program. The circuit
+// must be finalized; Compile panics otherwise (Order is empty only in
+// degenerate source-only circuits, so the check uses the same entry
+// condition as the interpreter: Level/Order populated by Finalize).
+func Compile(c *logic.Circuit) *Program {
+	defer tCompile.Time()()
+	p := &Program{
+		c:    c,
+		code: make([]instr, 0, len(c.Order)),
+	}
+	known := make([]uint8, c.NumNets())
+	var ins []int32 // simplified operand list, reused per gate
+	for _, id := range c.Order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case logic.Const0:
+			p.emitConst(id, false, known)
+		case logic.Const1:
+			p.emitConst(id, true, known)
+		case logic.Buf, logic.Not:
+			inv := g.Type == logic.Not
+			f := g.Fanin[0]
+			switch known[f] {
+			case kZero:
+				p.emitConst(id, inv, known)
+				p.folded++
+			case kOne:
+				p.emitConst(id, !inv, known)
+				p.folded++
+			default:
+				op := opBuf
+				if inv {
+					op = opNot
+				}
+				p.code = append(p.code, instr{op: op, out: int32(id), a: int32(f)})
+			}
+		case logic.And, logic.Nand:
+			ins = p.compileAndOr(id, g, known, ins, true, g.Type == logic.Nand)
+		case logic.Or, logic.Nor:
+			ins = p.compileAndOr(id, g, known, ins, false, g.Type == logic.Nor)
+		case logic.Xor, logic.Xnor:
+			ins = p.compileXor(id, g, known, ins, g.Type == logic.Xnor)
+		default:
+			panic(fmt.Sprintf("sim: cannot compile gate type %v", g.Type))
+		}
+	}
+	cCompilePrograms.Inc()
+	cCompileFolded.Add(int64(p.folded))
+	return p
+}
+
+// emitConst emits a constant write for net id and records its value
+// for folding in downstream gates.
+func (p *Program) emitConst(id int, v bool, known []uint8) {
+	op := opConst0
+	known[id] = kZero
+	if v {
+		op = opConst1
+		known[id] = kOne
+	}
+	p.code = append(p.code, instr{op: op, out: int32(id)})
+}
+
+// compileAndOr lowers an AND/NAND (and=true) or OR/NOR (and=false)
+// gate: operands known to be the identity element (1 for AND, 0 for
+// OR) are dropped, a known controlling operand (0 for AND, 1 for OR)
+// folds the gate to a constant, and duplicate operands collapse by
+// idempotence. inv selects the inverting variant.
+func (p *Program) compileAndOr(id int, g *logic.Gate, known []uint8, ins []int32, and, inv bool) []int32 {
+	identity, controlling := kOne, kZero
+	if !and {
+		identity, controlling = kZero, kOne
+	}
+	ins = ins[:0]
+	controlled := false
+	for _, f := range g.Fanin {
+		switch known[f] {
+		case identity:
+			// dropped: cannot affect the reduce
+		case controlling:
+			controlled = true
+		default:
+			if !containsNet(ins, int32(f)) {
+				ins = append(ins, int32(f))
+			}
+		}
+	}
+	if controlled {
+		// Result is the controlling value (0 for AND, 1 for OR), then
+		// inverted for NAND/NOR.
+		p.emitConst(id, !and != inv, known)
+		p.folded++
+		return ins
+	}
+	if len(ins) != len(g.Fanin) {
+		p.folded++
+	}
+	switch len(ins) {
+	case 0:
+		// Empty reduce yields the identity element.
+		p.emitConst(id, and != inv, known)
+	case 1:
+		op := opBuf
+		if inv {
+			op = opNot
+		}
+		p.code = append(p.code, instr{op: op, out: int32(id), a: ins[0]})
+	case 2:
+		var op opcode
+		switch {
+		case and && !inv:
+			op = opAnd2
+		case and && inv:
+			op = opNand2
+		case !and && !inv:
+			op = opOr2
+		default:
+			op = opNor2
+		}
+		p.code = append(p.code, instr{op: op, out: int32(id), a: ins[0], b: ins[1]})
+	default:
+		var op opcode
+		switch {
+		case and && !inv:
+			op = opAndN
+		case and && inv:
+			op = opNandN
+		case !and && !inv:
+			op = opOrN
+		default:
+			op = opNorN
+		}
+		p.emitNary(op, id, ins)
+	}
+	return ins
+}
+
+// compileXor lowers an XOR/XNOR gate: known-0 operands drop, known-1
+// operands flip the output parity, and paired duplicate operands
+// cancel (x XOR x = 0). inv starts the parity at XNOR.
+func (p *Program) compileXor(id int, g *logic.Gate, known []uint8, ins []int32, inv bool) []int32 {
+	flip := inv
+	ins = ins[:0]
+	for _, f := range g.Fanin {
+		switch known[f] {
+		case kZero:
+			// dropped
+		case kOne:
+			flip = !flip
+		default:
+			if i := indexOfNet(ins, int32(f)); i >= 0 {
+				ins = append(ins[:i], ins[i+1:]...)
+			} else {
+				ins = append(ins, int32(f))
+			}
+		}
+	}
+	if len(ins) != len(g.Fanin) {
+		p.folded++
+	}
+	switch len(ins) {
+	case 0:
+		p.emitConst(id, flip, known)
+	case 1:
+		op := opBuf
+		if flip {
+			op = opNot
+		}
+		p.code = append(p.code, instr{op: op, out: int32(id), a: ins[0]})
+	case 2:
+		op := opXor2
+		if flip {
+			op = opXnor2
+		}
+		p.code = append(p.code, instr{op: op, out: int32(id), a: ins[0], b: ins[1]})
+	default:
+		op := opXorN
+		if flip {
+			op = opXnorN
+		}
+		p.emitNary(op, id, ins)
+	}
+	return ins
+}
+
+// emitNary appends an n-ary instruction, copying the operand list into
+// the flat fanin array.
+func (p *Program) emitNary(op opcode, id int, ins []int32) {
+	off := int32(len(p.fanins))
+	p.fanins = append(p.fanins, ins...)
+	p.code = append(p.code, instr{op: op, out: int32(id), a: off, b: int32(len(ins))})
+}
+
+func containsNet(ins []int32, f int32) bool { return indexOfNet(ins, f) >= 0 }
+
+func indexOfNet(ins []int32, f int32) int {
+	for i, x := range ins {
+		if x == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// ExecBool runs the compiled scalar kernel over vals (one bool per
+// net). Source nets (PIs, DFF outputs) must be preloaded by the
+// caller; every evaluated net is written.
+func (p *Program) ExecBool(vals []bool) {
+	fan := p.fanins
+	for _, ins := range p.code {
+		switch ins.op {
+		case opConst0:
+			vals[ins.out] = false
+		case opConst1:
+			vals[ins.out] = true
+		case opBuf:
+			vals[ins.out] = vals[ins.a]
+		case opNot:
+			vals[ins.out] = !vals[ins.a]
+		case opAnd2:
+			vals[ins.out] = vals[ins.a] && vals[ins.b]
+		case opNand2:
+			vals[ins.out] = !(vals[ins.a] && vals[ins.b])
+		case opOr2:
+			vals[ins.out] = vals[ins.a] || vals[ins.b]
+		case opNor2:
+			vals[ins.out] = !(vals[ins.a] || vals[ins.b])
+		case opXor2:
+			vals[ins.out] = vals[ins.a] != vals[ins.b]
+		case opXnor2:
+			vals[ins.out] = vals[ins.a] == vals[ins.b]
+		case opAndN, opNandN:
+			v := true
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				if !vals[f] {
+					v = false
+					break
+				}
+			}
+			vals[ins.out] = v != (ins.op == opNandN)
+		case opOrN, opNorN:
+			v := false
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				if vals[f] {
+					v = true
+					break
+				}
+			}
+			vals[ins.out] = v != (ins.op == opNorN)
+		default: // opXorN, opXnorN
+			v := ins.op == opXnorN
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				if vals[f] {
+					v = !v
+				}
+			}
+			vals[ins.out] = v
+		}
+	}
+	cKernelBoolEvals.Add(int64(len(p.code)))
+}
+
+// Exec runs the compiled 64-way bit-parallel kernel over vals (one
+// word per net). Source nets must be preloaded; every evaluated net is
+// written.
+func (p *Program) Exec(vals []uint64) {
+	fan := p.fanins
+	for _, ins := range p.code {
+		switch ins.op {
+		case opConst0:
+			vals[ins.out] = 0
+		case opConst1:
+			vals[ins.out] = ^uint64(0)
+		case opBuf:
+			vals[ins.out] = vals[ins.a]
+		case opNot:
+			vals[ins.out] = ^vals[ins.a]
+		case opAnd2:
+			vals[ins.out] = vals[ins.a] & vals[ins.b]
+		case opNand2:
+			vals[ins.out] = ^(vals[ins.a] & vals[ins.b])
+		case opOr2:
+			vals[ins.out] = vals[ins.a] | vals[ins.b]
+		case opNor2:
+			vals[ins.out] = ^(vals[ins.a] | vals[ins.b])
+		case opXor2:
+			vals[ins.out] = vals[ins.a] ^ vals[ins.b]
+		case opXnor2:
+			vals[ins.out] = ^(vals[ins.a] ^ vals[ins.b])
+		case opAndN, opNandN:
+			v := ^uint64(0)
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				v &= vals[f]
+			}
+			if ins.op == opNandN {
+				v = ^v
+			}
+			vals[ins.out] = v
+		case opOrN, opNorN:
+			v := uint64(0)
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				v |= vals[f]
+			}
+			if ins.op == opNorN {
+				v = ^v
+			}
+			vals[ins.out] = v
+		default: // opXorN, opXnorN
+			v := uint64(0)
+			for _, f := range fan[ins.a : ins.a+ins.b] {
+				v ^= vals[f]
+			}
+			if ins.op == opXnorN {
+				v = ^v
+			}
+			vals[ins.out] = v
+		}
+	}
+	cKernelWordEvals.Add(int64(len(p.code)))
+}
+
+// ExecBlock runs the blocked kernel: vals holds W consecutive words
+// per net (net n's lane w at vals[n*W+w]), so each instruction visit
+// evaluates up to W×64 patterns while its decode and fanin-index loads
+// are paid once. Source lanes must be preloaded; every evaluated net's
+// W lanes are written.
+func (p *Program) ExecBlock(vals []uint64, W int) {
+	if W <= 0 {
+		panic("sim: ExecBlock needs W >= 1")
+	}
+	if W == 1 {
+		p.Exec(vals)
+		return
+	}
+	fan := p.fanins
+	for _, ins := range p.code {
+		out := vals[int(ins.out)*W : int(ins.out)*W+W]
+		switch ins.op {
+		case opConst0:
+			for w := range out {
+				out[w] = 0
+			}
+		case opConst1:
+			for w := range out {
+				out[w] = ^uint64(0)
+			}
+		case opBuf:
+			copy(out, vals[int(ins.a)*W:int(ins.a)*W+W])
+		case opNot:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			for w := range out {
+				out[w] = ^a[w]
+			}
+		case opAnd2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = a[w] & b[w]
+			}
+		case opNand2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = ^(a[w] & b[w])
+			}
+		case opOr2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = a[w] | b[w]
+			}
+		case opNor2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = ^(a[w] | b[w])
+			}
+		case opXor2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = a[w] ^ b[w]
+			}
+		case opXnor2:
+			a := vals[int(ins.a)*W : int(ins.a)*W+W]
+			b := vals[int(ins.b)*W : int(ins.b)*W+W]
+			for w := range out {
+				out[w] = ^(a[w] ^ b[w])
+			}
+		case opAndN, opNandN:
+			copy(out, vals[int(fan[ins.a])*W:int(fan[ins.a])*W+W])
+			for _, f := range fan[ins.a+1 : ins.a+ins.b] {
+				src := vals[int(f)*W : int(f)*W+W]
+				for w := range out {
+					out[w] &= src[w]
+				}
+			}
+			if ins.op == opNandN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		case opOrN, opNorN:
+			copy(out, vals[int(fan[ins.a])*W:int(fan[ins.a])*W+W])
+			for _, f := range fan[ins.a+1 : ins.a+ins.b] {
+				src := vals[int(f)*W : int(f)*W+W]
+				for w := range out {
+					out[w] |= src[w]
+				}
+			}
+			if ins.op == opNorN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		default: // opXorN, opXnorN
+			copy(out, vals[int(fan[ins.a])*W:int(fan[ins.a])*W+W])
+			for _, f := range fan[ins.a+1 : ins.a+ins.b] {
+				src := vals[int(f)*W : int(f)*W+W]
+				for w := range out {
+					out[w] ^= src[w]
+				}
+			}
+			if ins.op == opXnorN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		}
+	}
+	cKernelBlockEvals.Add(int64(len(p.code) * W))
+}
+
+// checkWidths validates Eval-style inputs against the program's
+// circuit, mirroring the interpreter's panics.
+func (p *Program) checkWidths(nPI, nState int) {
+	if nPI != len(p.c.PIs) {
+		panic(fmt.Sprintf("sim: got %d input values for %d primary inputs", nPI, len(p.c.PIs)))
+	}
+	if nState != len(p.c.DFFs) {
+		panic(fmt.Sprintf("sim: got %d state values for %d flip-flops", nState, len(p.c.DFFs)))
+	}
+}
+
+// Eval runs a scalar simulation through the compiled kernel,
+// semantically identical to sim.Eval.
+func (p *Program) Eval(pi, state []bool) []bool {
+	vals := make([]bool, p.c.NumNets())
+	p.EvalInto(pi, state, vals)
+	return vals
+}
+
+// EvalInto is Eval into caller-provided storage.
+func (p *Program) EvalInto(pi, state, vals []bool) {
+	p.checkWidths(len(pi), len(state))
+	for i, id := range p.c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range p.c.DFFs {
+		vals[id] = state[i]
+	}
+	p.ExecBool(vals)
+}
+
+// EvalWords runs 64-way bit-parallel simulation through the compiled
+// kernel, semantically identical to sim.EvalWords.
+func (p *Program) EvalWords(pi, state []uint64) Words {
+	vals := make(Words, p.c.NumNets())
+	p.EvalWordsInto(pi, state, vals)
+	return vals
+}
+
+// EvalWordsInto is EvalWords into caller-provided storage.
+func (p *Program) EvalWordsInto(pi, state []uint64, vals Words) {
+	p.checkWidths(len(pi), len(state))
+	defer tKernelExec.Time()()
+	for i, id := range p.c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range p.c.DFFs {
+		vals[id] = state[i]
+	}
+	p.Exec(vals)
+}
+
+// EvalBlock runs the blocked kernel over W words per net. pi and state
+// are lane-major ([input][W]uint64 flattened: input i's lane w at
+// pi[i*W+w]); the result has net n's lane w at vals[n*W+w].
+func (p *Program) EvalBlock(pi, state []uint64, W int) []uint64 {
+	vals := make([]uint64, p.c.NumNets()*W)
+	p.EvalBlockInto(pi, state, vals, W)
+	return vals
+}
+
+// EvalBlockInto is EvalBlock into caller-provided storage (length
+// NumNets×W).
+func (p *Program) EvalBlockInto(pi, state, vals []uint64, W int) {
+	if W <= 0 {
+		panic("sim: EvalBlock needs W >= 1")
+	}
+	p.checkWidths(len(pi)/W, len(state)/W)
+	defer tKernelExec.Time()()
+	for i, id := range p.c.PIs {
+		copy(vals[id*W:id*W+W], pi[i*W:i*W+W])
+	}
+	for i, id := range p.c.DFFs {
+		copy(vals[id*W:id*W+W], state[i*W:i*W+W])
+	}
+	p.ExecBlock(vals, W)
+}

@@ -42,9 +42,23 @@ func Eval(c *logic.Circuit, pi []bool, state []bool) []bool {
 }
 
 // EvalInto is Eval writing into caller-provided storage to avoid
-// allocation in inner loops. scratch, if non-nil, must have capacity for
-// the widest gate fanin; pass nil to let the function allocate it.
+// allocation in inner loops. It dispatches to the selected kernel
+// (compiled by default); scratch is only used by the interpreted
+// kernel, where a non-nil slice must have capacity for the widest gate
+// fanin (pass nil to let the function allocate it).
 func EvalInto(c *logic.Circuit, pi []bool, state []bool, vals []bool, scratch []bool) {
+	if p := ActiveProgram(c); p != nil {
+		p.EvalInto(pi, state, vals)
+		return
+	}
+	EvalInterpInto(c, pi, state, vals, scratch)
+}
+
+// EvalInterpInto is the interpreted scalar kernel: a levelized walk
+// gathering each gate's fanins into scratch and dispatching through
+// GateType.EvalBool. It is the reference implementation the compiled
+// kernel is checked against.
+func EvalInterpInto(c *logic.Circuit, pi []bool, state []bool, vals []bool, scratch []bool) {
 	for i, id := range c.PIs {
 		vals[id] = pi[i]
 	}
@@ -88,13 +102,21 @@ func NextState(c *logic.Circuit, vals []bool) []bool {
 // the classical tool for reasoning about uninitialized storage. Values
 // other than logic.Zero/One/X in the inputs are rejected.
 func EvalTernary(c *logic.Circuit, pi []logic.V, state []logic.V) []logic.V {
+	vals := make([]logic.V, len(c.Gates))
+	EvalTernaryInto(c, pi, state, vals, nil)
+	return vals
+}
+
+// EvalTernaryInto is EvalTernary into caller-provided storage.
+// scratch, if non-nil, must have capacity for the widest gate fanin;
+// pass nil to let the function allocate it.
+func EvalTernaryInto(c *logic.Circuit, pi, state, vals []logic.V, scratch []logic.V) {
 	if len(pi) != len(c.PIs) {
 		panic(fmt.Sprintf("sim: got %d input values for %d primary inputs", len(pi), len(c.PIs)))
 	}
 	if len(state) != len(c.DFFs) {
 		panic(fmt.Sprintf("sim: got %d state values for %d flip-flops", len(state), len(c.DFFs)))
 	}
-	vals := make([]logic.V, len(c.Gates))
 	for i := range vals {
 		vals[i] = logic.X
 	}
@@ -110,17 +132,18 @@ func EvalTernary(c *logic.Circuit, pi []logic.V, state []logic.V) []logic.V {
 	for i, id := range c.DFFs {
 		vals[id] = check(state[i])
 	}
-	in := make([]logic.V, c.MaxFanin())
+	if scratch == nil {
+		scratch = make([]logic.V, c.MaxFanin())
+	}
 	for _, id := range c.Order {
 		g := &c.Gates[id]
-		args := in[:len(g.Fanin)]
+		args := scratch[:len(g.Fanin)]
 		for i, f := range g.Fanin {
 			args[i] = vals[f]
 		}
 		vals[id] = g.Type.Eval(args)
 	}
 	cTernaryEvals.Add(int64(len(c.Order)))
-	return vals
 }
 
 // Words is a bit-parallel valuation: Words[n] packs the value of net n
@@ -135,8 +158,20 @@ func EvalWords(c *logic.Circuit, pi []uint64, state []uint64) Words {
 	return vals
 }
 
-// EvalWordsInto is EvalWords into caller-provided storage.
+// EvalWordsInto is EvalWords into caller-provided storage. It
+// dispatches to the selected kernel (compiled by default); scratch is
+// only used by the interpreted kernel.
 func EvalWordsInto(c *logic.Circuit, pi, state []uint64, vals Words, scratch []uint64) {
+	if p := ActiveProgram(c); p != nil {
+		p.EvalWordsInto(pi, state, vals)
+		return
+	}
+	EvalWordsInterpInto(c, pi, state, vals, scratch)
+}
+
+// EvalWordsInterpInto is the interpreted 64-way kernel, the reference
+// implementation the compiled kernel is checked against.
+func EvalWordsInterpInto(c *logic.Circuit, pi, state []uint64, vals Words, scratch []uint64) {
 	if len(pi) != len(c.PIs) {
 		panic(fmt.Sprintf("sim: got %d input words for %d primary inputs", len(pi), len(c.PIs)))
 	}
@@ -167,13 +202,26 @@ func EvalWordsInto(c *logic.Circuit, pi, state []uint64, vals Words, scratch []u
 // into one word per primary input: bit k of word i is pattern k's value
 // for input i.
 func PackPatterns(c *logic.Circuit, patterns [][]bool) []uint64 {
-	if len(patterns) > 64 {
-		panic("sim: PackPatterns accepts at most 64 patterns")
-	}
 	words := make([]uint64, len(c.PIs))
+	PackPatternsInto(patterns, words)
+	return words
+}
+
+// PackPatternsInto packs up to 64 patterns into caller-provided words
+// (one word per input position, zeroed first): bit k of word i is
+// pattern k's value for input i. It returns the number of patterns
+// packed, so grading loops can reuse one word slice per block instead
+// of allocating.
+func PackPatternsInto(patterns [][]bool, words []uint64) int {
+	if len(patterns) > 64 {
+		panic("sim: PackPatternsInto accepts at most 64 patterns")
+	}
+	for i := range words {
+		words[i] = 0
+	}
 	for k, p := range patterns {
-		if len(p) != len(c.PIs) {
-			panic(fmt.Sprintf("sim: pattern %d has %d values for %d inputs", k, len(p), len(c.PIs)))
+		if len(p) != len(words) {
+			panic(fmt.Sprintf("sim: pattern %d has %d values for %d inputs", k, len(p), len(words)))
 		}
 		for i, b := range p {
 			if b {
@@ -181,5 +229,56 @@ func PackPatterns(c *logic.Circuit, patterns [][]bool) []uint64 {
 			}
 		}
 	}
-	return words
+	return len(patterns)
+}
+
+// exhaustMasks are the packed values of the six low enumeration
+// variables within one 64-pattern block: variable b toggles with
+// period 2^b across pattern indices, so its word is a fixed mask.
+var exhaustMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// ExhaustiveBlock fills words with one 64-pattern block of the
+// exhaustive enumeration over len(free) variables, starting at pattern
+// index base (which must be 64-aligned): pattern base+p assigns bit b
+// of (base+p) to words[free[b]]'s bit p, matching the pattern order of
+// a scalar count from 0 to 2^n-1. Only the free positions of words are
+// written. It returns the number of patterns in the block (64, or the
+// tail remainder; 0 when base is past the end).
+func ExhaustiveBlock(words []uint64, free []int, base uint64) int {
+	n := len(free)
+	if n >= 64 {
+		panic("sim: ExhaustiveBlock supports at most 63 variables")
+	}
+	if base%64 != 0 {
+		panic("sim: ExhaustiveBlock base must be 64-aligned")
+	}
+	total := uint64(1) << uint(n)
+	if base >= total {
+		return 0
+	}
+	k := 64
+	if rem := total - base; rem < 64 {
+		k = int(rem)
+	}
+	mask := ^uint64(0)
+	if k < 64 {
+		mask = 1<<uint(k) - 1
+	}
+	for b, pos := range free {
+		var w uint64
+		if b < 6 {
+			w = exhaustMasks[b]
+		} else if base>>uint(b)&1 == 1 {
+			w = ^uint64(0)
+		}
+		words[pos] = w & mask
+	}
+	return k
 }

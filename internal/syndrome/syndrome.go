@@ -15,40 +15,86 @@ import (
 
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/sim"
 )
 
 // MaxExhaustiveInputs bounds 2ⁿ enumeration.
 const MaxExhaustiveInputs = 24
 
+// syndromeBlockW is the blocked-kernel width for the good-machine
+// enumeration: 8 words (512 patterns) per instruction visit.
+const syndromeBlockW = 8
+
+// identityFree returns the free-variable positions 0..n-1 for packed
+// exhaustive enumeration over the primary inputs.
+func identityFree(n int) []int {
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	return free
+}
+
+func blockMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k) - 1
+}
+
 // Syndromes returns K (ones count) and S = K/2ⁿ for every primary
 // output of a combinational circuit, by exhaustive bit-parallel
-// simulation.
+// simulation. The enumeration is packed: blocks of 64 patterns are
+// synthesized directly from periodic bit masks, and under the compiled
+// kernel the blocked evaluator grades syndromeBlockW words per
+// instruction visit.
 func Syndromes(c *logic.Circuit) (counts []int, syndromes []float64) {
 	n := len(c.PIs)
 	if n > MaxExhaustiveInputs {
 		panic(fmt.Sprintf("syndrome: %d inputs exceed exhaustive limit %d", n, MaxExhaustiveInputs))
 	}
-	ps := fault.NewParallelSim(c)
 	counts = make([]int, len(c.POs))
-	total := 1 << uint(n)
-	buf := make([][]bool, 0, 64)
-	for base := 0; base < total; base += 64 {
-		buf = buf[:0]
-		for k := 0; k < 64 && base+k < total; k++ {
-			pat := make([]bool, n)
-			x := base + k
-			for i := 0; i < n; i++ {
-				pat[i] = x>>uint(i)&1 == 1
+	total := uint64(1) << uint(n)
+	free := identityFree(n)
+	if prog := sim.ActiveProgram(c); prog != nil {
+		W := syndromeBlockW
+		if nb := int((total + 63) / 64); nb < W {
+			W = nb
+		}
+		vals := make([]uint64, c.NumNets()*W)
+		words := make([]uint64, n)
+		var ks [syndromeBlockW]int
+		for base := uint64(0); base < total; base += uint64(64 * W) {
+			lanes := 0
+			for j := 0; j < W; j++ {
+				k := sim.ExhaustiveBlock(words, free, base+uint64(64*j))
+				if k == 0 {
+					break
+				}
+				ks[j] = k
+				lanes++
+				for i, pi := range c.PIs {
+					vals[pi*W+j] = words[i]
+				}
 			}
-			buf = append(buf, pat)
+			prog.ExecBlock(vals, W)
+			for j := 0; j < lanes; j++ {
+				mask := blockMask(ks[j])
+				for oi, po := range c.POs {
+					counts[oi] += bits.OnesCount64(vals[po*W+j] & mask)
+				}
+			}
 		}
-		kk := ps.LoadBlock(buf)
-		mask := ^uint64(0)
-		if kk < 64 {
-			mask = 1<<uint(kk) - 1
-		}
-		for j, po := range c.POs {
-			counts[j] += bits.OnesCount64(ps.GoodWord(po) & mask)
+	} else {
+		ps := fault.NewParallelSim(c)
+		words := make([]uint64, n)
+		for base := uint64(0); base < total; base += 64 {
+			k := sim.ExhaustiveBlock(words, free, base)
+			ps.LoadPackedBlock(words, k)
+			mask := blockMask(k)
+			for oi, po := range c.POs {
+				counts[oi] += bits.OnesCount64(ps.GoodWord(po) & mask)
+			}
 		}
 	}
 	syndromes = make([]float64, len(counts))
@@ -59,7 +105,8 @@ func Syndromes(c *logic.Circuit) (counts []int, syndromes []float64) {
 }
 
 // FaultCounts returns, for each fault, the per-output ones counts of
-// the faulty machine under exhaustive patterns.
+// the faulty machine under exhaustive patterns, enumerated in packed
+// blocks.
 func FaultCounts(c *logic.Circuit, faults []fault.Fault) [][]int {
 	n := len(c.PIs)
 	if n > MaxExhaustiveInputs {
@@ -70,23 +117,13 @@ func FaultCounts(c *logic.Circuit, faults []fault.Fault) [][]int {
 	for i := range out {
 		out[i] = make([]int, len(c.POs))
 	}
-	total := 1 << uint(n)
-	buf := make([][]bool, 0, 64)
-	for base := 0; base < total; base += 64 {
-		buf = buf[:0]
-		for k := 0; k < 64 && base+k < total; k++ {
-			pat := make([]bool, n)
-			x := base + k
-			for i := 0; i < n; i++ {
-				pat[i] = x>>uint(i)&1 == 1
-			}
-			buf = append(buf, pat)
-		}
-		kk := ps.LoadBlock(buf)
-		mask := ^uint64(0)
-		if kk < 64 {
-			mask = 1<<uint(kk) - 1
-		}
+	total := uint64(1) << uint(n)
+	free := identityFree(n)
+	words := make([]uint64, n)
+	for base := uint64(0); base < total; base += 64 {
+		k := sim.ExhaustiveBlock(words, free, base)
+		ps.LoadPackedBlock(words, k)
+		mask := blockMask(k)
 		for fi, f := range faults {
 			ps.FaultMask(f)
 			for j, po := range c.POs {
@@ -111,18 +148,10 @@ func Classify(c *logic.Circuit, faults []fault.Fault) []Testability {
 	goodCounts, _ := Syndromes(c)
 	fc := FaultCounts(c, faults)
 
-	// Classical detectability via exhaustive fault simulation.
-	n := len(c.PIs)
-	total := 1 << uint(n)
-	patterns := make([][]bool, total)
-	for x := 0; x < total; x++ {
-		pat := make([]bool, n)
-		for i := 0; i < n; i++ {
-			pat[i] = x>>uint(i)&1 == 1
-		}
-		patterns[x] = pat
-	}
-	det, _ := fault.Simulate(context.Background(), c, faults, patterns, fault.Options{})
+	// Classical detectability via exhaustive fault simulation on the
+	// packed enumeration (64× smaller than materialized scalar vectors).
+	pats := fault.ExhaustivePatterns(len(c.PIs))
+	det, _ := fault.NewEngine(c, fault.Options{}).RunPacked(context.Background(), faults, pats)
 
 	out := make([]Testability, len(faults))
 	for i, f := range faults {

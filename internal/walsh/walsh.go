@@ -14,6 +14,7 @@ import (
 
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/sim"
 )
 
 // MaxInputs bounds exhaustive enumeration.
@@ -47,18 +48,15 @@ func outputsExhaustive(c *logic.Circuit, f *fault.Fault, visit func(x uint64, ou
 	}
 	ps := fault.NewParallelSim(c)
 	total := uint64(1) << uint(n)
-	buf := make([][]bool, 0, 64)
+	// Packed enumeration: each 64-pattern block is synthesized from
+	// periodic bit masks instead of materializing scalar vectors.
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	words := make([]uint64, n)
 	for base := uint64(0); base < total; base += 64 {
-		buf = buf[:0]
-		for k := uint64(0); k < 64 && base+k < total; k++ {
-			pat := make([]bool, n)
-			x := base + k
-			for i := 0; i < n; i++ {
-				pat[i] = x>>uint(i)&1 == 1
-			}
-			buf = append(buf, pat)
-		}
-		kk := ps.LoadBlock(buf)
+		kk := ps.LoadPackedBlock(words, sim.ExhaustiveBlock(words, free, base))
 		if f != nil {
 			ps.FaultMask(*f)
 		}
