@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault race-sim check bench bench-json bench-faultsim bench-sim clean
+.PHONY: all build vet test race race-fault race-sim check fuzz bench bench-json bench-faultsim bench-sim clean
 
 all: check
 
@@ -32,6 +32,15 @@ race-sim:
 	$(GO) test -race ./internal/sim/...
 
 check: build vet race-fault race-sim race
+
+# fuzz runs the coverage-guided differential fuzz targets: the compiled
+# kernel against the interpreter at every execution width, and every
+# fault-simulation backend/worker/drop configuration against the serial
+# baseline. FUZZTIME bounds each target.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) ./internal/fault
 
 bench:
 	$(GO) test -bench=. -benchmem .

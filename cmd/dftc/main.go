@@ -22,6 +22,7 @@
 //	dftc diagnose  <file.bench> [-patterns N] [-seed S]
 //	dftc profile   <file.bench> [-seed S] [-json]
 //	dftc experiments [id] [-json]
+//	dftc fuzz      [-rounds N] [-seeds a,b,c] [-patterns N] [-json]
 //
 // The global -stats flag (accepted anywhere on the command line) dumps
 // a telemetry summary — counters, timers, histograms, trace — to
@@ -78,6 +79,7 @@ var subcommands = map[string]func([]string) error{
 	"diagnose":    cmdDiagnose,
 	"profile":     cmdProfile,
 	"experiments": cmdExperiments,
+	"fuzz":        cmdFuzz,
 }
 
 func run(args []string) error {
@@ -206,6 +208,9 @@ subcommands:
   diagnose <f.bench> [flags]          fault-dictionary resolution
   profile <f.bench> [-seed S] [-json] standard workload with per-phase timing
   experiments [id] [-json]            regenerate paper tables/figures
+  fuzz [-rounds N] [-seeds a,b,c]     differential fuzz: every kernel/backend
+                                      config must agree; prints replayable
+                                      repros for divergences
 
 global flags:
   -stats            dump telemetry (counters/timers/trace) to stderr at exit
@@ -244,6 +249,9 @@ func cmdInfo(args []string) error {
 	}
 	fmt.Println(d.Circuit.Stats())
 	fmt.Printf("collapsed fault targets: %d\n", len(d.Faults()))
+	for _, diag := range d.Diagnostics() {
+		fmt.Println(diag)
+	}
 	return nil
 }
 

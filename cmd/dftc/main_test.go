@@ -143,3 +143,89 @@ func TestStatsFlagStripping(t *testing.T) {
 		t.Fatal("phantom -stats")
 	}
 }
+
+// TestFuzzJSONReport runs a short differential-fuzz sweep through the
+// CLI and checks the run report: zero divergences on a clean tree and
+// round accounting that matches the request.
+func TestFuzzJSONReport(t *testing.T) {
+	telemetry.Default().Reset()
+	out := captureStdout(t, func() error {
+		return run([]string{"fuzz", "-rounds", "6", "-patterns", "24", "-json"})
+	})
+	rep, err := telemetry.ParseReport([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseReport: %v\noutput:\n%s", err, out)
+	}
+	if rep.Tool != "dftc" || rep.Command != "fuzz" {
+		t.Fatalf("report header = %q/%q", rep.Tool, rep.Command)
+	}
+	if got := rep.Results["divergences"].(float64); got != 0 {
+		t.Fatalf("divergences = %v, want 0\noutput:\n%s", got, out)
+	}
+	if got := rep.Results["rounds"].(float64); got != 6 {
+		t.Fatalf("rounds = %v, want 6", got)
+	}
+	c := rep.Metrics.Counters
+	if c["fuzz.rounds"] != 6 || c["fuzz.divergences"] != 0 {
+		t.Fatalf("telemetry counters: rounds=%d divergences=%d", c["fuzz.rounds"], c["fuzz.divergences"])
+	}
+}
+
+// TestFuzzSeedList covers the -seeds replay path and flag validation.
+func TestFuzzSeedList(t *testing.T) {
+	telemetry.Default().Reset()
+	out := captureStdout(t, func() error {
+		return run([]string{"fuzz", "-seeds", "3, 9,42", "-patterns", "16"})
+	})
+	if !strings.Contains(out, "3 rounds") || !strings.Contains(out, "0 divergences") {
+		t.Fatalf("unexpected fuzz output: %s", out)
+	}
+	if err := run([]string{"fuzz", "-seeds", "3,x"}); err == nil || !strings.Contains(err.Error(), "bad seed") {
+		t.Fatalf("err = %v, want bad-seed error", err)
+	}
+	if err := run([]string{"fuzz", "-rounds", "0"}); err == nil || !strings.Contains(err.Error(), "-rounds") {
+		t.Fatalf("err = %v, want rounds validation error", err)
+	}
+}
+
+// TestBadKernelFlagExits checks that a mistyped -kernel value makes the
+// CLI fail with the did-you-mean message instead of silently running
+// the default kernel.
+func TestBadKernelFlagExits(t *testing.T) {
+	bench := writeBench(t, circuits.C17())
+	for _, cmd := range []string{"faultsim", "atpg"} {
+		err := run([]string{cmd, bench, "-kernel", "compield"})
+		if err == nil || !strings.Contains(err.Error(), `did you mean "compiled"`) {
+			t.Fatalf("%s: err = %v, want kernel did-you-mean", cmd, err)
+		}
+	}
+}
+
+// TestInfoPrintsLintWarnings feeds a .bench with a dangling net through
+// the CLI and expects the shared linter's warning in the output.
+func TestInfoPrintsLintWarnings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dangle.bench")
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ndead = NOT(a)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error { return run([]string{"info", path}) })
+	if !strings.Contains(out, "dangling-net") || !strings.Contains(out, `"dead"`) {
+		t.Fatalf("info output missing dangling-net warning:\n%s", out)
+	}
+}
+
+// TestLoadRejectsInvalidBench: the Load path shares the linter, so a
+// structurally broken netlist (2-input NOT) is rejected with a
+// structured diagnostic even though the parser accepts it.
+func TestLoadRejectsInvalidBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bench")
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"info", path})
+	if err == nil || !strings.Contains(err.Error(), "width-mismatch") {
+		t.Fatalf("err = %v, want width-mismatch rejection", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"dft/internal/circuits"
@@ -335,5 +336,54 @@ func TestEngineDFFBranchFaultSerial(t *testing.T) {
 			t.Fatalf("fault %v: branch DetectedBy %d, stem %d",
 				stems[i], onBranches.DetectedBy[i], onStems.DetectedBy[i])
 		}
+	}
+}
+
+// countdownCtx reports Canceled after a fixed number of Err() polls,
+// landing the cancellation deterministically in the middle of the
+// parallel backend's shard processing rather than before it starts.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// TestEngineMidShardCancellation cancels while workers hold chunks and
+// checks the contract: a nil Result (so no partial Detected/DetectedBy
+// writes can reach the caller), a Canceled error, the cancelled
+// counter fired, and the engine's pooled simulators left in a state
+// where the next run is still byte-identical to a fresh baseline.
+func TestEngineMidShardCancellation(t *testing.T) {
+	c := circuits.ArrayMultiplier(4)
+	faults := CollapseEquiv(c, Universe(c)).Reps
+	pats := enginePatterns(len(c.PIs), 128, 3)
+	want, err := Simulate(context.Background(), c, faults, pats,
+		Options{Backend: BackendSerial, Workers: 1, Drop: DropOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, allow := range []int64{1, 3, 7} {
+		reg := telemetry.NewRegistry()
+		eng := NewEngine(c, Options{Backend: BackendParallel, Workers: 4, Drop: DropOff, Metrics: reg})
+		ctx := &countdownCtx{Context: context.Background()}
+		ctx.remaining.Store(allow)
+		res, err := eng.Run(ctx, faults, pats)
+		if err == nil || res != nil {
+			t.Fatalf("allow=%d: want mid-shard cancellation, got res=%v err=%v", allow, res, err)
+		}
+		if n := reg.Counter("fault.engine.cancelled").Value(); n < 1 {
+			t.Fatalf("allow=%d: cancelled counter = %d, want >= 1", allow, n)
+		}
+		got, err := eng.Run(context.Background(), faults, pats)
+		if err != nil {
+			t.Fatalf("allow=%d: rerun after cancellation: %v", allow, err)
+		}
+		sameResult(t, fmt.Sprintf("rerun after cancel allow=%d", allow), got, want)
 	}
 }

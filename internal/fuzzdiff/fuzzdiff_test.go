@@ -1,0 +1,228 @@
+package fuzzdiff
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := ShapeConfig(seed)
+		a := logic.BenchString(Generate(cfg, seed))
+		b := logic.BenchString(Generate(cfg, seed))
+		if a != b {
+			t.Fatalf("seed %d: two Generate calls disagree", seed)
+		}
+	}
+}
+
+func TestGenerateLintClean(t *testing.T) {
+	seq := 0
+	for seed := int64(1); seed <= 60; seed++ {
+		cfg := ShapeConfig(seed)
+		if cfg.DFFs > 0 {
+			seq++
+		}
+		c := Generate(cfg, seed)
+		if ds := Lint(c); len(ds) != 0 {
+			t.Fatalf("seed %d: generator emitted diagnostics: %v", seed, ds)
+		}
+		if len(c.POs) == 0 {
+			t.Fatalf("seed %d: no primary outputs", seed)
+		}
+	}
+	if seq == 0 {
+		t.Fatal("no sequential circuit in 60 seeds; ShapeConfig DFF mix broken")
+	}
+}
+
+func TestGenerateBenchRoundTrip(t *testing.T) {
+	c := Generate(ShapeConfig(3), 3)
+	got, err := logic.ParseBench(c.Name, strings.NewReader(logic.BenchString(c)))
+	if err != nil {
+		t.Fatalf("generated circuit does not re-parse: %v", err)
+	}
+	if got.NumNets() != c.NumNets() || len(got.POs) != len(c.POs) {
+		t.Fatalf("round trip changed shape: %d/%d nets, %d/%d POs",
+			got.NumNets(), c.NumNets(), len(got.POs), len(c.POs))
+	}
+}
+
+func lintCodes(ds []Diagnostic) map[string]bool {
+	m := map[string]bool{}
+	for _, d := range ds {
+		m[d.Code] = true
+	}
+	return m
+}
+
+func TestLintWidthMismatch(t *testing.T) {
+	c := logic.New("w")
+	a := c.AddInput("a")
+	g := c.AddGate(logic.Not, "g", a)
+	c.Gates[g].Fanin = append(c.Gates[g].Fanin, a) // 2-input NOT
+	c.MarkOutput(g)
+	ds := Lint(c)
+	if !HasErrors(ds) || !lintCodes(ds)[CodeWidthMismatch] {
+		t.Fatalf("want width-mismatch error, got %v", ds)
+	}
+}
+
+func TestLintCombLoop(t *testing.T) {
+	c := logic.New("loop")
+	a := c.AddInput("a")
+	g1 := c.AddGate(logic.Buf, "g1", a)
+	g2 := c.AddGate(logic.Buf, "g2", g1)
+	c.Gates[g1].Fanin[0] = g2 // g1 <-> g2
+	c.MarkOutput(g2)
+	ds := Lint(c)
+	if !lintCodes(ds)[CodeCombLoop] {
+		t.Fatalf("want comb-loop error, got %v", ds)
+	}
+}
+
+func TestLintDFFFeedbackIsNotALoop(t *testing.T) {
+	c := logic.New("seq")
+	a := c.AddInput("a")
+	ff := c.AddDFF("ff", a)
+	g := c.AddGate(logic.And, "g", a, ff)
+	c.Gates[ff].Fanin[0] = g // feedback through the flop
+	c.MarkOutput(g)
+	if ds := Lint(c); HasErrors(ds) {
+		t.Fatalf("sequential feedback flagged as error: %v", ds)
+	}
+}
+
+func TestLintDanglingAndRange(t *testing.T) {
+	c := logic.New("d")
+	a := c.AddInput("a")
+	c.AddGate(logic.Not, "dead", a) // never read, not a PO
+	g := c.AddGate(logic.Buf, "g", a)
+	c.Gates[g].Fanin[0] = 99 // out of range
+	c.MarkOutput(g)
+	codes := lintCodes(Lint(c))
+	if !codes[CodeDanglingNet] || !codes[CodeFaninRange] {
+		t.Fatalf("want dangling-net and fanin-range, got %v", Lint(c))
+	}
+}
+
+func TestLintNoOutputs(t *testing.T) {
+	c := logic.New("no")
+	c.AddInput("a")
+	if !lintCodes(Lint(c))[CodeNoOutputs] {
+		t.Fatal("want no-outputs warning")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	seen := map[string]bool{}
+	for _, sc := range m {
+		if seen[sc.String()] {
+			t.Fatalf("duplicate cell %s", sc)
+		}
+		seen[sc.String()] = true
+		if sc.Backend == fault.BackendDeductive && sc.Drop != fault.DropOff {
+			t.Fatalf("deductive cell must be no-drop: %s", sc)
+		}
+	}
+	if !seen[Baseline().String()] {
+		t.Fatal("matrix must contain the baseline cell")
+	}
+}
+
+func TestRandomPatternsDeterministic(t *testing.T) {
+	a := RandomPatterns(5, 4, 9)
+	b := RandomPatterns(5, 4, 9)
+	for i := range a {
+		if patString(a[i]) != patString(b[i]) {
+			t.Fatal("RandomPatterns not deterministic")
+		}
+	}
+}
+
+// TestRoundCleanTree is the clean-tree acceptance check in miniature:
+// a spread of seeds, combinational and sequential, must produce zero
+// divergences across the whole kernel/backend matrix.
+func TestRoundCleanTree(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		if d := Round(ShapeConfig(seed), seed, RoundOptions{Patterns: 48, Vectors: 6}); d != nil {
+			t.Fatalf("seed %d diverged:\n%s", seed, d.Repro())
+		}
+	}
+}
+
+// TestBrokenKernelCaught corrupts each instruction of a compiled
+// program in turn and requires the differential checker to catch at
+// least one mutant with a usable, replayable repro — the acceptance
+// demo that the oracle has teeth.
+func TestBrokenKernelCaught(t *testing.T) {
+	cfg := ShapeConfig(5)
+	cfg.DFFs = 0
+	c := Generate(cfg, 5)
+	if d := CheckKernels(c, 5, 8); d != nil {
+		t.Fatalf("clean circuit diverged:\n%s", d.Repro())
+	}
+	caught := 0
+	var sample *Divergence
+	n := sim.Compile(c).NumInstrs()
+	for i := 0; i < n; i++ {
+		p := sim.Compile(c)
+		p.CorruptOpcodeForTest(i)
+		if d := CheckProgram(c, p, 5, 8); d != nil {
+			caught++
+			if sample == nil {
+				sample = d
+				sample.Seed = 5
+				// Replay the repro: the minimized pattern must still
+				// distinguish the corrupted program from the interpreter.
+				pi := sample.Patterns[0][:len(c.PIs)]
+				st := sample.Patterns[0][len(c.PIs):]
+				ref := make([]bool, c.NumNets())
+				got := make([]bool, c.NumNets())
+				sim.EvalInterpInto(c, pi, st, ref, nil)
+				p.EvalInto(pi, st, got)
+				same := true
+				for id := range ref {
+					if ref[id] != got[id] {
+						same = false
+					}
+				}
+				if same {
+					t.Fatalf("repro pattern does not replay the divergence:\n%s", d.Repro())
+				}
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("no corrupted instruction caught out of %d", n)
+	}
+	t.Logf("caught %d/%d opcode mutants", caught, n)
+	for _, want := range []string{"fuzzdiff kernel divergence", "pattern[0]", ".bench", "replay: dftc fuzz -seeds 5"} {
+		if !strings.Contains(sample.Repro(), want) {
+			t.Fatalf("repro missing %q:\n%s", want, sample.Repro())
+		}
+	}
+}
+
+// TestCheckBackendsSequential exercises the full matrix, including
+// deductive, on a DFF-bearing circuit.
+func TestCheckBackendsSequential(t *testing.T) {
+	cfg := ShapeConfig(2)
+	cfg.DFFs = 3
+	c := Generate(cfg, 2)
+	faults := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+	pats := RandomPatterns(len(c.PIs), 32, 2)
+	d, err := CheckBackends(context.Background(), c, faults, pats, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("sequential matrix diverged:\n%s", d.Repro())
+	}
+}

@@ -1,0 +1,188 @@
+package fuzzdiff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dft/internal/logic"
+)
+
+// Config parameterizes the random netlist generator. The zero value is
+// usable: withDefaults fills every unset knob with a mid-size
+// combinational profile.
+type Config struct {
+	// Inputs is the number of primary inputs (min 1).
+	Inputs int
+	// Gates is the number of combinational gates to synthesize.
+	Gates int
+	// DFFs adds flip-flops whose D inputs are patched to random nets
+	// after gate construction, creating sequential feedback through the
+	// state elements — the structure that exercises the serial path.
+	DFFs int
+	// MaxFanin caps n-ary gate width (min 2).
+	MaxFanin int
+	// GateMix is the candidate gate-type pool; empty selects all eight
+	// combinational types.
+	GateMix []logic.GateType
+	// ConstProb is the probability that an operand is a Const0/Const1
+	// feed rather than a live net, exercising the compiler's folding.
+	ConstProb float64
+	// TieProb is the probability that an operand duplicates another pin
+	// of the same gate (tied inputs: idempotence and XOR cancellation).
+	TieProb float64
+	// DepthBias in [0,1] skews operand choice toward recent nets:
+	// 0 picks uniformly (shallow, wide circuits), values near 1 chain
+	// gates into deep cones.
+	DepthBias float64
+}
+
+// withDefaults fills unset fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Inputs <= 0 {
+		cfg.Inputs = 8
+	}
+	if cfg.Gates <= 0 {
+		cfg.Gates = 48
+	}
+	if cfg.MaxFanin < 2 {
+		cfg.MaxFanin = 4
+	}
+	if len(cfg.GateMix) == 0 {
+		cfg.GateMix = []logic.GateType{
+			logic.Buf, logic.Not,
+			logic.And, logic.Nand, logic.Or, logic.Nor,
+			logic.Xor, logic.Xnor,
+		}
+	}
+	if cfg.ConstProb == 0 {
+		cfg.ConstProb = 0.06
+	}
+	if cfg.TieProb == 0 {
+		cfg.TieProb = 0.10
+	}
+	if cfg.DepthBias == 0 {
+		cfg.DepthBias = 0.5
+	}
+	return cfg
+}
+
+// splitmix64 is the standard 64-bit mixing step, used to derive
+// independent-looking shape parameters from one fuzz seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ShapeConfig derives a generator Config from a fuzz seed, so one
+// int64 drives both the circuit shape and its contents. Roughly a
+// third of seeds produce sequential circuits; fanin, size and folding
+// probabilities all vary. Used by the native fuzz targets and the
+// dftc fuzz subcommand so a reported seed replays exactly.
+func ShapeConfig(seed int64) Config {
+	h := splitmix64(uint64(seed))
+	cfg := Config{
+		Inputs:    2 + int(h%14),
+		Gates:     8 + int((h>>8)%96),
+		MaxFanin:  2 + int((h>>16)%4),
+		ConstProb: 0.02 + float64((h>>24)%16)/100,
+		TieProb:   0.02 + float64((h>>32)%20)/100,
+		DepthBias: float64((h>>40)%10) / 10,
+	}
+	if (h>>48)%3 == 0 {
+		cfg.DFFs = 1 + int((h>>52)%5)
+	}
+	return cfg.withDefaults()
+}
+
+// Generate synthesizes a random, lint-clean, finalized netlist from
+// the config and seed. The same (cfg, seed) pair always yields the
+// same circuit. Structural features exercised on purpose: Const0 and
+// Const1 feeds, tied (duplicated) gate inputs, multi-reader fanout
+// branches, Buf/Not chains, and — when cfg.DFFs > 0 — flip-flops with
+// feedback D inputs drawn from deep combinational nets. Every sink net
+// is marked as a primary output, so no logic dangles.
+func Generate(cfg Config, seed int64) *logic.Circuit {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	c := logic.New(fmt.Sprintf("fuzz_%d", seed))
+
+	nets := make([]int, 0, cfg.Inputs+cfg.Gates+cfg.DFFs+2)
+	for i := 0; i < cfg.Inputs; i++ {
+		nets = append(nets, c.AddInput(fmt.Sprintf("I%d", i)))
+	}
+	k0 := c.AddGate(logic.Const0, "K0")
+	k1 := c.AddGate(logic.Const1, "K1")
+
+	// Flip-flops go in up front with placeholder D inputs so downstream
+	// gates can read the state; the D pins are patched to late nets
+	// below, the same deferred wiring the .bench reader uses.
+	dffs := make([]int, 0, cfg.DFFs)
+	for i := 0; i < cfg.DFFs; i++ {
+		id := c.AddDFF(fmt.Sprintf("FF%d", i), nets[rng.Intn(len(nets))])
+		dffs = append(dffs, id)
+		nets = append(nets, id)
+	}
+
+	// pick selects an operand: occasionally a constant feed, otherwise
+	// a live net with recency bias controlled by DepthBias.
+	pick := func() int {
+		if rng.Float64() < cfg.ConstProb {
+			if rng.Intn(2) == 0 {
+				return k0
+			}
+			return k1
+		}
+		if cfg.DepthBias > 0 && rng.Float64() < cfg.DepthBias {
+			// Recent window: the last quarter of the defined nets.
+			w := len(nets)/4 + 1
+			return nets[len(nets)-1-rng.Intn(w)]
+		}
+		return nets[rng.Intn(len(nets))]
+	}
+
+	for i := 0; i < cfg.Gates; i++ {
+		t := cfg.GateMix[rng.Intn(len(cfg.GateMix))]
+		var fanin []int
+		if t == logic.Buf || t == logic.Not {
+			fanin = []int{pick()}
+		} else {
+			k := 2 + rng.Intn(cfg.MaxFanin-1)
+			fanin = make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				if j > 0 && rng.Float64() < cfg.TieProb {
+					fanin = append(fanin, fanin[rng.Intn(j)]) // tied input
+					continue
+				}
+				fanin = append(fanin, pick())
+			}
+		}
+		nets = append(nets, c.AddGate(t, fmt.Sprintf("G%d", i), fanin...))
+	}
+
+	// Patch the flip-flop D inputs to arbitrary (often deep) nets. The
+	// DFF edge is sequential, so feedback through the state never forms
+	// a combinational cycle.
+	for _, id := range dffs {
+		c.Gates[id].Fanin[0] = nets[rng.Intn(len(nets))]
+	}
+
+	// Every unread net becomes a primary output: nothing dangles, and
+	// the observation surface covers the whole frontier.
+	read := make([]bool, c.NumNets())
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			read[f] = true
+		}
+	}
+	for id := range c.Gates {
+		if !read[id] {
+			c.MarkOutput(id)
+		}
+	}
+	if len(c.POs) == 0 {
+		c.MarkOutput(nets[len(nets)-1])
+	}
+	return c.MustFinalize()
+}

@@ -34,7 +34,9 @@ func (k Kernel) String() string {
 	return fmt.Sprintf("Kernel(%d)", int32(k))
 }
 
-// ParseKernel parses a kernel name from the CLI.
+// ParseKernel parses a kernel name from the CLI. On failure the Kernel
+// return value is meaningless — callers must check the error rather
+// than fall through to the default kernel.
 func ParseKernel(s string) (Kernel, error) {
 	switch s {
 	case "compiled":
@@ -42,7 +44,52 @@ func ParseKernel(s string) (Kernel, error) {
 	case "interp":
 		return KernelInterp, nil
 	}
+	if sug := closestKernelName(s); sug != "" {
+		return KernelCompiled, fmt.Errorf("unknown kernel %q (did you mean %q? want compiled or interp)", s, sug)
+	}
 	return KernelCompiled, fmt.Errorf("unknown kernel %q (want compiled or interp)", s)
+}
+
+// closestKernelName suggests a kernel name within edit distance 3.
+func closestKernelName(s string) string {
+	best, bestDist := "", 4
+	for _, k := range []string{"compiled", "interp"} {
+		if d := editDistance(s, k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }
 
 // defaultKernel holds the process-wide kernel selection; the zero
@@ -91,8 +138,13 @@ func CompiledFor(c *logic.Circuit) *Program {
 	progCache.Store(c, p)
 	progCacheAge = append(progCacheAge, c)
 	if len(progCacheAge) > programCacheCap {
+		// Compact in place instead of reslicing the head off: a bare
+		// progCacheAge[1:] would keep the evicted circuit (and its
+		// program) reachable through the backing array indefinitely.
 		progCache.Delete(progCacheAge[0])
-		progCacheAge = progCacheAge[1:]
+		copy(progCacheAge, progCacheAge[1:])
+		progCacheAge[len(progCacheAge)-1] = nil
+		progCacheAge = progCacheAge[:len(progCacheAge)-1]
 	}
 	gProgCached.Set(int64(len(progCacheAge)))
 	return p

@@ -1,0 +1,23 @@
+package sim
+
+// This file holds hooks for tests only. Production code must not call
+// anything in it.
+
+// CorruptOpcodeForTest flips instruction i's opcode to its logical
+// dual (AND<->OR, XOR<->XNOR, BUF<->NOT, CONST0<->CONST1), simulating
+// a compiler bug. It exists so differential-fuzzing tests can prove a
+// broken kernel is caught; the mutated program is otherwise structurally
+// valid, so only an output-comparing oracle can tell it apart.
+func (p *Program) CorruptOpcodeForTest(i int) {
+	dual := map[opcode]opcode{
+		opConst0: opConst1, opConst1: opConst0,
+		opBuf: opNot, opNot: opBuf,
+		opAnd2: opOr2, opOr2: opAnd2,
+		opNand2: opNor2, opNor2: opNand2,
+		opXor2: opXnor2, opXnor2: opXor2,
+		opAndN: opOrN, opOrN: opAndN,
+		opNandN: opNorN, opNorN: opNandN,
+		opXorN: opXnorN, opXnorN: opXorN,
+	}
+	p.code[i].op = dual[p.code[i].op]
+}
