@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault race-sim check fuzz bench bench-json bench-faultsim bench-sim clean
+.PHONY: all build vet test race race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-sim clean
 
 all: check
 
@@ -31,7 +31,12 @@ race-fault:
 race-sim:
 	$(GO) test -race ./internal/sim/...
 
-check: build vet race-fault race-sim race
+# race-service covers the dftd job server — queue, worker pool, result
+# cache and graceful drain all exercise shared state under load.
+race-service:
+	$(GO) test -race ./internal/service/...
+
+check: build vet race-fault race-sim race-service race fuzz-smoke
 
 # fuzz runs the coverage-guided differential fuzz targets: the compiled
 # kernel against the interpreter at every execution width, and every
@@ -41,6 +46,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) ./internal/fault
+
+# fuzz-smoke is the short differential-fuzz pass that `make check` and
+# scripts/check.sh share: same targets as fuzz, bounded by SMOKETIME,
+# so the pre-commit gate always replays the seed corpora plus a short
+# guided search.
+SMOKETIME ?= 10s
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=$(SMOKETIME)
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -8,8 +8,8 @@
 //
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
-//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-kernel compiled|interp] [-json]
-//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-kernel compiled|interp] [-json]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
 //	dftc syndrome  <file.bench>
@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"dft/internal/atpg"
 	"dft/internal/bilbo"
@@ -126,6 +127,18 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 		args = args[1:]
 	}
 	return fs.Parse(pos)
+}
+
+// timeoutContext wraps Background with the -timeout flag: zero means
+// no deadline. The CLI and the dftd service share the same
+// context-cancellation path through atpg and the fault engine, so a
+// run that blows its budget exits with a context error instead of
+// hanging the terminal (or the job queue).
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 // stripStatsFlag removes every bare -stats/--stats token so the flag
@@ -223,7 +236,9 @@ fault-simulation engine (atpg/faultsim):
   -engine B         faultsim backend: auto (default), parallel (64-wide
                     PPSFP), deductive (Armstrong fault lists), serial
   -kernel K         good-machine kernel: compiled (default; flat opcode
-                    programs) or interp (levelized interpreter)`)
+                    programs) or interp (levelized interpreter)
+  -timeout D        abort the run after duration D (e.g. 30s, 5m); exits
+                    non-zero with a context error. 0 (default) = no limit`)
 }
 
 func loadDesign(path string) (*core.Design, error) {
@@ -286,6 +301,7 @@ func cmdATPG(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -313,10 +329,15 @@ func cmdATPG(args []string) error {
 	} else if *engine != "podem" {
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
-	ts := d.Generate(core.GenerateOptions{
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	ts, err := d.GenerateContext(ctx, core.GenerateOptions{
 		Engine: e, RandomFirst: *random, Seed: *seed, Compact: *compact,
 		Workers: *workers,
 	})
+	if err != nil {
+		return fmt.Errorf("atpg on %s gave up after -timeout %v: %w", fs.Arg(0), *timeout, err)
+	}
 	if *jsonOut {
 		rep := telemetry.NewReport("dftc", "atpg", fs.Arg(0))
 		rep.Config = map[string]any{
@@ -358,6 +379,7 @@ func cmdFaultSim(args []string) error {
 	engine := fs.String("engine", "auto", "backend: auto, parallel, deductive or serial")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -393,13 +415,15 @@ func cmdFaultSim(args []string) error {
 		}
 		pats[i] = p
 	}
-	res, err := fault.Simulate(context.Background(), d.Circuit, d.Faults(), pats, fault.Options{
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	res, err := fault.Simulate(ctx, d.Circuit, d.Faults(), pats, fault.Options{
 		Backend: backend,
 		Workers: *workers,
 		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("faultsim on %s gave up after -timeout %v: %w", fs.Arg(0), *timeout, err)
 	}
 	// A pattern is kept when it was the first detector of some fault —
 	// the same set reverse-order compaction would retain.
@@ -552,46 +576,15 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench needs a generator name")
 	}
 	gen, rest := args[0], args[1:]
-	argN := func(def int) int {
-		if len(rest) > 0 {
-			if v, err := strconv.Atoi(rest[0]); err == nil {
-				return v
-			}
+	n := 0
+	if len(rest) > 0 {
+		if v, err := strconv.Atoi(rest[0]); err == nil {
+			n = v
 		}
-		return def
 	}
-	var c *logic.Circuit
-	switch gen {
-	case "c17":
-		c = circuits.C17()
-	case "adder":
-		c = circuits.RippleAdder(argN(8))
-	case "mult":
-		c = circuits.ArrayMultiplier(argN(4))
-	case "parity":
-		c = circuits.ParityTree(argN(8))
-	case "decoder":
-		c = circuits.Decoder(argN(3))
-	case "mux":
-		c = circuits.Mux(argN(2))
-	case "cmp":
-		c = circuits.Comparator(argN(4))
-	case "maj":
-		c = circuits.Majority(argN(3))
-	case "alu74181":
-		c = circuits.ALU74181()
-	case "alu74181x":
-		c = circuits.Cascade74181(argN(2))
-	case "counter":
-		c = circuits.Counter(argN(8))
-	case "shift":
-		c = circuits.ShiftRegister(argN(8))
-	case "johnson":
-		c = circuits.JohnsonCounter(argN(4))
-	case "gray":
-		c = circuits.GrayCounter(argN(4))
-	default:
-		return fmt.Errorf("unknown generator %q", gen)
+	c, err := circuits.Builtin(gen, n)
+	if err != nil {
+		return err
 	}
 	return logic.WriteBench(os.Stdout, c)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -198,6 +199,34 @@ func TestBadKernelFlagExits(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), `did you mean "compiled"`) {
 			t.Fatalf("%s: err = %v, want kernel did-you-mean", cmd, err)
 		}
+	}
+}
+
+// TestTimeoutFlagAborts puts a microscopic -timeout on a large circuit:
+// both subcommands must exit non-zero with a message naming the flag
+// and the context error rather than running to completion.
+func TestTimeoutFlagAborts(t *testing.T) {
+	bench := writeBench(t, circuits.Cascade74181(4))
+	for _, cmd := range []string{"atpg", "faultsim"} {
+		err := run([]string{cmd, bench, "-timeout", "1ns"})
+		if err == nil {
+			t.Fatalf("%s: ran to completion under a 1ns deadline", cmd)
+		}
+		if !strings.Contains(err.Error(), "-timeout") ||
+			!strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+			t.Fatalf("%s: err = %v, want -timeout + deadline-exceeded message", cmd, err)
+		}
+	}
+}
+
+// TestTimeoutFlagZeroRuns checks the default (no limit) still works.
+func TestTimeoutFlagZeroRuns(t *testing.T) {
+	bench := writeBench(t, circuits.C17())
+	out := captureStdout(t, func() error {
+		return run([]string{"faultsim", bench, "-patterns", "64", "-timeout", "0s"})
+	})
+	if !strings.Contains(out, "coverage") {
+		t.Fatalf("faultsim output missing coverage: %s", out)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/service"
 )
 
 // This file is the public façade over the toolkit's unified surface:
@@ -95,4 +96,25 @@ func LoadString(name, src string) (*Design, error) {
 // FromCircuit wraps an existing finalized circuit.
 func FromCircuit(c *Circuit) *Design {
 	return core.FromCircuit(c)
+}
+
+// Service is the DFT-as-a-service job server: an http.Handler
+// exposing fault simulation, ATPG and differential fuzzing as
+// asynchronous jobs with a bounded queue, worker pool, result cache
+// and admission control. It is the library form of the dftd daemon.
+type Service = service.Server
+
+// ServiceConfig sizes a Service; the zero value is a working
+// development configuration.
+type ServiceConfig = service.Config
+
+// ServiceJobRequest is the POST /v1/jobs payload accepted by
+// Service.Submit and the HTTP surface.
+type ServiceJobRequest = service.JobRequest
+
+// NewService starts a job server. Mount it under any http.Server
+// (it implements http.Handler) and stop it with Shutdown, which
+// drains in-flight jobs and returns a final telemetry report.
+func NewService(cfg ServiceConfig) *Service {
+	return service.New(cfg)
 }

@@ -6,7 +6,9 @@ package dft
 
 import (
 	"context"
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"dft/internal/circuits"
@@ -50,6 +52,94 @@ func TestFacadeSimulate(t *testing.T) {
 					opts.Backend, i, got.DetectedBy[i], base.DetectedBy[i])
 			}
 		}
+	}
+}
+
+// trippingContext reports itself cancelled once it has been polled
+// more than trip times. It makes "cancelled mid-run" deterministic:
+// the engine's first deadline check passes, every later one fails —
+// no real timers, no dependence on scheduler latency.
+type trippingContext struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	trip  int
+	done  chan struct{}
+}
+
+func newTrippingContext(trip int) *trippingContext {
+	return &trippingContext{
+		Context: context.Background(),
+		trip:    trip,
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *trippingContext) Done() <-chan struct{} { return c.done }
+
+func (c *trippingContext) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls <= c.trip {
+		return nil
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	return context.Canceled
+}
+
+// TestFacadeCancellation pins the façade's context contract: a
+// cancelled context yields a nil result and the context's error —
+// whether cancelled before the call or mid-run — and the engine stays
+// reusable afterwards.
+func TestFacadeCancellation(t *testing.T) {
+	c := circuits.Cascade74181(4)
+	faults := FaultUniverse(c)
+	rng := rand.New(rand.NewSource(7))
+	pats := make([][]bool, 512)
+	for i := range pats {
+		p := make([]bool, len(c.PIs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	eng := NewSimEngine(c, SimOptions{Drop: DropOff})
+
+	// Already cancelled: no work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.Run(ctx, faults, pats)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+
+	// Cancelled mid-run: the engine polls the context between pattern
+	// blocks, so a context that trips after its first poll cancels the
+	// run after work has started — deterministically, with no timers.
+	res, err = eng.Run(newTrippingContext(1), faults, pats)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+
+	// The same engine still completes a clean run.
+	res, err = eng.Run(context.Background(), faults, pats)
+	if err != nil || res == nil {
+		t.Fatalf("post-cancel run = (%v, %v)", res, err)
+	}
+	if res.Coverage() <= 0.5 {
+		t.Fatalf("implausible coverage %.3f after cancellation", res.Coverage())
+	}
+
+	// And the one-shot façade entry point follows the same contract.
+	ctx, cancel = context.WithCancel(context.Background())
+	cancel()
+	if res, err := Simulate(ctx, c, faults, pats, SimOptions{}); res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Simulate with cancelled ctx = (%v, %v)", res, err)
 	}
 }
 

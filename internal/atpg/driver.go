@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -56,6 +57,18 @@ type Config struct {
 // remaining fault, fault-simulating every new test against the
 // remaining faults so each test is credited with everything it catches.
 func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *GenerateResult {
+	res, _ := GenerateContext(context.Background(), c, view, targets, cfg)
+	return res
+}
+
+// GenerateContext is Generate under a context: the deadline/cancel
+// path shared by the dftc -timeout flag and the dftd job runner. The
+// context is polled between random-pattern blocks and between
+// deterministic targets — the units of work a caller can reason about
+// — so an expired deadline stops the run within one fault's worth of
+// search. On cancellation it returns (nil, ctx.Err()); a completed
+// run returns (result, nil).
+func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets []fault.Fault, cfg Config) (*GenerateResult, error) {
 	start := time.Now()
 	reg := telemetry.OrDefault(cfg.Metrics)
 	defer reg.Timer("atpg.generate").Time()()
@@ -70,6 +83,10 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 	if cfg.RandomFirst > 0 {
 		applied := 0
 		for applied < cfg.RandomFirst && h.remaining() > 0 {
+			if err := ctx.Err(); err != nil {
+				reg.Counter("atpg.cancelled").Inc()
+				return nil, err
+			}
 			block := make([][]bool, 0, 64)
 			for k := 0; k < 64 && applied+len(block) < cfg.RandomFirst; k++ {
 				p := make([]bool, len(view.Inputs))
@@ -107,6 +124,10 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 	for fi, f := range targets {
 		if res.Detected[fi] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			reg.Counter("atpg.cancelled").Inc()
+			return nil, err
 		}
 		t, err := gen(f)
 		switch err {
@@ -156,7 +177,7 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 	reg.Counter("atpg.faults.untestable").Add(int64(len(res.Untestable)))
 	reg.Counter("atpg.faults.aborted").Add(int64(len(res.Aborted)))
 	reg.Histogram("atpg.patterns_per_run").Observe(int64(len(res.Patterns)))
-	return res
+	return res, nil
 }
 
 // Compact performs reverse-order fault-simulation compaction: patterns

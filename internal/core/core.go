@@ -150,22 +150,37 @@ type GenerateOptions struct {
 	// meaning as fault.Options.Workers: 0 selects GOMAXPROCS. Detection
 	// outcomes are identical for every worker count.
 	Workers int
+	// Metrics receives the run's telemetry; nil selects
+	// telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 // Generate runs ATPG under the design's view.
 func (d *Design) Generate(opt GenerateOptions) TestSet {
+	ts, _ := d.GenerateContext(context.Background(), opt)
+	return ts
+}
+
+// GenerateContext is Generate under a context deadline: the run stops
+// between targets when ctx expires and returns the zero TestSet plus
+// ctx's error. CLI -timeout and the dftd job runner share this path.
+func (d *Design) GenerateContext(ctx context.Context, opt GenerateOptions) (TestSet, error) {
 	span := telemetry.Default().StartSpan("core.generate")
 	span.SetDetail(d.Circuit.Name)
 	defer span.End()
 	targets := d.Faults()
-	res := atpg.Generate(d.Circuit, d.View(), targets, atpg.Config{
+	res, err := atpg.GenerateContext(ctx, d.Circuit, d.View(), targets, atpg.Config{
 		Engine:        opt.Engine,
 		MaxBacktracks: opt.MaxBacktracks,
 		RandomSeed:    opt.Seed,
 		RandomFirst:   opt.RandomFirst,
 		Rand:          opt.Rand,
 		Workers:       opt.Workers,
+		Metrics:       opt.Metrics,
 	})
+	if err != nil {
+		return TestSet{}, err
+	}
 	patterns := res.Patterns
 	if opt.Compact {
 		patterns = atpg.Compact(d.Circuit, d.View(), targets, patterns)
@@ -177,7 +192,7 @@ func (d *Design) Generate(opt GenerateOptions) TestSet {
 		Untestable: len(res.Untestable),
 		Aborted:    len(res.Aborted),
 		TargetN:    len(targets),
-	}
+	}, nil
 }
 
 // RandomTests generates random patterns with fault dropping and

@@ -1,0 +1,64 @@
+package service
+
+import "container/list"
+
+// lruCache is a small string-keyed LRU used twice by the server: the
+// result cache (key → finished run-report bytes) and the circuit
+// interner (netlist hash → *logic.Circuit). Interning matters beyond
+// memory: sim.CompiledFor keys its program cache on circuit identity,
+// so handing repeat submissions the *same* interned pointer is what
+// lets jobs share one compiled program per netlist. Not safe for
+// concurrent use; callers hold the server lock.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU builds a cache bounded to capacity entries (min 1).
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the value and refreshes its recency.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes key, evicting the least-recently-used
+// entry past capacity. It reports whether an eviction happened.
+func (c *lruCache) add(key string, val any) bool {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"dft/internal/logic"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if evicted := c.add("c", 3); !evicted {
+		t.Fatal("third insert into a 2-entry cache must evict")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for k, want := range map[string]int{"b": 2, "c": 3} {
+		v, ok := c.get(k)
+		if !ok || v.(int) != want {
+			t.Fatalf("get(%q) = %v, %v", k, v, ok)
+		}
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	c.get("a") // a is now the most recent; b becomes the victim
+	c.add("c", 3)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	if evicted := c.add("a", 9); evicted {
+		t.Fatal("overwriting a key must not evict")
+	}
+	if v, _ := c.get("a"); v.(int) != 9 {
+		t.Fatalf("get = %v, want 9", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+// TestRequestKeySemantics pins the dedup-key contract: the timeout
+// never splits a key, every other option does, and an inline .bench
+// rendering of a builtin collides with the builtin itself.
+func TestRequestKeySemantics(t *testing.T) {
+	base := JobRequest{Kind: KindFaultSim, Builtin: "c17",
+		Options: Options{Seed: 3, Patterns: 64}}
+	k := func(req JobRequest) string {
+		t.Helper()
+		p, err := parseRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.key
+	}
+
+	timeout := base
+	timeout.Options.TimeoutMs = 500
+	if k(base) != k(timeout) {
+		t.Fatal("TimeoutMs split the request key")
+	}
+
+	seed := base
+	seed.Options.Seed = 4
+	kind := base
+	kind.Kind = KindATPG
+	if k(base) == k(seed) || k(base) == k(kind) {
+		t.Fatal("distinct requests collided")
+	}
+
+	// Inline submission of the canonical rendering is the same key.
+	p, err := parseRequest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench strings.Builder
+	if err := logic.WriteBench(&bench, p.circuit); err != nil {
+		t.Fatal(err)
+	}
+	inline := base
+	inline.Builtin, inline.Bench = "", bench.String()
+	if k(base) != k(inline) {
+		t.Fatal("inline rendering of a builtin got a different key")
+	}
+}

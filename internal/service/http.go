@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBody bounds a POST /v1/jobs body (inline .bench payloads
+// included) to keep a hostile client from ballooning the heap.
+const maxRequestBody = 16 << 20
+
+// routes wires the server's HTTP surface:
+//
+//	POST   /v1/jobs       submit a job; 202 with the job view,
+//	                      429 + JSON body when the queue is full
+//	GET    /v1/jobs/{id}  job state; includes the dft.run-report/v1
+//	                      document once the job is done
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness + queue/worker occupancy
+//	GET    /metrics       Prometheus text exposition of the registry
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+// ServeHTTP makes the server mountable under any http.Server (and is
+// the handler dft.NewService hands back to embedders).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing useful to do mid-response
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error         string `json:"error"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+	QueueCapacity int    `json:"queue_capacity,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		var full *ErrQueueFull
+		var bad *ErrBadRequest
+		switch {
+		case errors.As(err, &full):
+			writeJSON(w, http.StatusTooManyRequests, errorBody{
+				Error:         full.Error(),
+				QueueDepth:    full.Depth,
+				QueueCapacity: full.Capacity,
+			})
+		case errors.As(err, &bad):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: bad.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	v, err := s.View(j.ID)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, err := s.View(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status        string `json:"status"`
+	Draining      bool   `json:"draining,omitempty"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+	Jobs          int    `json:"jobs"`
+	CachedResults int    `json:"cached_results"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := healthBody{
+		Status:        "ok",
+		Draining:      s.draining,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		Jobs:          len(s.jobs),
+		CachedResults: s.results.len(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Snapshot().WritePrometheus(w) //nolint:errcheck // mid-response
+}

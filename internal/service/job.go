@@ -1,0 +1,260 @@
+// Package service is the DFT-as-a-service layer: a long-lived job
+// server exposing the toolkit's compute core — the sharded fault
+// engine, the ATPG drivers, and the differential fuzzer — as
+// asynchronous HTTP/JSON jobs with a bounded FIFO queue, a worker
+// pool, request coalescing, an LRU result cache, admission control,
+// and graceful drain. The paper's economics motivate it: test
+// generation and fault simulation are the dominant, repeatable cost
+// of LSI testing (Eq. 1, T = K·N³), so in a production flow they run
+// as a shared service that amortizes compiled-circuit state and
+// deduplicates identical requests rather than as one-shot CLI
+// processes.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"dft/internal/circuits"
+	"dft/internal/core"
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// Kind names a job type.
+type Kind string
+
+const (
+	KindFaultSim Kind = "faultsim"
+	KindATPG     Kind = "atpg"
+	KindFuzz     Kind = "fuzz"
+)
+
+// Options mirrors the dftc flag surface for the jobbed subcommands.
+// The zero value of every field selects the CLI default, so a request
+// body can carry only what it overrides.
+type Options struct {
+	// Shared knobs.
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+	Scan    bool  `json:"scan,omitempty"`
+	// TimeoutMs overrides the server's per-job deadline when smaller;
+	// jobs can shrink their budget but never exceed the server's.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// faultsim: number of random patterns, backend name
+	// (auto|parallel|deductive|serial), and drop ("off" disables fault
+	// dropping).
+	Patterns int    `json:"patterns,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Drop     string `json:"drop,omitempty"`
+
+	// atpg: engine (podem|dalg), random-first budget, compaction.
+	Engine  string `json:"engine,omitempty"`
+	Random  int    `json:"random,omitempty"`
+	Compact bool   `json:"compact,omitempty"`
+
+	// fuzz: differential-fuzz rounds (seeds 1..Rounds).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// JobRequest is the POST /v1/jobs body. The circuit comes either
+// inline (Bench, ISCAS-85 .bench text) or by library generator name
+// (Builtin + optional size N); fuzz jobs need neither.
+type JobRequest struct {
+	Kind    Kind    `json:"kind"`
+	Bench   string  `json:"bench,omitempty"`
+	Builtin string  `json:"builtin,omitempty"`
+	N       int     `json:"n,omitempty"`
+	Options Options `json:"options,omitempty"`
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// parsedRequest is a validated request: the instantiated circuit (nil
+// for fuzz), its display name, and the dedup key.
+type parsedRequest struct {
+	req     JobRequest
+	circuit *logic.Circuit
+	input   string // report Input field: builtin name or "inline"
+	key     string
+}
+
+// parseRequest validates a request and resolves its circuit. Inline
+// .bench payloads go through core.LoadString so they get the same
+// structural linting as CLI file loads.
+func parseRequest(req JobRequest) (*parsedRequest, error) {
+	switch req.Kind {
+	case KindFaultSim, KindATPG, KindFuzz:
+	case "":
+		return nil, fmt.Errorf("missing kind (want faultsim, atpg or fuzz)")
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want faultsim, atpg or fuzz)", req.Kind)
+	}
+	if req.Options.Patterns < 0 || req.Options.Random < 0 || req.Options.Rounds < 0 ||
+		req.Options.Workers < 0 || req.Options.TimeoutMs < 0 {
+		return nil, fmt.Errorf("negative option values are invalid")
+	}
+	if _, err := fault.ParseBackend(req.Options.Backend); err != nil {
+		return nil, err
+	}
+	switch req.Options.Drop {
+	case "", "on", "off":
+	default:
+		return nil, fmt.Errorf("unknown drop %q (want on or off)", req.Options.Drop)
+	}
+	switch req.Options.Engine {
+	case "", "podem", "dalg":
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want podem or dalg)", req.Options.Engine)
+	}
+
+	p := &parsedRequest{req: req}
+	if req.Kind == KindFuzz {
+		if req.Bench != "" || req.Builtin != "" {
+			return nil, fmt.Errorf("fuzz jobs generate their own circuits; drop bench/builtin")
+		}
+	} else {
+		switch {
+		case req.Bench != "" && req.Builtin != "":
+			return nil, fmt.Errorf("give bench or builtin, not both")
+		case req.Builtin != "":
+			c, err := circuits.Builtin(req.Builtin, req.N)
+			if err != nil {
+				return nil, err
+			}
+			p.circuit = c
+			p.input = req.Builtin
+		case req.Bench != "":
+			d, err := core.LoadString("inline", req.Bench)
+			if err != nil {
+				return nil, err
+			}
+			p.circuit = d.Circuit
+			p.input = "inline"
+		default:
+			return nil, fmt.Errorf("%s jobs need a circuit: bench or builtin", req.Kind)
+		}
+	}
+	p.key = requestKey(req.Kind, p.circuit, req.Options)
+	return p, nil
+}
+
+// requestKey builds the coalescing/cache key: kind, the canonical
+// .bench rendering of the circuit (so equivalent inline and builtin
+// submissions of the same netlist collide, and the collapsed fault
+// list — a pure function of the netlist — is covered), and the
+// canonical JSON of the options. TimeoutMs is excluded: the deadline
+// bounds the work, it does not change the answer, and letting it
+// split the key would defeat coalescing between impatient and
+// patient clients.
+func requestKey(kind Kind, c *logic.Circuit, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kind=%s\n", kind)
+	if c != nil {
+		h.Write([]byte(canonicalBench(c)))
+	}
+	opts.TimeoutMs = 0
+	enc, _ := json.Marshal(opts)
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalBench renders the netlist identity used by both the dedup
+// key and the circuit interner: the circuit's .bench text minus the
+// "# name" comment header, so the display name never splits a key and
+// an inline submission of a builtin's rendering collides with the
+// builtin itself.
+func canonicalBench(c *logic.Circuit) string {
+	var b strings.Builder
+	if err := logic.WriteBench(&b, c); err != nil {
+		// WriteBench over a finalized circuit cannot fail; keep the
+		// result well-defined anyway.
+		return fmt.Sprintf("err=%v\n", err)
+	}
+	var out strings.Builder
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// Job is one admitted request moving through the queue. All mutable
+// fields are guarded by the owning server's mu.
+type Job struct {
+	ID  string
+	Key string
+
+	parsed *parsedRequest
+
+	state     State
+	err       string
+	report    []byte // finished dft.run-report/v1 document
+	cached    bool   // served from the result cache
+	coalesced int    // extra submissions attached to this job
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel func()        // non-nil while cancellable
+	done   chan struct{} // closed on terminal state
+}
+
+// JobView is the JSON rendering of a job's state returned by the
+// HTTP API.
+type JobView struct {
+	ID        string          `json:"id"`
+	Kind      Kind            `json:"kind"`
+	State     State           `json:"state"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced int             `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	CreatedNs int64           `json:"created_unix_ns"`
+	WaitNs    int64           `json:"wait_ns,omitempty"`
+	RunNs     int64           `json:"run_ns,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// view renders the job under the server lock.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:        j.ID,
+		Kind:      j.parsed.req.Kind,
+		State:     j.state,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Error:     j.err,
+		CreatedNs: j.created.UnixNano(),
+		Report:    json.RawMessage(j.report),
+	}
+	if !j.started.IsZero() {
+		v.WaitNs = j.started.Sub(j.created).Nanoseconds()
+		if !j.finished.IsZero() {
+			v.RunNs = j.finished.Sub(j.started).Nanoseconds()
+		}
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+
+	"dft/internal/atpg"
+	"dft/internal/core"
+	"dft/internal/fault"
+	"dft/internal/fuzzdiff"
+	"dft/internal/telemetry"
+)
+
+// execute runs one validated job under ctx and returns its run
+// report. Each job gets a private telemetry registry so the report's
+// metrics section describes exactly this job's work; the server's own
+// registry only carries the service.* instruments.
+func (s *Server) execute(ctx context.Context, p *parsedRequest) (*telemetry.Report, error) {
+	reg := telemetry.NewRegistry()
+	switch p.req.Kind {
+	case KindFaultSim:
+		return runFaultSim(ctx, p, reg)
+	case KindATPG:
+		return runATPG(ctx, p, reg)
+	default:
+		return runFuzz(ctx, p, reg)
+	}
+}
+
+// encodeReport renders a report as the bytes served to clients and
+// stored in the result cache.
+func encodeReport(rep *telemetry.Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// design wraps the job's interned circuit in the requested view. The
+// interned circuit itself is shared read-only across workers;
+// core.FromCircuit and ApplyScan build fresh per-job state around it.
+func design(p *parsedRequest) (*core.Design, error) {
+	d := core.FromCircuit(p.circuit)
+	if p.req.Options.Scan {
+		if err := d.ApplyScan(core.StyleLSSD); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// seedOf resolves the request seed (CLI default: 1).
+func seedOf(o Options) int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// runFaultSim mirrors `dftc faultsim`: grade a seeded random pattern
+// set against the collapsed fault list. Coverage is bit-identical to
+// a direct fault.Simulate call with the same circuit, seed and
+// options — the service adds queuing and caching, never arithmetic.
+func runFaultSim(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*telemetry.Report, error) {
+	o := p.req.Options
+	d, err := design(p)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := fault.ParseBackend(o.Backend)
+	if err != nil {
+		return nil, err
+	}
+	n := o.Patterns
+	if n == 0 {
+		n = 1024
+	}
+	drop := fault.DropOn
+	if o.Drop == "off" {
+		drop = fault.DropOff
+	}
+	seed := seedOf(o)
+	view := d.View()
+	rng := rand.New(rand.NewSource(seed))
+	pats := make([][]bool, n)
+	for i := range pats {
+		pat := make([]bool, len(view.Inputs))
+		for j := range pat {
+			pat[j] = rng.Intn(2) == 1
+		}
+		pats[i] = pat
+	}
+	res, err := fault.Simulate(ctx, d.Circuit, d.Faults(), pats, fault.Options{
+		Backend: backend,
+		Workers: o.Workers,
+		Drop:    drop,
+		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+		Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := make(map[int]bool)
+	for _, pi := range res.DetectedBy {
+		if pi >= 0 {
+			kept[pi] = true
+		}
+	}
+	rep := telemetry.NewReport("dftd", string(KindFaultSim), p.input)
+	rep.Config = map[string]any{
+		"patterns": n, "seed": seed, "scan": o.Scan,
+		"engine": backend.String(), "workers": o.Workers,
+		"drop": drop == fault.DropOn,
+	}
+	rep.Results = map[string]any{
+		"coverage":      res.Coverage(),
+		"kept_patterns": len(kept),
+		"targets":       len(res.Faults),
+		"detected":      res.NumCaught,
+	}
+	return rep.Finish(reg), nil
+}
+
+// runATPG mirrors `dftc atpg`: deterministic generation (optionally
+// random-first and compacted) under the job deadline.
+func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*telemetry.Report, error) {
+	o := p.req.Options
+	d, err := design(p)
+	if err != nil {
+		return nil, err
+	}
+	engine := atpg.EnginePodem
+	if o.Engine == "dalg" {
+		engine = atpg.EngineDAlg
+	}
+	seed := seedOf(o)
+	ts, err := d.GenerateContext(ctx, core.GenerateOptions{
+		Engine:      engine,
+		RandomFirst: o.Random,
+		Seed:        seed,
+		Compact:     o.Compact,
+		Workers:     o.Workers,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := telemetry.NewReport("dftd", string(KindATPG), p.input)
+	rep.Config = map[string]any{
+		"engine": o.Engine, "scan": o.Scan, "random": o.Random,
+		"compact": o.Compact, "seed": seed, "workers": o.Workers,
+	}
+	rep.Results = map[string]any{
+		"patterns":     len(ts.Patterns),
+		"coverage":     ts.Coverage,
+		"raw_coverage": ts.RawCover,
+		"untestable":   ts.Untestable,
+		"aborted":      ts.Aborted,
+		"targets":      ts.TargetN,
+		"gates":        d.Circuit.NumGates(),
+		"dffs":         d.Circuit.NumDFFs(),
+	}
+	return rep.Finish(reg), nil
+}
+
+// runFuzz mirrors `dftc fuzz`: sweep seeds 1..Rounds through the
+// differential checker, honoring the job deadline between rounds.
+func runFuzz(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*telemetry.Report, error) {
+	o := p.req.Options
+	rounds := o.Rounds
+	if rounds == 0 {
+		rounds = 50
+	}
+	patterns := o.Patterns
+	if patterns == 0 {
+		patterns = 64
+	}
+	var div *fuzzdiff.Divergence
+	ran := 0
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ran++
+		if d := fuzzdiff.Round(fuzzdiff.ShapeConfig(seed), seed, fuzzdiff.RoundOptions{Patterns: patterns}); d != nil {
+			div = d
+			break
+		}
+	}
+	rep := telemetry.NewReport("dftd", string(KindFuzz), "")
+	rep.Config = map[string]any{
+		"rounds": rounds, "patterns": patterns, "configs": len(fuzzdiff.Matrix()),
+	}
+	nDiv := 0
+	if div != nil {
+		nDiv = 1
+		rep.Results = map[string]any{"repro": div.Repro(), "seed": div.Seed}
+	} else {
+		rep.Results = map[string]any{}
+	}
+	rep.Results["rounds"] = ran
+	rep.Results["divergences"] = nDiv
+	return rep.Finish(reg), nil
+}

@@ -1,0 +1,485 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// Config sizes the server. Zero values select the documented
+// defaults, so Config{} is a working development configuration.
+type Config struct {
+	// Workers is the job-execution pool size; 0 selects
+	// runtime.GOMAXPROCS(0). Each worker runs one job at a time; the
+	// fault engine inside a job shards further per its own Workers
+	// option.
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; 0 selects 64. A
+	// full queue rejects new jobs with ErrQueueFull (HTTP 429).
+	QueueDepth int
+	// JobTimeout is the per-job deadline; 0 means no limit. A request
+	// may shrink (never extend) its own budget via Options.TimeoutMs.
+	JobTimeout time.Duration
+	// CacheSize bounds the LRU result cache (finished run reports),
+	// and the circuit interner is sized to match; 0 selects 256.
+	CacheSize int
+	// MaxJobs bounds the retained job table; once exceeded, the
+	// oldest finished jobs are forgotten (their results may still be
+	// served from the cache under a new job ID). 0 selects 4096.
+	MaxJobs int
+	// Metrics receives the service.* telemetry and backs /metrics;
+	// nil selects telemetry.Default().
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity; the HTTP layer renders it as 429 with the depth attached.
+type ErrQueueFull struct {
+	Depth    int
+	Capacity int
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("service: queue full (%d/%d jobs queued)", e.Depth, e.Capacity)
+}
+
+// ErrDraining rejects submissions after Shutdown has begun.
+var ErrDraining = errors.New("service: draining, not admitting new jobs")
+
+// ErrBadRequest wraps a request-validation failure (HTTP 400).
+type ErrBadRequest struct{ Err error }
+
+func (e *ErrBadRequest) Error() string { return e.Err.Error() }
+func (e *ErrBadRequest) Unwrap() error { return e.Err }
+
+// ErrUnknownJob reports a job ID with no retained record.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// Server is the DFT job service: admission control in front of a
+// bounded FIFO queue, a fixed worker pool draining it, a result
+// cache, and an HTTP surface (see routes in http.go). Create with
+// New, serve via ServeHTTP, stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // job IDs in admission order, for pruning
+	inflight map[string]*Job // request key → queued/running job
+	results  *lruCache       // request key → report bytes
+	interned *lruCache       // netlist hash → *logic.Circuit
+	seq      int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// cached instrument handles
+	cAccepted  *telemetry.Counter
+	cRejected  *telemetry.Counter
+	cCompleted *telemetry.Counter
+	cFailed    *telemetry.Counter
+	cCancelled *telemetry.Counter
+	cCoalesced *telemetry.Counter
+	cCacheHit  *telemetry.Counter
+	cCacheMiss *telemetry.Counter
+	cCacheEvict *telemetry.Counter
+	gQueueDepth *telemetry.Gauge
+	gWorkers    *telemetry.Gauge
+	tWait       *telemetry.Timer
+	tRun        *telemetry.Timer
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := telemetry.OrDefault(cfg.Metrics)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		results:    newLRU(cfg.CacheSize),
+		interned:   newLRU(cfg.CacheSize),
+		queue:      make(chan *Job, cfg.QueueDepth),
+
+		cAccepted:   reg.Counter("service.jobs.accepted"),
+		cRejected:   reg.Counter("service.jobs.rejected"),
+		cCompleted:  reg.Counter("service.jobs.completed"),
+		cFailed:     reg.Counter("service.jobs.failed"),
+		cCancelled:  reg.Counter("service.jobs.cancelled"),
+		cCoalesced:  reg.Counter("service.jobs.coalesced"),
+		cCacheHit:   reg.Counter("service.cache.hits"),
+		cCacheMiss:  reg.Counter("service.cache.misses"),
+		cCacheEvict: reg.Counter("service.cache.evictions"),
+		gQueueDepth: reg.Gauge("service.queue.depth"),
+		gWorkers:    reg.Gauge("service.workers"),
+	}
+	s.tWait = reg.Timer("service.job.wait")
+	s.tRun = reg.Timer("service.job.run")
+	s.gWorkers.Set(int64(cfg.Workers))
+	s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits a request. The returned job may be
+// brand new (queued), an existing in-flight job the request coalesced
+// onto, or an already-done job synthesized from the result cache.
+// Errors are *ErrBadRequest, *ErrQueueFull, or ErrDraining.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	p, err := parseRequest(req)
+	if err != nil {
+		s.cRejected.Inc()
+		return nil, &ErrBadRequest{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.cRejected.Inc()
+		return nil, ErrDraining
+	}
+	s.internCircuit(p)
+
+	// Coalesce onto an identical queued/running job.
+	if j, ok := s.inflight[p.key]; ok {
+		j.coalesced++
+		s.cCoalesced.Inc()
+		return j, nil
+	}
+	// Serve a finished identical request from the result cache.
+	if rep, ok := s.results.get(p.key); ok {
+		s.cCacheHit.Inc()
+		now := time.Now()
+		j := &Job{
+			ID:       s.nextID(),
+			Key:      p.key,
+			parsed:   p,
+			state:    StateDone,
+			report:   rep.([]byte),
+			cached:   true,
+			created:  now,
+			started:  now,
+			finished: now,
+			done:     make(chan struct{}),
+		}
+		close(j.done)
+		s.remember(j)
+		s.cAccepted.Inc()
+		s.cCompleted.Inc()
+		return j, nil
+	}
+	s.cCacheMiss.Inc()
+
+	j := &Job{
+		ID:      s.nextID(),
+		Key:     p.key,
+		parsed:  p,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.cRejected.Inc()
+		return nil, &ErrQueueFull{Depth: len(s.queue), Capacity: s.cfg.QueueDepth}
+	}
+	s.remember(j)
+	s.inflight[p.key] = j
+	s.cAccepted.Inc()
+	s.gQueueDepth.Set(int64(len(s.queue)))
+	return j, nil
+}
+
+// internCircuit replaces the parsed circuit with the canonical
+// instance for its netlist, so every job over the same netlist shares
+// one *logic.Circuit — and therefore one compiled program in
+// sim.CompiledFor's cache — across the whole server lifetime.
+func (s *Server) internCircuit(p *parsedRequest) {
+	if p.circuit == nil {
+		return
+	}
+	sum := sha256.Sum256([]byte(canonicalBench(p.circuit)))
+	h := hex.EncodeToString(sum[:])
+	if c, ok := s.interned.get(h); ok {
+		p.circuit = c.(*logic.Circuit)
+		return
+	}
+	s.interned.add(h, p.circuit)
+}
+
+// nextID mints a job ID; callers hold mu.
+func (s *Server) nextID() string {
+	s.seq++
+	return fmt.Sprintf("job-%06d", s.seq)
+}
+
+// remember records a job and prunes the oldest finished jobs past the
+// retention cap; callers hold mu.
+func (s *Server) remember(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		old := s.jobs[id]
+		if len(s.jobs) > s.cfg.MaxJobs && old != nil && old.state.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the retained job record for id.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// View renders a job's current state.
+func (s *Server) View(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	return j.view(), nil
+}
+
+// Cancel aborts a job: a queued job is marked cancelled on the spot
+// (the worker skips it on dequeue), a running job has its context
+// cancelled and reaches the cancelled state when the engine unwinds.
+// Cancelling a terminal job is a no-op. Note a coalesced job is
+// shared — cancelling it cancels every submission attached to it.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, StateCancelled, context.Canceled.Error(), nil)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.view(), nil
+}
+
+// finishLocked moves a job to a terminal state; callers hold mu.
+func (s *Server) finishLocked(j *Job, st State, errMsg string, report []byte) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = st
+	j.err = errMsg
+	j.report = report
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	delete(s.inflight, j.Key)
+	switch st {
+	case StateDone:
+		s.cCompleted.Inc()
+		if report != nil {
+			if s.results.add(j.Key, report) {
+				s.cCacheEvict.Inc()
+			}
+		}
+	case StateCancelled:
+		s.cCancelled.Inc()
+	default:
+		s.cFailed.Inc()
+	}
+	close(j.done)
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) (JobView, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-j.done:
+		return s.View(id)
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job under its deadline.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	s.gQueueDepth.Set(int64(len(s.queue)))
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.tWait.Observe(j.started.Sub(j.created))
+	ctx, cancel := s.jobContext(j)
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	rep, err := s.execute(ctx, j.parsed)
+	var report []byte
+	if err == nil {
+		report, err = encodeReport(rep)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	s.tRun.Observe(time.Since(j.started))
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, "", report)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(j, StateCancelled, err.Error(), nil)
+	default:
+		s.finishLocked(j, StateFailed, err.Error(), nil)
+	}
+}
+
+// jobContext derives the job's run context: the server's base context
+// (so Shutdown's hard-stop cancels everything) bounded by the
+// server-wide deadline, shrunk further by the request's own budget.
+func (s *Server) jobContext(j *Job) (context.Context, context.CancelFunc) {
+	d := s.cfg.JobTimeout
+	if ms := j.parsed.req.Options.TimeoutMs; ms > 0 {
+		if req := time.Duration(ms) * time.Millisecond; d <= 0 || req < d {
+			d = req
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(s.baseCtx)
+	}
+	return context.WithTimeout(s.baseCtx, d)
+}
+
+// QueueDepth reports the current admission-queue occupancy.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Shutdown gracefully stops the server: admission closes (new
+// submissions get ErrDraining), queued and running jobs drain, and
+// the accumulated telemetry is flushed as a final dft.run-report/v1
+// document. If ctx expires before the drain completes, in-flight
+// jobs are hard-cancelled through the base context and Shutdown
+// still waits for the workers to unwind before returning, so no job
+// goroutine outlives the call.
+func (s *Server) Shutdown(ctx context.Context) (*telemetry.Report, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errors.New("service: already shut down")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // hard-stop running jobs
+		<-done
+	}
+	s.baseCancel()
+
+	s.mu.Lock()
+	// Jobs still queued when the channel closed (drained by no one
+	// because ctx expired first) are marked cancelled for the record.
+	for _, j := range s.jobs {
+		if !j.state.terminal() && j.state == StateQueued {
+			s.finishLocked(j, StateCancelled, ErrDraining.Error(), nil)
+		}
+	}
+	s.mu.Unlock()
+
+	rep := telemetry.NewReport("dftd", "shutdown", "")
+	rep.Config = map[string]any{
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.cfg.QueueDepth,
+		"cache_size":  s.cfg.CacheSize,
+	}
+	rep.Results = map[string]any{
+		"jobs_accepted":  s.cAccepted.Value(),
+		"jobs_rejected":  s.cRejected.Value(),
+		"jobs_completed": s.cCompleted.Value(),
+		"jobs_failed":    s.cFailed.Value(),
+		"jobs_cancelled": s.cCancelled.Value(),
+		"jobs_coalesced": s.cCoalesced.Value(),
+		"cache_hits":     s.cCacheHit.Value(),
+		"cache_misses":   s.cCacheMiss.Value(),
+	}
+	return rep.Finish(s.reg), err
+}

@@ -1,0 +1,535 @@
+package service
+
+// End-to-end acceptance tests for the job daemon, all race-enabled:
+// concurrent mixed-circuit submissions whose coverage must be
+// byte-identical to direct fault.Simulate calls, cache hits observed
+// through /metrics, 429 backpressure with a JSON body, cancellation,
+// and graceful drain.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dft/internal/circuits"
+	"dft/internal/core"
+	"dft/internal/fault"
+	"dft/internal/telemetry"
+)
+
+// testServer starts a job server on an ephemeral port with a private
+// registry.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, reg
+}
+
+// postJob submits a request and decodes the response body.
+func postJob(t *testing.T, base string, req JobRequest) (JobView, int, errorBody) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v, resp.StatusCode, errorBody{}
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("non-JSON error body (status %d): %v", resp.StatusCode, err)
+	}
+	return JobView{}, resp.StatusCode, e
+}
+
+// getJob fetches a job view over HTTP.
+func getJob(t *testing.T, base, id string) (JobView, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job %s: %v", id, err)
+	}
+	return v, resp.StatusCode
+}
+
+// waitTerminal polls a job over HTTP until it reaches a terminal
+// state.
+func waitTerminal(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v, code := getJob(t, base, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", id, code)
+		}
+		if v.State.terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+// reportResults pulls the Results section out of a finished job.
+func reportResults(t *testing.T, v JobView) map[string]json.RawMessage {
+	t.Helper()
+	if len(v.Report) == 0 {
+		t.Fatalf("job %s (%s) has no report", v.ID, v.State)
+	}
+	var rep struct {
+		Schema  string                     `json:"schema"`
+		Results map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(v.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != telemetry.ReportSchema {
+		t.Fatalf("report schema %q", rep.Schema)
+	}
+	return rep.Results
+}
+
+// mixedJob builds the i-th distinct faultsim request over a cycle of
+// library circuits.
+func mixedJob(i int) JobRequest {
+	kinds := []struct {
+		builtin string
+		n       int
+	}{
+		{"c17", 0}, {"adder", 4}, {"parity", 8}, {"mux", 2},
+		{"cmp", 4}, {"maj", 5}, {"decoder", 3}, {"alu74181", 0},
+	}
+	k := kinds[i%len(kinds)]
+	return JobRequest{
+		Kind:    KindFaultSim,
+		Builtin: k.builtin,
+		N:       k.n,
+		Options: Options{Seed: int64(i + 1), Patterns: 256},
+	}
+}
+
+// directCoverage computes the coverage a job must reproduce: the same
+// circuit, view, seeded pattern set and options through a direct
+// fault.Simulate call.
+func directCoverage(t *testing.T, req JobRequest) float64 {
+	t.Helper()
+	c, err := circuits.Builtin(req.Builtin, req.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.FromCircuit(c)
+	view := d.View()
+	rng := rand.New(rand.NewSource(req.Options.Seed))
+	pats := make([][]bool, req.Options.Patterns)
+	for i := range pats {
+		p := make([]bool, len(view.Inputs))
+		for j := range p {
+			p[j] = rng.Intn(2) == 1
+		}
+		pats[i] = p
+	}
+	res, err := fault.Simulate(context.Background(), d.Circuit, d.Faults(), pats, fault.Options{
+		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Coverage()
+}
+
+// metricValue scrapes one sample value from the /metrics exposition.
+func metricValue(t *testing.T, base, name string) (int64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(line, name+" %d", &v); err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestServiceEndToEnd is acceptance criteria (a) and (b): 32
+// concurrent mixed-circuit faultsim jobs, each byte-identical to the
+// direct engine call, then an identical resubmission served from the
+// result cache and observed through /metrics.
+func TestServiceEndToEnd(t *testing.T) {
+	_, ts, _ := testServer(t, Config{Workers: 4, QueueDepth: 64, CacheSize: 64})
+
+	const jobs = 32
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, code, e := postJob(t, ts.URL, mixedJob(i))
+			if code != http.StatusAccepted {
+				errs[i] = fmt.Errorf("job %d: status %d (%s)", i, code, e.Error)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// (a) every job's coverage must match the direct engine call —
+	// compare the marshaled JSON bytes, not an epsilon.
+	for i := 0; i < jobs; i++ {
+		v := waitTerminal(t, ts.URL, ids[i])
+		if v.State != StateDone {
+			t.Fatalf("job %d (%s): state %s, err %q", i, ids[i], v.State, v.Error)
+		}
+		got, ok := reportResults(t, v)["coverage"]
+		if !ok {
+			t.Fatalf("job %d: report has no coverage", i)
+		}
+		want, err := json.Marshal(directCoverage(t, mixedJob(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %d coverage = %s, direct fault.Simulate = %s", i, got, want)
+		}
+	}
+
+	// (b) an identical resubmission is a cache hit: already done at
+	// submit time, same result bytes, and the counter shows on
+	// /metrics.
+	before, _ := metricValue(t, ts.URL, "dft_service_cache_hits_total")
+	v, code, _ := postJob(t, ts.URL, mixedJob(0))
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if !v.Cached || v.State != StateDone {
+		t.Fatalf("resubmit: cached=%v state=%s, want cache hit", v.Cached, v.State)
+	}
+	first, _ := getJob(t, ts.URL, ids[0])
+	if !bytes.Equal(v.Report, first.Report) {
+		t.Fatal("cached report differs from the original run")
+	}
+	after, ok := metricValue(t, ts.URL, "dft_service_cache_hits_total")
+	if !ok || after != before+1 {
+		t.Fatalf("cache hits on /metrics: before=%d after=%d (found=%v)", before, after, ok)
+	}
+}
+
+// slowJob is a fuzz job big enough to stay running until cancelled;
+// the seed salt keeps keys distinct so jobs queue instead of
+// coalescing.
+func slowJob(salt int) JobRequest {
+	return JobRequest{
+		Kind:    KindFuzz,
+		Options: Options{Rounds: 1_000_000, Patterns: 16 + salt},
+	}
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, base, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, _ := getJob(t, base, id)
+		if v.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+// TestServiceBackpressure is acceptance criterion (c): with one
+// worker occupied and the queue full, the next submission is 429 with
+// a JSON error body carrying the queue depth.
+func TestServiceBackpressure(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	running, code, _ := postJob(t, ts.URL, slowJob(0))
+	if code != http.StatusAccepted {
+		t.Fatalf("first job: status %d", code)
+	}
+	waitState(t, ts.URL, running.ID, StateRunning)
+
+	queued, code, _ := postJob(t, ts.URL, slowJob(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("second job: status %d", code)
+	}
+
+	_, code, e := postJob(t, ts.URL, slowJob(2))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third job: status %d, want 429", code)
+	}
+	if e.Error == "" || e.QueueDepth != 1 || e.QueueCapacity != 1 {
+		t.Fatalf("429 body = %+v, want error + queue depth/capacity", e)
+	}
+
+	// Cancel both: the runner unwinds through its context, the queued
+	// one dies in place.
+	for _, id := range []string{queued.ID, running.ID} {
+		resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		waitState(t, ts.URL, id, StateCancelled)
+	}
+	if rep, err := srv.Shutdown(context.Background()); err != nil || rep == nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// newRequest issues a bodyless request with the given method.
+func newRequest(t *testing.T, method, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// TestServiceGracefulDrain is acceptance criterion (d): Shutdown
+// stops admission, lets queued and running jobs finish, and returns
+// the final telemetry report.
+func TestServiceGracefulDrain(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	const jobs = 8
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		v, code, e := postJob(t, ts.URL, mixedJob(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%s)", i, code, e.Error)
+		}
+		ids[i] = v.ID
+	}
+
+	rep, err := srv.Shutdown(context.Background())
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if rep == nil || rep.Schema != telemetry.ReportSchema {
+		t.Fatalf("final report = %+v", rep)
+	}
+
+	// Every admitted job drained to done — none were dropped or
+	// cancelled by the shutdown.
+	for i, id := range ids {
+		v, err := srv.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Fatalf("job %d: state %s after drain, want done", i, v.State)
+		}
+	}
+	if got := rep.Results["jobs_completed"].(int64); got < jobs {
+		t.Fatalf("final report jobs_completed = %v, want >= %d", got, jobs)
+	}
+
+	// Admission is closed: HTTP answers 503.
+	_, code, e := postJob(t, ts.URL, mixedJob(0))
+	if code != http.StatusServiceUnavailable || e.Error == "" {
+		t.Fatalf("post-shutdown submit: status %d body %+v, want 503", code, e)
+	}
+	// And a second Shutdown reports the misuse.
+	if _, err := srv.Shutdown(context.Background()); err == nil {
+		t.Fatal("second shutdown did not error")
+	}
+}
+
+// TestServiceHardStop: an expired drain budget hard-cancels the
+// running job through the base context instead of hanging.
+func TestServiceHardStop(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+	v, code, _ := postJob(t, ts.URL, slowJob(7))
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	waitState(t, ts.URL, v.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	rep, err := srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("shutdown within 30ms of a million-round fuzz job should report an incomplete drain")
+	}
+	if rep == nil {
+		t.Fatal("hard stop must still return the final report")
+	}
+	jv, verr := srv.View(v.ID)
+	if verr != nil || jv.State != StateCancelled {
+		t.Fatalf("job after hard stop: %+v, %v", jv, verr)
+	}
+}
+
+// TestServiceCoalescing: identical submissions while the key is
+// in-flight attach to the same job instead of queueing twice.
+func TestServiceCoalescing(t *testing.T) {
+	srv, ts, reg := testServer(t, Config{Workers: 1, QueueDepth: 8})
+	defer srv.Shutdown(context.Background())
+
+	blocker, _, _ := postJob(t, ts.URL, slowJob(0))
+	waitState(t, ts.URL, blocker.ID, StateRunning)
+
+	// The worker is busy, so this queues...
+	a, code, _ := postJob(t, ts.URL, mixedJob(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	// ...and the identical twin coalesces onto it.
+	b, code, _ := postJob(t, ts.URL, mixedJob(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("identical queued submissions got distinct jobs %s / %s", a.ID, b.ID)
+	}
+	if got := reg.Counter("service.jobs.coalesced").Value(); got != 1 {
+		t.Fatalf("coalesced counter = %d, want 1", got)
+	}
+	if resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID); err == nil {
+		resp.Body.Close()
+	}
+	waitTerminal(t, ts.URL, a.ID)
+}
+
+// TestServiceValidation: malformed submissions are 400 with a JSON
+// error, and unknown job lookups are 404.
+func TestServiceValidation(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer srv.Shutdown(context.Background())
+
+	for name, req := range map[string]JobRequest{
+		"missing kind":    {Builtin: "c17"},
+		"unknown kind":    {Kind: "synthesis", Builtin: "c17"},
+		"no circuit":      {Kind: KindFaultSim},
+		"both sources":    {Kind: KindFaultSim, Builtin: "c17", Bench: "INPUT(a)"},
+		"bad builtin":     {Kind: KindFaultSim, Builtin: "nonesuch"},
+		"bad size":        {Kind: KindFaultSim, Builtin: "maj", N: 4},
+		"huge size":       {Kind: KindFaultSim, Builtin: "adder", N: 1 << 20},
+		"bad backend":     {Kind: KindFaultSim, Builtin: "c17", Options: Options{Backend: "warp"}},
+		"bad engine":      {Kind: KindATPG, Builtin: "c17", Options: Options{Engine: "brute"}},
+		"negative budget": {Kind: KindFaultSim, Builtin: "c17", Options: Options{Patterns: -4}},
+		"fuzz + circuit":  {Kind: KindFuzz, Builtin: "c17"},
+		"bad bench": {Kind: KindFaultSim,
+			Bench: "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"},
+	} {
+		_, code, e := postJob(t, ts.URL, req)
+		if code != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("%s: status %d body %+v, want 400 + error", name, code, e)
+		}
+	}
+
+	if _, code := getJob(t, ts.URL, "job-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceHealthz sanity-checks the liveness endpoint.
+func TestServiceHealthz(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 3, QueueDepth: 5})
+	defer srv.Shutdown(context.Background())
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 || h.QueueCapacity != 5 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestServiceATPGAndTimeout: an atpg job completes with plausible
+// coverage, and a microscopic per-job budget cancels rather than
+// fails.
+func TestServiceATPGAndTimeout(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 2, QueueDepth: 8})
+	defer srv.Shutdown(context.Background())
+
+	v, code, _ := postJob(t, ts.URL, JobRequest{
+		Kind: KindATPG, Builtin: "alu74181",
+		Options: Options{Random: 64, Compact: true},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got := waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("atpg job: %s (%s)", got.State, got.Error)
+	}
+	var cov float64
+	if err := json.Unmarshal(reportResults(t, got)["coverage"], &cov); err != nil || cov < 0.9 {
+		t.Fatalf("atpg coverage = %v (%v)", cov, err)
+	}
+
+	v, code, _ = postJob(t, ts.URL, JobRequest{
+		Kind: KindATPG, Builtin: "alu74181x", N: 4,
+		Options: Options{TimeoutMs: 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got = waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateCancelled {
+		t.Fatalf("1ms atpg job: state %s, want cancelled", got.State)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), so a scraper pointed at the
+// daemon's /metrics endpoint — or any tool reading a saved snapshot —
+// gets native metric types instead of reparsing the JSON document.
+//
+// Instrument names map onto the Prometheus namespace as
+// `dft_<name-with-dots-replaced>`: counters gain the conventional
+// `_total` suffix, timers are exposed as summaries in seconds
+// (`_seconds_count` / `_seconds_sum`), and histograms become
+// cumulative `_bucket{le="..."}` series ending at `+Inf`. Trace
+// events have no Prometheus equivalent and are omitted. Output is
+// sorted by metric name, so it is diff-stable like the JSON form.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, k := range sortedNames(s.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedNames(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[k])
+	}
+	{
+		keys := make([]string, 0, len(s.Timers))
+		for k := range s.Timers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t := s.Timers[k]
+			name := promName(k) + "_seconds"
+			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+			fmt.Fprintf(&b, "%s_count %d\n", name, t.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", name, promSeconds(t.TotalNs))
+		}
+	}
+	{
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := s.Histograms[k]
+			name := promName(k)
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			cum := int64(0)
+			for _, bk := range h.Buckets {
+				cum += bk.Count
+				if bk.Le >= 0 {
+					fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+				}
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+			fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedNames returns the map's keys in lexical order.
+func sortedNames(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a dotted instrument name onto the Prometheus
+// identifier alphabet: the toolkit prefix plus the name with every
+// character outside [a-zA-Z0-9_] replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dft_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds renders nanoseconds as decimal seconds without float
+// rounding artifacts (123456789ns -> "0.123456789").
+func promSeconds(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%09d", neg, ns/1e9, ns%1e9)
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the text exposition format: a
+// registry with one instrument of every kind must render exactly the
+// checked-in golden document.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.jobs.accepted").Add(42)
+	r.Counter("fault.sim.events").Add(123456)
+	r.Gauge("service.queue.depth").Set(7)
+	r.Timer("service.job.run").Observe(1500 * time.Millisecond)
+	r.Timer("service.job.run").Observe(500 * time.Millisecond)
+	h := r.Histogram("fault.engine.shard_faults")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(900)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromNameSanitizes covers the identifier mapping.
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"fault.sim.events": "dft_fault_sim_events",
+		"a-b c/d":          "dft_a_b_c_d",
+		"already_ok9":      "dft_already_ok9",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusParses sanity-checks structural invariants a
+// scraper relies on: every sample line's metric appears under a TYPE
+// header, and histogram buckets are cumulative.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y").Inc()
+	h := r.Histogram("sizes")
+	for v := int64(1); v < 100; v *= 2 {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	var lastCum int64 = -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		name := strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suf)
+		}
+		if !typed[name] && !typed[base] {
+			t.Errorf("sample %q has no TYPE header", line)
+		}
+		if strings.Contains(line, "_bucket{") {
+			fields := strings.Fields(line)
+			cum, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if cum < lastCum {
+				t.Errorf("buckets not cumulative at %q", line)
+			}
+			lastCum = cum
+		}
+	}
+}
