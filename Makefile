@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-sim clean
+.PHONY: all build vet test race race-telemetry race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-sim bench-service clean
 
 all: check
 
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-telemetry covers the span registry and the lock-free Progress
+# primitive — concurrently ticked by engine workers while the monitor
+# goroutine and /metrics scrapes read them.
+race-telemetry:
+	$(GO) test -race ./internal/telemetry/...
 
 # race-fault gives fast feedback on the engine's shard merge — the one
 # place in the tree with lock-free concurrent writes — before the full
@@ -36,7 +42,7 @@ race-sim:
 race-service:
 	$(GO) test -race ./internal/service/...
 
-check: build vet race-fault race-sim race-service race fuzz-smoke
+check: build vet race-telemetry race-fault race-sim race-service race fuzz-smoke
 
 # fuzz runs the coverage-guided differential fuzz targets: the compiled
 # kernel against the interpreter at every execution width, and every
@@ -74,6 +80,13 @@ bench-faultsim:
 bench-sim:
 	DFT_BENCH_JSON=BENCH_simkernel.json $(GO) test -bench=BenchmarkKernelInterpVsCompiled -benchmem .
 
+# bench-service measures job-service overhead and the progress-
+# instrumentation ablation (the instrumented engine must stay within
+# 2% of the NoProgress run), leaving the telemetry as a
+# dft.run-report/v1 document.
+bench-service:
+	DFT_BENCH_JSON=BENCH_service.json $(GO) test -bench=BenchmarkService -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_simkernel.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_simkernel.json BENCH_service.json

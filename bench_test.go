@@ -28,6 +28,7 @@ import (
 	"dft/internal/ramtest"
 	"dft/internal/scanset"
 	"dft/internal/seqatpg"
+	"dft/internal/service"
 	"dft/internal/signature"
 	"dft/internal/sim"
 	"dft/internal/syndrome"
@@ -508,6 +509,77 @@ func BenchmarkKernelInterpVsCompiled(b *testing.B) {
 			b.ReportMetric(evalsPerPass*blockW*float64(b.N)/b.Elapsed().Seconds(), "gateevals/s")
 		})
 	}
+}
+
+// --- Service observability benches (`make bench-service`) ---
+
+// BenchmarkServiceJobLatency measures the job service's end-to-end
+// overhead per job — admission, queue, monitor goroutine, report
+// encoding — around a small faultsim payload. Distinct seeds defeat
+// the result cache, so every iteration runs the full path.
+func BenchmarkServiceJobLatency(b *testing.B) {
+	srv := service.New(service.Config{
+		Workers: 2, QueueDepth: 256, CacheSize: 16,
+		Metrics: telemetry.NewRegistry(),
+	})
+	defer srv.Shutdown(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := srv.Submit(service.JobRequest{
+			Kind: service.KindFaultSim, Builtin: "c17",
+			Options: service.Options{Seed: int64(i + 1), Patterns: 64},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Wait(context.Background(), j.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceProgressOverhead is the instrumentation ablation:
+// the sharded engine with its per-chunk Progress ticks against the
+// same run with NoProgress set. The instrumented row must come out
+// within 2% of the ablated row — the primitive is two atomics per
+// chunk, far off the hot path. Run via `make bench-service` to leave
+// the rows' telemetry in BENCH_service.json.
+func BenchmarkServiceProgressOverhead(b *testing.B) {
+	c := circuits.ArrayMultiplier(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 256)
+	for _, tc := range []struct {
+		name   string
+		noProg bool
+	}{
+		{"instrumented", false},
+		{"ablated", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := fault.NewEngine(c, fault.Options{
+				Backend: fault.BackendParallel, Workers: 4,
+				NoProgress: tc.noProg, Metrics: telemetry.NewRegistry(),
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cl.Reps, pats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceProgressPrimitive prices the primitive itself: one
+// contended Progress.Inc across GOMAXPROCS goroutines.
+func BenchmarkServiceProgressPrimitive(b *testing.B) {
+	p := telemetry.NewRegistry().Progress("bench.progress")
+	p.SetTotal(int64(b.N))
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Inc()
+		}
+	})
 }
 
 // BenchmarkExperimentRegistry keeps the full regeneration honest: one

@@ -23,6 +23,7 @@
 //	dftc profile   <file.bench> [-seed S] [-json]
 //	dftc experiments [id] [-json]
 //	dftc fuzz      [-rounds N] [-seeds a,b,c] [-patterns N] [-json]
+//	dftc watch     <server> <job-id> [-json] [-retries N]
 //
 // The global -stats flag (accepted anywhere on the command line) dumps
 // a telemetry summary — counters, timers, histograms, trace — to
@@ -81,6 +82,7 @@ var subcommands = map[string]func([]string) error{
 	"profile":     cmdProfile,
 	"experiments": cmdExperiments,
 	"fuzz":        cmdFuzz,
+	"watch":       cmdWatch,
 }
 
 func run(args []string) error {
@@ -224,6 +226,9 @@ subcommands:
   fuzz [-rounds N] [-seeds a,b,c]     differential fuzz: every kernel/backend
                                       config must agree; prints replayable
                                       repros for divergences
+  watch <server> <job-id>             follow a dftd job's live event stream
+                                      (queue position, phases, progress);
+                                      exits with the job's fate
 
 global flags:
   -stats            dump telemetry (counters/timers/trace) to stderr at exit

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// watchEvent mirrors the service's JobEvent wire shape. Declared here
+// rather than imported so the CLI stays a pure HTTP client of the
+// documented API — the same coupling any third-party consumer has.
+type watchEvent struct {
+	Seq          int64  `json:"seq"`
+	Type         string `json:"type"`
+	State        string `json:"state,omitempty"`
+	Position     int    `json:"position,omitempty"`
+	Phase        string `json:"phase,omitempty"`
+	Name         string `json:"name,omitempty"`
+	Done         int64  `json:"done,omitempty"`
+	Total        int64  `json:"total,omitempty"`
+	Error        string `json:"error,omitempty"`
+	CancelReason string `json:"cancel_reason,omitempty"`
+}
+
+// cmdWatch follows a dftd job's live event stream:
+//
+//	dftc watch <server> <job-id> [-json] [-retries N]
+//
+// It connects to GET /v1/jobs/{id}/events, renders queue position,
+// phase transitions, progress ticks and the terminal state as they
+// arrive, and reconnects with Last-Event-ID if the stream drops before
+// the terminal event. The exit status reflects the job: done exits 0,
+// failed or cancelled exits non-zero.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "print raw event JSON, one object per line (includes heartbeats)")
+	retries := fs.Int("retries", 5, "reconnect attempts after a dropped stream")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("watch needs <server> <job-id>")
+	}
+	server, jobID := fs.Arg(0), fs.Arg(1)
+	if !strings.Contains(server, "://") {
+		server = "http://" + server
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s/events", strings.TrimRight(server, "/"), jobID)
+
+	var lastSeq int64
+	attempts := 0
+	for {
+		terminal, err := watchStream(url, &lastSeq, *jsonOut)
+		if terminal != nil {
+			return watchExit(terminal)
+		}
+		if err == nil {
+			// Stream ended without a terminal event: the server closed the
+			// log (e.g. hard stop). Nothing more will arrive.
+			return fmt.Errorf("stream ended without a terminal event")
+		}
+		attempts++
+		if attempts > *retries {
+			return fmt.Errorf("stream lost after %d attempts: %w", attempts, err)
+		}
+		fmt.Fprintf(os.Stderr, "watch: stream dropped (%v), reconnecting after event %d\n", err, lastSeq)
+		time.Sleep(time.Duration(attempts) * 200 * time.Millisecond)
+	}
+}
+
+// watchStream opens one SSE connection and consumes events until the
+// terminal event, EOF, or a transport error. It returns the terminal
+// event if one arrived; lastSeq tracks resume position across calls.
+func watchStream(url string, lastSeq *int64, jsonOut bool) (*watchEvent, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(*lastSeq))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body errorEnvelope
+		json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck // best-effort detail
+		if body.Error != "" {
+			return nil, fmt.Errorf("server: %s", body.Error)
+		}
+		return nil, fmt.Errorf("server answered %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var e watchEvent
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				return nil, fmt.Errorf("bad event payload: %w", err)
+			}
+			data = ""
+			*lastSeq = e.Seq
+			renderEvent(e, jsonOut)
+			if e.Type == "end" {
+				return &e, nil
+			}
+		}
+		// id:/event: lines are redundant with the JSON payload; ignored.
+	}
+	return nil, sc.Err()
+}
+
+// errorEnvelope matches the service's JSON error body.
+type errorEnvelope struct {
+	Error string `json:"error"`
+}
+
+// renderEvent prints one event. Human mode keeps a terse one-line-per-
+// event log and drops heartbeats; -json passes everything through.
+func renderEvent(e watchEvent, jsonOut bool) {
+	if jsonOut {
+		enc, _ := json.Marshal(e)
+		fmt.Println(string(enc))
+		return
+	}
+	switch e.Type {
+	case "queued":
+		fmt.Printf("queued   position %d\n", e.Position)
+	case "running":
+		fmt.Println("running")
+	case "phase":
+		fmt.Printf("phase    %s\n", e.Phase)
+	case "progress":
+		if e.Total > 0 {
+			fmt.Printf("progress %s %d/%d (%.1f%%)\n", e.Name, e.Done, e.Total,
+				100*float64(e.Done)/float64(e.Total))
+		} else {
+			fmt.Printf("progress %s %d\n", e.Name, e.Done)
+		}
+	case "heartbeat":
+		// Quiet: its job is keeping the connection alive.
+	case "end":
+		switch e.State {
+		case "done":
+			fmt.Println("done")
+		case "failed":
+			fmt.Printf("failed   %s\n", e.Error)
+		case "cancelled":
+			fmt.Printf("cancelled (%s)\n", e.CancelReason)
+		default:
+			fmt.Printf("end      state=%s\n", e.State)
+		}
+	default:
+		fmt.Printf("%-8s seq=%d\n", e.Type, e.Seq)
+	}
+}
+
+// watchExit maps the terminal event to the process exit status.
+func watchExit(e *watchEvent) error {
+	switch e.State {
+	case "done":
+		return nil
+	case "failed":
+		return fmt.Errorf("job failed: %s", e.Error)
+	case "cancelled":
+		return fmt.Errorf("job cancelled (%s)", e.CancelReason)
+	}
+	return fmt.Errorf("job ended in state %q", e.State)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sseFixture serves a canned dftd-style event stream, honoring
+// Last-Event-ID so reconnects replay only the missed suffix.
+func sseFixture(t *testing.T, frames []string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			http.NotFound(w, r)
+			return
+		}
+		after := 0
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			after, _ = strconv.Atoi(v)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i, f := range frames {
+			if i < after {
+				continue
+			}
+			fmt.Fprint(w, f)
+		}
+	}))
+}
+
+// frame renders one SSE frame like the service's writeSSE.
+func frame(seq int, typ, data string) string {
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", seq, typ, data)
+}
+
+func doneFrames() []string {
+	return []string{
+		frame(1, "queued", `{"seq":1,"type":"queued","state":"queued","position":2}`),
+		frame(2, "running", `{"seq":2,"type":"running","state":"running"}`),
+		frame(3, "phase", `{"seq":3,"type":"phase","phase":"fault.sim.engine"}`),
+		frame(4, "progress", `{"seq":4,"type":"progress","name":"fault.sim.progress","done":640,"total":2640}`),
+		frame(5, "heartbeat", `{"seq":5,"type":"heartbeat","state":"running"}`),
+		frame(6, "end", `{"seq":6,"type":"end","state":"done"}`),
+	}
+}
+
+// TestWatchStream parses a full stream and surfaces the terminal
+// event with the resume cursor advanced past it.
+func TestWatchStream(t *testing.T) {
+	ts := sseFixture(t, doneFrames())
+	defer ts.Close()
+
+	var lastSeq int64
+	terminal, err := watchStream(ts.URL+"/v1/jobs/job-000001/events", &lastSeq, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminal == nil || terminal.Type != "end" || terminal.State != "done" {
+		t.Fatalf("terminal = %+v, want end/done", terminal)
+	}
+	if lastSeq != 6 {
+		t.Fatalf("lastSeq = %d, want 6", lastSeq)
+	}
+	if err := watchExit(terminal); err != nil {
+		t.Fatalf("done job should exit clean, got %v", err)
+	}
+}
+
+// TestWatchStreamResume: a mid-stream cursor turns into Last-Event-ID
+// and only the suffix is consumed.
+func TestWatchStreamResume(t *testing.T) {
+	ts := sseFixture(t, doneFrames())
+	defer ts.Close()
+
+	lastSeq := int64(4) // already saw up through the progress tick
+	terminal, err := watchStream(ts.URL+"/v1/jobs/job-000001/events", &lastSeq, true)
+	if err != nil || terminal == nil {
+		t.Fatalf("resume: terminal=%v err=%v", terminal, err)
+	}
+	if terminal.Seq != 6 || lastSeq != 6 {
+		t.Fatalf("resume ended at seq %d (cursor %d), want 6", terminal.Seq, lastSeq)
+	}
+}
+
+// TestWatchStreamErrors: a 404 from the server is reported with its
+// JSON error detail, and non-done terminal states map to non-nil exit
+// errors carrying the cancel reason.
+func TestWatchStreamErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"service: unknown job"}`)
+	}))
+	defer ts.Close()
+
+	var lastSeq int64
+	if _, err := watchStream(ts.URL+"/v1/jobs/nope/events", &lastSeq, true); err == nil ||
+		!strings.Contains(err.Error(), "unknown job") {
+		t.Fatalf("404 stream error = %v, want the server's detail", err)
+	}
+
+	for _, tc := range []struct {
+		e    watchEvent
+		want string
+	}{
+		{watchEvent{Type: "end", State: "failed", Error: "boom"}, "boom"},
+		{watchEvent{Type: "end", State: "cancelled", CancelReason: "deadline"}, "deadline"},
+	} {
+		err := watchExit(&tc.e)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("watchExit(%+v) = %v, want error mentioning %q", tc.e, err, tc.want)
+		}
+	}
+}
+
+// TestWatchCommand drives cmdWatch end to end against the fixture,
+// including the scheme-defaulting on a bare host:port server string.
+func TestWatchCommand(t *testing.T) {
+	ts := sseFixture(t, doneFrames())
+	defer ts.Close()
+
+	host := strings.TrimPrefix(ts.URL, "http://")
+	if err := cmdWatch([]string{host, "job-000001", "-json"}); err != nil {
+		t.Fatalf("watch of a done job = %v, want nil", err)
+	}
+	if err := cmdWatch([]string{host}); err == nil {
+		t.Fatal("missing job-id not rejected")
+	}
+}

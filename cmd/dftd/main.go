@@ -6,17 +6,22 @@
 // Usage:
 //
 //	dftd [-addr :8345] [-workers N] [-queue N] [-job-timeout D]
-//	     [-cache N] [-report file.json]
+//	     [-cache N] [-report file.json] [-pprof]
 //
 // API:
 //
-//	POST   /v1/jobs       {"kind":"faultsim|atpg|fuzz", "builtin":"adder",
-//	                       "n":8, "options":{...}} or {"bench":"..."}
-//	GET    /v1/jobs/{id}  job state; a done job embeds its
-//	                      dft.run-report/v1 document
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness and queue occupancy
-//	GET    /metrics       Prometheus text exposition
+//	POST   /v1/jobs              {"kind":"faultsim|atpg|fuzz",
+//	                             "builtin":"adder", "n":8,
+//	                             "options":{...}} or {"bench":"..."}
+//	GET    /v1/jobs/{id}         job state; a done job embeds its
+//	                             dft.run-report/v1 document
+//	GET    /v1/jobs/{id}/trace   the job's span tree (live while running)
+//	GET    /v1/jobs/{id}/events  SSE stream: queue position, phase
+//	                             transitions, progress, heartbeats, end
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /healthz              liveness and queue occupancy
+//	GET    /metrics              Prometheus text exposition
+//	/debug/pprof/...             Go profiling endpoints (only with -pprof)
 //
 // A full queue answers 429 with the depth in a JSON error body.
 // SIGINT/SIGTERM stop admission, drain in-flight jobs (bounded by
@@ -30,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // handlers registered on DefaultServeMux; mounted only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +60,7 @@ func run(args []string) error {
 	cache := fs.Int("cache", 256, "result-cache entries (LRU)")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
 	report := fs.String("report", "", "write the final telemetry run report to this file (default stderr)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (opt-in: exposes goroutine and heap internals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +74,18 @@ func run(args []string) error {
 		JobTimeout: *jobTimeout,
 		CacheSize:  *cache,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if *pprofOn {
+		// The pprof handlers register on http.DefaultServeMux via the
+		// package import; mount that mux beside the service routes so
+		// the profiling surface exists only when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", srv)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "dftd: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

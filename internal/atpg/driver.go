@@ -3,6 +3,7 @@ package atpg
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"dft/internal/fault"
@@ -71,8 +72,18 @@ func Generate(c *logic.Circuit, view View, targets []fault.Fault, cfg Config) *G
 func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets []fault.Fault, cfg Config) (*GenerateResult, error) {
 	start := time.Now()
 	reg := telemetry.OrDefault(cfg.Metrics)
-	defer reg.Timer("atpg.generate").Time()()
+	// Span instead of a bare timer: End still observes the
+	// atpg.generate timer, and the span parents the per-phase children
+	// below in the job trace.
+	ctx, genSpan := telemetry.StartSpanCtx(ctx, reg, "atpg.generate")
+	genSpan.SetAttr("targets", strconv.Itoa(len(targets)))
+	defer genSpan.End()
 	reg.Counter("atpg.faults.targeted").Add(int64(len(targets)))
+	// Progress counts targets resolved by the deterministic loop
+	// (generated, skipped as already-detected, untestable or aborted),
+	// so done reaches total exactly when the run completes.
+	prog := reg.Progress("atpg.faults.progress")
+	prog.AddTotal(int64(len(targets)))
 	rng := cfg.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.RandomSeed + 1))
@@ -81,10 +92,12 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets [
 	h := newHarness(c, view, targets, cfg.Workers, reg)
 
 	if cfg.RandomFirst > 0 {
+		rctx, randSpan := telemetry.StartSpanCtx(ctx, reg, "atpg.random")
 		applied := 0
 		for applied < cfg.RandomFirst && h.remaining() > 0 {
-			if err := ctx.Err(); err != nil {
+			if err := rctx.Err(); err != nil {
 				reg.Counter("atpg.cancelled").Inc()
+				randSpan.End()
 				return nil, err
 			}
 			block := make([][]bool, 0, 64)
@@ -106,6 +119,8 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets [
 			applied += len(block)
 		}
 		reg.Counter("atpg.random.patterns").Add(int64(applied))
+		randSpan.SetAttr("patterns", strconv.Itoa(applied))
+		randSpan.End()
 	}
 
 	pcfg := PodemConfig{MaxBacktracks: cfg.MaxBacktracks, Metrics: cfg.Metrics}
@@ -121,11 +136,14 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets [
 		return Podem(c, view, f, pcfg)
 	}
 
+	dctx, detSpan := telemetry.StartSpanCtx(ctx, reg, "atpg.deterministic")
+	defer detSpan.End()
 	for fi, f := range targets {
+		prog.Inc()
 		if res.Detected[fi] {
 			continue
 		}
-		if err := ctx.Err(); err != nil {
+		if err := dctx.Err(); err != nil {
 			reg.Counter("atpg.cancelled").Inc()
 			return nil, err
 		}
@@ -177,6 +195,8 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, view View, targets [
 	reg.Counter("atpg.faults.untestable").Add(int64(len(res.Untestable)))
 	reg.Counter("atpg.faults.aborted").Add(int64(len(res.Aborted)))
 	reg.Histogram("atpg.patterns_per_run").Observe(int64(len(res.Patterns)))
+	genSpan.SetAttr("detected", strconv.Itoa(caught))
+	genSpan.SetAttr("aborted", strconv.Itoa(len(res.Aborted)))
 	return res, nil
 }
 

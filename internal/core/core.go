@@ -165,7 +165,7 @@ func (d *Design) Generate(opt GenerateOptions) TestSet {
 // between targets when ctx expires and returns the zero TestSet plus
 // ctx's error. CLI -timeout and the dftd job runner share this path.
 func (d *Design) GenerateContext(ctx context.Context, opt GenerateOptions) (TestSet, error) {
-	span := telemetry.Default().StartSpan("core.generate")
+	ctx, span := telemetry.StartSpanCtx(ctx, telemetry.OrDefault(opt.Metrics), "core.generate")
 	span.SetDetail(d.Circuit.Name)
 	defer span.End()
 	targets := d.Faults()

@@ -119,6 +119,11 @@ type Options struct {
 	// Metrics receives the run's telemetry; nil selects
 	// telemetry.Default().
 	Metrics *telemetry.Registry
+	// NoProgress disables the engine's fault.sim.progress tracker (one
+	// atomic add per chunk). It exists for the bench-service ablation
+	// that measures the instrumentation's cost; production callers
+	// leave it false.
+	NoProgress bool
 }
 
 // workers resolves the Workers field to a concrete count ≥ 1.

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JobEvent is one entry in a job's live event stream, rendered over
+// SSE as `id: <seq>` / `event: <type>` / `data: <json>`. Seq numbers
+// are dense per job starting at 1, so a client that reconnects with
+// `Last-Event-ID: n` resumes exactly after the last event it saw.
+// Events carry no wall-clock timestamps: the stream is ordered, and
+// leaving them out keeps the wire format byte-deterministic for the
+// golden test.
+type JobEvent struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"`
+	// queued / running / end
+	State State `json:"state,omitempty"`
+	// queued: jobs in the admission queue at publish, this one included
+	Position int `json:"position,omitempty"`
+	// phase: the deepest active telemetry span
+	Phase string `json:"phase,omitempty"`
+	// progress: tracker name plus its done/total
+	Name  string `json:"name,omitempty"`
+	Done  int64  `json:"done,omitempty"`
+	Total int64  `json:"total,omitempty"`
+	// end
+	Error        string `json:"error,omitempty"`
+	CancelReason string `json:"cancel_reason,omitempty"`
+}
+
+// Event types on the wire.
+const (
+	EventQueued    = "queued"
+	EventRunning   = "running"
+	EventPhase     = "phase"
+	EventProgress  = "progress"
+	EventHeartbeat = "heartbeat"
+	EventEnd       = "end" // terminal; the log closes after it
+)
+
+// eventLog is one job's append-only event sequence. Publishers append
+// under the log's own mutex (never the server's); subscribers poll
+// since() and park on the returned notification channel, which is
+// closed and replaced on every append — a broadcast they can select
+// against their request context, which sync.Cond cannot offer.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []JobEvent
+	closed  bool
+	changed chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// publish appends one event, stamping its sequence number. Appends
+// after close are dropped (terminal means terminal).
+func (l *eventLog) publish(e JobEvent) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	e.Seq = int64(len(l.events)) + 1
+	l.events = append(l.events, e)
+	close(l.changed)
+	l.changed = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// close seals the log after the terminal event. The notification
+// channel is left closed, so any parked subscriber wakes, drains, and
+// sees closed on its next since call.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.changed)
+	}
+	l.mu.Unlock()
+}
+
+// since returns the events with Seq > after, whether the log is
+// sealed, and the channel that signals the next append (or seal).
+// Sequence numbers are dense, so `after` doubles as a slice offset.
+func (l *eventLog) since(after int64) (events []JobEvent, closed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if int(after) < len(l.events) {
+		events = append(events, l.events[after:]...)
+	}
+	return events, l.closed, l.changed
+}
+
+// writeSSE renders one event as a Server-Sent Events frame.
+func writeSSE(w io.Writer, e JobEvent) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}

@@ -1,0 +1,612 @@
+package service
+
+// Live-observability tests: the SSE wire format (golden), the live
+// event stream of a multi-second faultsim job (queue → running →
+// phase → progress → end, with heartbeats), Last-Event-ID resume,
+// cancellation reasons (client / deadline / shutdown), the span tree
+// served by /trace against the run report's timers, per-kind job
+// metrics on /metrics, and a 32-subscriber storm driven through
+// cancel and drain under the race detector with a goroutine-leak
+// check.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dft/internal/telemetry"
+)
+
+var updateSSE = flag.Bool("update", false, "rewrite golden files")
+
+// canonicalEvents is one of every event type in lifecycle order — the
+// wire-format contract clients like `dftc watch` parse.
+func canonicalEvents() []JobEvent {
+	return []JobEvent{
+		{Type: EventQueued, State: StateQueued, Position: 3},
+		{Type: EventRunning, State: StateRunning},
+		{Type: EventPhase, Phase: "fault.sim.engine"},
+		{Type: EventProgress, Name: "fault.sim.progress", Done: 1200, Total: 2640},
+		{Type: EventHeartbeat, State: StateRunning},
+		{Type: EventEnd, State: StateCancelled, Error: "context canceled", CancelReason: CancelClient},
+	}
+}
+
+// TestSSEWireGolden locks the byte-exact SSE rendering of every event
+// type. The frames are deterministic — events carry no timestamps —
+// so any drift here is an API break for streaming clients.
+func TestSSEWireGolden(t *testing.T) {
+	log := newEventLog()
+	for _, e := range canonicalEvents() {
+		log.publish(e)
+	}
+	log.close()
+	events, closed, _ := log.since(0)
+	if !closed || len(events) != 6 {
+		t.Fatalf("log: closed=%v events=%d, want sealed with 6", closed, len(events))
+	}
+	var buf bytes.Buffer
+	for _, e := range events {
+		if err := writeSSE(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := filepath.Join("testdata", "sse.golden")
+	if *updateSSE {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SSE wire format drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestEventLogSemantics covers the log's edge cases directly: dense
+// sequence numbers, publish-after-close dropped, since() as a resume
+// offset, and the notification channel firing on append.
+func TestEventLogSemantics(t *testing.T) {
+	log := newEventLog()
+	_, _, changed := log.since(0)
+	log.publish(JobEvent{Type: EventQueued})
+	select {
+	case <-changed:
+	default:
+		t.Fatal("publish did not signal the notification channel")
+	}
+	log.publish(JobEvent{Type: EventRunning})
+	log.publish(JobEvent{Type: EventEnd})
+	log.close()
+	log.publish(JobEvent{Type: EventHeartbeat}) // dropped: terminal means terminal
+
+	all, closed, _ := log.since(0)
+	if !closed || len(all) != 3 {
+		t.Fatalf("closed=%v len=%d, want sealed 3", closed, len(all))
+	}
+	for i, e := range all {
+		if e.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d, want dense from 1", i, e.Seq)
+		}
+	}
+	tail, _, _ := log.since(2)
+	if len(tail) != 1 || tail[0].Type != EventEnd {
+		t.Fatalf("since(2) = %+v, want just the end event", tail)
+	}
+	if none, _, _ := log.since(99); len(none) != 0 {
+		t.Fatalf("since past the end returned %d events", len(none))
+	}
+}
+
+// streamEvents consumes one SSE connection, decoding data payloads
+// until the server closes the stream or ctx expires. It returns the
+// events read; the bool reports whether a terminal end event arrived.
+func streamEvents(ctx context.Context, base, id string, after int64) ([]JobEvent, bool, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s/events", base, id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if after > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(after))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return nil, false, fmt.Errorf("content-type %q", ct)
+	}
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			return events, false, err
+		}
+		events = append(events, e)
+		if e.Type == EventEnd {
+			return events, true, nil
+		}
+	}
+	return events, false, sc.Err()
+}
+
+// countTypes tallies events by type.
+func countTypes(events []JobEvent) map[string]int {
+	n := map[string]int{}
+	for _, e := range events {
+		n[e.Type]++
+	}
+	return n
+}
+
+// checkDense fails unless sequence numbers run start, start+1, ...
+func checkDense(t *testing.T, events []JobEvent, start int64) {
+	t.Helper()
+	for i, e := range events {
+		if want := start + int64(i); e.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (stream must be dense)", i, e.Seq, want)
+		}
+	}
+}
+
+// slowFaultSim is a faultsim request that runs for roughly two
+// seconds: the no-drop parallel engine grades every fault against
+// every one of 128Ki patterns over the cascaded ALU, ticking progress
+// once per dispatched chunk.
+func slowFaultSim() JobRequest {
+	return JobRequest{
+		Kind: KindFaultSim, Builtin: "alu74181x", N: 8,
+		Options: Options{Patterns: 131072, Backend: "parallel", Workers: 2, Drop: "off"},
+	}
+}
+
+// TestServiceEventStreamLive is the streaming acceptance criterion: a
+// subscriber attached to a multi-second faultsim job sees the queued
+// event, the running transition, at least one phase event, at least
+// one progress tick and at least one heartbeat before the terminal
+// event — and the live /trace of the finished job matches the span
+// tree embedded in its run report.
+func TestServiceEventStreamLive(t *testing.T) {
+	_, ts, _ := testServer(t, Config{
+		Workers: 1, QueueDepth: 8,
+		ProgressInterval:  2 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+
+	v, code, _ := postJob(t, ts.URL, slowFaultSim())
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	events, terminal, err := streamEvents(ctx, ts.URL, v.ID, 0)
+	if err != nil || !terminal {
+		t.Fatalf("stream: terminal=%v err=%v (%d events)", terminal, err, len(events))
+	}
+	checkDense(t, events, 1)
+
+	n := countTypes(events)
+	if n[EventQueued] < 1 || n[EventRunning] != 1 || n[EventPhase] < 1 ||
+		n[EventProgress] < 1 || n[EventHeartbeat] < 1 || n[EventEnd] != 1 {
+		t.Fatalf("event mix %v, want >=1 queued/phase/progress/heartbeat and exactly one running and end", n)
+	}
+	if events[0].Type != EventQueued || events[0].Position < 1 {
+		t.Fatalf("first event %+v, want queued with position >= 1", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != EventEnd || last.State != StateDone {
+		t.Fatalf("last event %+v, want end/done", last)
+	}
+
+	// The phase and progress content must name the engine's actual
+	// instrumentation, and progress must be monotonic within bounds.
+	sawEngine := false
+	var prevDone int64
+	for _, e := range events {
+		switch e.Type {
+		case EventPhase:
+			if e.Phase == "fault.sim.engine" {
+				sawEngine = true
+			}
+		case EventProgress:
+			if e.Name != "fault.sim.progress" {
+				t.Fatalf("progress tracker %q, want fault.sim.progress", e.Name)
+			}
+			if e.Done <= prevDone || e.Total <= 0 || e.Done > e.Total {
+				t.Fatalf("progress %d/%d after %d: not monotonically increasing within total", e.Done, e.Total, prevDone)
+			}
+			prevDone = e.Done
+		}
+	}
+	if !sawEngine {
+		t.Fatal("no phase event named fault.sim.engine")
+	}
+
+	// /trace on the finished job: the report-embedded tree, with the
+	// root job span parenting the engine phase, and every span matching
+	// a run-report timer of the same name (Span.End observes it).
+	jv := waitTerminal(t, ts.URL, v.ID)
+	if jv.State != StateDone {
+		t.Fatalf("job state %s", jv.State)
+	}
+	var rep struct {
+		Metrics struct {
+			Timers map[string]json.RawMessage `json:"timers"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(jv.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	tb := getTrace(t, ts.URL, v.ID)
+	if tb.State != StateDone || tb.Schema != telemetry.ReportSchema || len(tb.Trace) == 0 {
+		t.Fatalf("trace body: %+v", tb)
+	}
+	root := tb.Trace[0]
+	if root.Name != "job" {
+		t.Fatalf("root span %q, want job", root.Name)
+	}
+	var names []string
+	var walk func(ns []*telemetry.SpanNode)
+	walk = func(ns []*telemetry.SpanNode) {
+		for _, n := range ns {
+			names = append(names, n.Name)
+			walk(n.Children)
+		}
+	}
+	walk(tb.Trace)
+	foundEngine := false
+	for _, name := range names {
+		if name == "fault.sim.engine" {
+			foundEngine = true
+		}
+		if _, ok := rep.Metrics.Timers[name]; !ok {
+			t.Errorf("span %q has no matching run-report timer", name)
+		}
+	}
+	if !foundEngine {
+		t.Fatalf("span tree %v has no fault.sim.engine phase", names)
+	}
+
+	// Satellite: the per-kind job histograms surfaced on /metrics as
+	// native labeled series.
+	for _, want := range []string{
+		`dft_service_job_duration_ms_bucket{kind="faultsim",le="+Inf"}`,
+		`dft_service_job_queue_wait_ms_bucket{kind="faultsim",le="+Inf"}`,
+	} {
+		if !metricsContains(t, ts.URL, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// getTrace fetches and decodes /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, base, id string) traceBody {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	var tb traceBody
+	if err := json.NewDecoder(resp.Body).Decode(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// metricsContains reports whether the /metrics exposition has a line
+// starting with prefix.
+func metricsContains(t *testing.T, base, prefix string) bool {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServiceEventResume: a reconnect with Last-Event-ID replays
+// exactly the missed suffix — no duplicates, no gaps — and a fresh
+// subscriber to a terminal job gets the whole log then the close.
+func TestServiceEventResume(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 2, QueueDepth: 8, ProgressInterval: time.Millisecond})
+	defer srv.Shutdown(context.Background())
+
+	v, code, _ := postJob(t, ts.URL, mixedJob(3))
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	waitTerminal(t, ts.URL, v.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	full, terminal, err := streamEvents(ctx, ts.URL, v.ID, 0)
+	if err != nil || !terminal {
+		t.Fatalf("full replay: terminal=%v err=%v", terminal, err)
+	}
+	checkDense(t, full, 1)
+	if len(full) < 3 { // at least queued, running, end
+		t.Fatalf("only %d events replayed", len(full))
+	}
+
+	// Resume after the second event: the suffix picks up at seq 3.
+	tail, terminal, err := streamEvents(ctx, ts.URL, v.ID, 2)
+	if err != nil || !terminal {
+		t.Fatalf("resumed replay: terminal=%v err=%v", terminal, err)
+	}
+	checkDense(t, tail, 3)
+	if len(tail) != len(full)-2 {
+		t.Fatalf("resume replayed %d events, want %d", len(tail), len(full)-2)
+	}
+
+	// Resuming past the end yields the close with no events.
+	none, terminal, err := streamEvents(ctx, ts.URL, v.ID, full[len(full)-1].Seq)
+	if err != nil || terminal || len(none) != 0 {
+		t.Fatalf("past-the-end resume: events=%d terminal=%v err=%v", len(none), terminal, err)
+	}
+
+	// A cached resubmission is born terminal with an instant replay.
+	cv, _, _ := postJob(t, ts.URL, mixedJob(3))
+	if !cv.Cached {
+		t.Fatalf("resubmission not cached: %+v", cv)
+	}
+	cached, terminal, err := streamEvents(ctx, ts.URL, cv.ID, 0)
+	if err != nil || !terminal {
+		t.Fatalf("cached stream: terminal=%v err=%v", terminal, err)
+	}
+	if len(cached) != 2 || cached[0].Type != EventQueued || cached[1].Type != EventEnd {
+		t.Fatalf("cached job events %+v, want queued then end", cached)
+	}
+
+	// Unknown job: 404, not a hung stream.
+	if _, _, err := streamEvents(ctx, ts.URL, "job-999999", 0); err == nil {
+		t.Fatal("events for unknown job did not error")
+	}
+}
+
+// TestServiceCancelReasons pins the cancel_reason taxonomy: a DELETE
+// is "client", an expired budget is "deadline", and jobs killed by
+// server shutdown are "shutdown" — on the job view, with a cancel
+// timestamp, and on the terminal stream event.
+func TestServiceCancelReasons(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	endEvent := func(t *testing.T, base, id string) JobEvent {
+		t.Helper()
+		events, terminal, err := streamEvents(ctx, base, id, 0)
+		if err != nil || !terminal {
+			t.Fatalf("stream: terminal=%v err=%v", terminal, err)
+		}
+		return events[len(events)-1]
+	}
+	checkView := func(t *testing.T, v JobView, reason string) {
+		t.Helper()
+		if v.State != StateCancelled || v.CancelReason != reason || v.CancelledNs == 0 {
+			t.Fatalf("view state=%s reason=%q cancelled_ns=%d, want cancelled/%s with timestamp",
+				v.State, v.CancelReason, v.CancelledNs, reason)
+		}
+	}
+
+	t.Run("client", func(t *testing.T) {
+		srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+		defer srv.Shutdown(context.Background())
+		v, _, _ := postJob(t, ts.URL, slowJob(1))
+		waitState(t, ts.URL, v.ID, StateRunning)
+		resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		checkView(t, waitTerminal(t, ts.URL, v.ID), CancelClient)
+		if e := endEvent(t, ts.URL, v.ID); e.State != StateCancelled || e.CancelReason != CancelClient {
+			t.Fatalf("end event %+v, want cancelled/client", e)
+		}
+	})
+
+	t.Run("client-queued", func(t *testing.T) {
+		srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+		defer srv.Shutdown(context.Background())
+		blocker, _, _ := postJob(t, ts.URL, slowJob(2))
+		waitState(t, ts.URL, blocker.ID, StateRunning)
+		queued, _, _ := postJob(t, ts.URL, slowJob(3))
+		resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		checkView(t, waitTerminal(t, ts.URL, queued.ID), CancelClient)
+		if resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID); err == nil {
+			resp.Body.Close()
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+		defer srv.Shutdown(context.Background())
+		v, _, _ := postJob(t, ts.URL, JobRequest{
+			Kind:    KindFuzz,
+			Options: Options{Rounds: 1_000_000, TimeoutMs: 20},
+		})
+		checkView(t, waitTerminal(t, ts.URL, v.ID), CancelDeadline)
+		if e := endEvent(t, ts.URL, v.ID); e.CancelReason != CancelDeadline {
+			t.Fatalf("end event %+v, want deadline", e)
+		}
+	})
+
+	t.Run("shutdown", func(t *testing.T) {
+		srv, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+		running, _, _ := postJob(t, ts.URL, slowJob(4))
+		waitState(t, ts.URL, running.ID, StateRunning)
+		queued, _, _ := postJob(t, ts.URL, slowJob(5))
+
+		hardCtx, hardCancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer hardCancel()
+		if _, err := srv.Shutdown(hardCtx); err == nil {
+			t.Fatal("hard stop under a running million-round job should report an incomplete drain")
+		}
+		for _, id := range []string{running.ID, queued.ID} {
+			v, err := srv.View(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkView(t, v, CancelShutdown)
+		}
+		if e := endEvent(t, ts.URL, running.ID); e.CancelReason != CancelShutdown {
+			t.Fatalf("end event %+v, want shutdown", e)
+		}
+	})
+}
+
+// TestServiceSubscriberStorm is the race-enabled e2e satellite: 32
+// SSE subscribers spread over a mix of running and queued jobs, one
+// job cancelled mid-stream, then a hard shutdown. Every subscriber
+// must observe a terminal event (the stream never just hangs), and
+// the server must not leak goroutines.
+func TestServiceSubscriberStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, ts, _ := testServer(t, Config{
+		Workers: 2, QueueDepth: 16,
+		ProgressInterval:  2 * time.Millisecond,
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+
+	// Four distinct slow jobs: two run, two queue behind them.
+	const jobs = 4
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		v, code, e := postJob(t, ts.URL, slowJob(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%s)", i, code, e.Error)
+		}
+		ids[i] = v.ID
+	}
+	waitState(t, ts.URL, ids[0], StateRunning)
+	waitState(t, ts.URL, ids[1], StateRunning)
+
+	// 32 subscribers, 8 per job, attached before anything terminates.
+	const subs = 32
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	type outcome struct {
+		job      int
+		events   []JobEvent
+		terminal bool
+		err      error
+	}
+	outcomes := make([]outcome, subs)
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := i % jobs
+			events, terminal, err := streamEvents(ctx, ts.URL, ids[job], 0)
+			outcomes[i] = outcome{job: job, events: events, terminal: terminal, err: err}
+		}(i)
+	}
+
+	// Let the streams breathe, cancel one running job mid-flight, then
+	// hard-stop the server under the rest.
+	time.Sleep(50 * time.Millisecond)
+	resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts.URL, ids[0], StateCancelled)
+
+	hardCtx, hardCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer hardCancel()
+	if _, err := srv.Shutdown(hardCtx); err == nil {
+		t.Fatal("hard stop under running fuzz jobs should report an incomplete drain")
+	}
+	wg.Wait()
+
+	wantReason := map[int]string{0: CancelClient}
+	for i, o := range outcomes {
+		if o.err != nil || !o.terminal {
+			t.Fatalf("subscriber %d (job %d): terminal=%v err=%v after %d events",
+				i, o.job, o.terminal, o.err, len(o.events))
+		}
+		checkDense(t, o.events, 1)
+		last := o.events[len(o.events)-1]
+		if last.Type != EventEnd || last.State != StateCancelled {
+			t.Fatalf("subscriber %d: last event %+v, want cancelled end", i, last)
+		}
+		want := wantReason[o.job]
+		if want == "" {
+			want = CancelShutdown
+		}
+		if last.CancelReason != want {
+			t.Fatalf("subscriber %d (job %d): cancel reason %q, want %q", i, o.job, last.CancelReason, want)
+		}
+	}
+	// Subscribers to one job all saw the same log.
+	for i, o := range outcomes {
+		ref := outcomes[o.job].events // subscriber i%jobs==job watched job `job`
+		if len(o.events) != len(ref) {
+			t.Fatalf("subscriber %d saw %d events, sibling saw %d", i, len(o.events), len(ref))
+		}
+	}
+
+	// No goroutine leaks: monitors, workers and SSE handlers all
+	// unwound. The HTTP test server is closed first so its conn
+	// goroutines don't count against the baseline.
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

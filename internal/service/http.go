@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"dft/internal/telemetry"
 )
 
 // maxRequestBody bounds a POST /v1/jobs body (inline .bench payloads
@@ -13,17 +16,23 @@ const maxRequestBody = 16 << 20
 
 // routes wires the server's HTTP surface:
 //
-//	POST   /v1/jobs       submit a job; 202 with the job view,
-//	                      429 + JSON body when the queue is full
-//	GET    /v1/jobs/{id}  job state; includes the dft.run-report/v1
-//	                      document once the job is done
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness + queue/worker occupancy
-//	GET    /metrics       Prometheus text exposition of the registry
+//	POST   /v1/jobs              submit a job; 202 with the job view,
+//	                             429 + JSON body when the queue is full
+//	GET    /v1/jobs/{id}         job state; includes the dft.run-report/v1
+//	                             document once the job is done
+//	GET    /v1/jobs/{id}/trace   the job's span tree (live for a running
+//	                             job, final for a terminal one)
+//	GET    /v1/jobs/{id}/events  Server-Sent Events stream: queue,
+//	                             running, phase, progress, heartbeat, end
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /healthz              liveness + queue/worker occupancy
+//	GET    /metrics              Prometheus text exposition of the registry
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -97,6 +106,96 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// traceBody is the GET /v1/jobs/{id}/trace response: the job's span
+// tree in the same shape as the run-report's trace section.
+type traceBody struct {
+	ID     string                `json:"id"`
+	State  State                 `json:"state"`
+	Schema string                `json:"schema"`
+	Trace  []*telemetry.SpanNode `json:"trace"`
+}
+
+// handleTrace serves the span tree. For a terminal job it is read out
+// of the stored run report (the canonical record); for a queued or
+// running job it is built live from the job registry's completed
+// spans, so a client can watch the tree grow while phases finish.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{Error: ErrUnknownJob.Error()})
+		return
+	}
+	state, report, reg := j.state, j.report, j.reg
+	s.mu.Unlock()
+
+	body := traceBody{ID: j.ID, State: state, Schema: telemetry.ReportSchema}
+	switch {
+	case report != nil:
+		rep, err := telemetry.ParseReport(report)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		body.Trace = rep.Trace
+	case reg != nil:
+		events, _ := reg.Trace().Events()
+		body.Trace = telemetry.BuildSpanTree(events)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleEvents streams the job's event log as Server-Sent Events. A
+// Last-Event-ID header resumes after that sequence number (replaying
+// anything missed); the stream ends after the terminal event, or when
+// the client goes away — whichever comes first. Subscribers only read
+// the log and park on its notification channel, so any number of them
+// can watch one job without touching the job's hot path.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: ErrUnknownJob.Error()})
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseInt(v, 10, 64)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		events, closed, changed := j.events.since(after)
+		for _, e := range events {
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			after = e.Seq
+		}
+		if len(events) > 0 {
+			fl.Flush()
+			continue // the log may have grown while we wrote
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	v, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
@@ -133,6 +232,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.updateQueueAge()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.Snapshot().WritePrometheus(w) //nolint:errcheck // mid-response
 }

@@ -23,6 +23,7 @@ import (
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/logic"
+	"dft/internal/telemetry"
 )
 
 // Kind names a job type.
@@ -201,23 +202,41 @@ func canonicalBench(c *logic.Circuit) string {
 	return out.String()
 }
 
+// Cancellation reasons recorded in cancel_reason: who or what killed
+// the job.
+const (
+	CancelClient   = "client"   // DELETE /v1/jobs/{id}
+	CancelDeadline = "deadline" // job or server deadline expired
+	CancelShutdown = "shutdown" // server drain or hard stop
+)
+
 // Job is one admitted request moving through the queue. All mutable
-// fields are guarded by the owning server's mu.
+// fields are guarded by the owning server's mu; reg and events are
+// set once at admission and safe to use without it.
 type Job struct {
 	ID  string
 	Key string
 
 	parsed *parsedRequest
 
-	state     State
-	err       string
-	report    []byte // finished dft.run-report/v1 document
-	cached    bool   // served from the result cache
-	coalesced int    // extra submissions attached to this job
+	state        State
+	err          string
+	report       []byte // finished dft.run-report/v1 document
+	cached       bool   // served from the result cache
+	coalesced    int    // extra submissions attached to this job
+	cancelReason string // CancelClient/CancelDeadline/CancelShutdown
 
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// reg is the job's private telemetry registry: the compute kernels
+	// write spans and progress into it, the monitor goroutine samples
+	// it, and the finished report embeds its snapshot. Nil for jobs
+	// synthesized from the result cache (they never run).
+	reg *telemetry.Registry
+	// events is the job's live event log backing GET .../events.
+	events *eventLog
 
 	cancel func()        // non-nil while cancellable
 	done   chan struct{} // closed on terminal state
@@ -226,16 +245,18 @@ type Job struct {
 // JobView is the JSON rendering of a job's state returned by the
 // HTTP API.
 type JobView struct {
-	ID        string          `json:"id"`
-	Kind      Kind            `json:"kind"`
-	State     State           `json:"state"`
-	Cached    bool            `json:"cached,omitempty"`
-	Coalesced int             `json:"coalesced,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	CreatedNs int64           `json:"created_unix_ns"`
-	WaitNs    int64           `json:"wait_ns,omitempty"`
-	RunNs     int64           `json:"run_ns,omitempty"`
-	Report    json.RawMessage `json:"report,omitempty"`
+	ID           string          `json:"id"`
+	Kind         Kind            `json:"kind"`
+	State        State           `json:"state"`
+	Cached       bool            `json:"cached,omitempty"`
+	Coalesced    int             `json:"coalesced,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	CreatedNs    int64           `json:"created_unix_ns"`
+	WaitNs       int64           `json:"wait_ns,omitempty"`
+	RunNs        int64           `json:"run_ns,omitempty"`
+	CancelledNs  int64           `json:"cancelled_unix_ns,omitempty"`
+	CancelReason string          `json:"cancel_reason,omitempty"`
+	Report       json.RawMessage `json:"report,omitempty"`
 }
 
 // view renders the job under the server lock.
@@ -255,6 +276,10 @@ func (j *Job) view() JobView {
 		if !j.finished.IsZero() {
 			v.RunNs = j.finished.Sub(j.started).Nanoseconds()
 		}
+	}
+	if j.state == StateCancelled {
+		v.CancelledNs = j.finished.UnixNano()
+		v.CancelReason = j.cancelReason
 	}
 	return v
 }

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// monitor is the per-running-job sampling goroutine: the bridge
+// between the job's private telemetry registry (which the compute
+// kernels update with lock-free atomics) and its event log (which SSE
+// subscribers consume). The hot loops never see the subscribers —
+// they tick Progress counters and open spans; the monitor polls at
+// ProgressInterval, publishing a phase event whenever the deepest
+// active span changes and a progress event whenever a tracker's done
+// count moves, plus heartbeats at HeartbeatInterval so an idle stream
+// still proves liveness. runJob stops it via stop and waits on done
+// before finishing the job, so the terminal event always follows the
+// last phase/progress event.
+func (s *Server) monitor(j *Job, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(s.cfg.ProgressInterval)
+	defer tick.Stop()
+	hb := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	lastPhase := ""
+	lastDone := map[string]int64{}
+
+	sample := func() {
+		if phase := deepestSpan(j); phase != "" && phase != lastPhase {
+			lastPhase = phase
+			j.events.publish(JobEvent{Type: EventPhase, Phase: phase})
+		}
+		progress := j.reg.ProgressStats()
+		names := make([]string, 0, len(progress))
+		for name := range progress {
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic event order within a sample
+		for _, name := range names {
+			p := progress[name]
+			if p.Done == lastDone[name] {
+				continue
+			}
+			lastDone[name] = p.Done
+			j.events.publish(JobEvent{Type: EventProgress, Name: name, Done: p.Done, Total: p.Total})
+		}
+	}
+
+	for {
+		select {
+		case <-stop:
+			// Final flush: short jobs whose phases opened and closed
+			// between ticks still get their last progress values.
+			sample()
+			return
+		case <-tick.C:
+			sample()
+		case <-hb.C:
+			j.events.publish(JobEvent{Type: EventHeartbeat, State: StateRunning})
+		}
+	}
+}
+
+// deepestSpan names the job's current phase: the most recently opened
+// in-flight span (IDs are monotonic, ActiveSpans sorts by them).
+func deepestSpan(j *Job) string {
+	active := j.reg.ActiveSpans()
+	if len(active) == 0 {
+		return ""
+	}
+	return active[len(active)-1].Name
+}

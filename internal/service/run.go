@@ -12,20 +12,33 @@ import (
 	"dft/internal/telemetry"
 )
 
-// execute runs one validated job under ctx and returns its run
-// report. Each job gets a private telemetry registry so the report's
-// metrics section describes exactly this job's work; the server's own
-// registry only carries the service.* instruments.
-func (s *Server) execute(ctx context.Context, p *parsedRequest) (*telemetry.Report, error) {
-	reg := telemetry.NewRegistry()
+// execute runs one job under ctx and returns its run report. The
+// job's private telemetry registry (created at admission, sampled
+// live by the monitor) receives all the work's instruments, so the
+// report's metrics section describes exactly this job's work; the
+// server's own registry only carries the service.* instruments. The
+// root "job" span parents every phase span the kernels open through
+// the context, and the report is finished only after it ends, so the
+// trace section always contains the complete tree.
+func (s *Server) execute(ctx context.Context, j *Job) (*telemetry.Report, error) {
+	p, reg := j.parsed, j.reg
+	ctx, span := telemetry.StartSpanCtx(ctx, reg, "job")
+	span.SetAttr("kind", string(p.req.Kind))
+	var rep *telemetry.Report
+	var err error
 	switch p.req.Kind {
 	case KindFaultSim:
-		return runFaultSim(ctx, p, reg)
+		rep, err = runFaultSim(ctx, p, reg)
 	case KindATPG:
-		return runATPG(ctx, p, reg)
+		rep, err = runATPG(ctx, p, reg)
 	default:
-		return runFuzz(ctx, p, reg)
+		rep, err = runFuzz(ctx, p, reg)
 	}
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Finish(reg), nil
 }
 
 // encodeReport renders a report as the bytes served to clients and
@@ -120,7 +133,7 @@ func runFaultSim(ctx context.Context, p *parsedRequest, reg *telemetry.Registry)
 		"targets":       len(res.Faults),
 		"detected":      res.NumCaught,
 	}
-	return rep.Finish(reg), nil
+	return rep, nil
 }
 
 // runATPG mirrors `dftc atpg`: deterministic generation (optionally
@@ -162,7 +175,7 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 		"gates":        d.Circuit.NumGates(),
 		"dffs":         d.Circuit.NumDFFs(),
 	}
-	return rep.Finish(reg), nil
+	return rep, nil
 }
 
 // runFuzz mirrors `dftc fuzz`: sweep seeds 1..Rounds through the
@@ -177,14 +190,22 @@ func runFuzz(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 	if patterns == 0 {
 		patterns = 64
 	}
+	// Rounds progress: one tick per completed round, from a span that
+	// marks the sweep as the job's active phase.
+	rctx, span := telemetry.StartSpanCtx(ctx, reg, "fuzz.rounds")
+	defer span.End()
+	prog := reg.Progress("fuzz.rounds.progress")
+	prog.SetTotal(int64(rounds))
 	var div *fuzzdiff.Divergence
 	ran := 0
 	for seed := int64(1); seed <= int64(rounds); seed++ {
-		if err := ctx.Err(); err != nil {
+		if err := rctx.Err(); err != nil {
 			return nil, err
 		}
 		ran++
-		if d := fuzzdiff.Round(fuzzdiff.ShapeConfig(seed), seed, fuzzdiff.RoundOptions{Patterns: patterns}); d != nil {
+		d := fuzzdiff.Round(fuzzdiff.ShapeConfig(seed), seed, fuzzdiff.RoundOptions{Patterns: patterns})
+		prog.Inc()
+		if d != nil {
 			div = d
 			break
 		}
@@ -202,5 +223,5 @@ func runFuzz(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 	}
 	rep.Results["rounds"] = ran
 	rep.Results["divergences"] = nDiv
-	return rep.Finish(reg), nil
+	return rep, nil
 }

@@ -39,6 +39,12 @@ type Config struct {
 	// Metrics receives the service.* telemetry and backs /metrics;
 	// nil selects telemetry.Default().
 	Metrics *telemetry.Registry
+	// ProgressInterval throttles the per-job monitor's sampling of
+	// phase/progress events onto the SSE stream; 0 selects 100ms.
+	ProgressInterval time.Duration
+	// HeartbeatInterval paces heartbeat events on otherwise-quiet
+	// streams; 0 selects 5s.
+	HeartbeatInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +59,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 5 * time.Second
 	}
 	return c
 }
@@ -115,9 +127,8 @@ type Server struct {
 	cCacheMiss *telemetry.Counter
 	cCacheEvict *telemetry.Counter
 	gQueueDepth *telemetry.Gauge
+	gQueueAge   *telemetry.Gauge
 	gWorkers    *telemetry.Gauge
-	tWait       *telemetry.Timer
-	tRun        *telemetry.Timer
 }
 
 // New builds a server and starts its worker pool.
@@ -146,10 +157,9 @@ func New(cfg Config) *Server {
 		cCacheMiss:  reg.Counter("service.cache.misses"),
 		cCacheEvict: reg.Counter("service.cache.evictions"),
 		gQueueDepth: reg.Gauge("service.queue.depth"),
+		gQueueAge:   reg.Gauge("service.queue.age_ms"),
 		gWorkers:    reg.Gauge("service.workers"),
 	}
-	s.tWait = reg.Timer("service.job.wait")
-	s.tRun = reg.Timer("service.job.run")
 	s.gWorkers.Set(int64(cfg.Workers))
 	s.routes()
 	s.wg.Add(cfg.Workers)
@@ -198,8 +208,13 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 			created:  now,
 			started:  now,
 			finished: now,
+			events:   newEventLog(),
 			done:     make(chan struct{}),
 		}
+		// A cached job is born terminal; its stream replays instantly.
+		j.events.publish(JobEvent{Type: EventQueued, State: StateQueued})
+		j.events.publish(JobEvent{Type: EventEnd, State: StateDone})
+		j.events.close()
 		close(j.done)
 		s.remember(j)
 		s.cAccepted.Inc()
@@ -214,8 +229,14 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		parsed:  p,
 		state:   StateQueued,
 		created: time.Now(),
+		reg:     telemetry.NewRegistry(),
+		events:  newEventLog(),
 		done:    make(chan struct{}),
 	}
+	// Position is read before the enqueue: once the job is in the
+	// channel a worker may dequeue it instantly, so counting afterwards
+	// could report an empty queue for a job that did wait in line.
+	position := len(s.queue) + 1
 	select {
 	case s.queue <- j:
 	default:
@@ -226,6 +247,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.inflight[p.key] = j
 	s.cAccepted.Inc()
 	s.gQueueDepth.Set(int64(len(s.queue)))
+	j.events.publish(JobEvent{Type: EventQueued, State: StateQueued, Position: position})
 	return j, nil
 }
 
@@ -308,8 +330,12 @@ func (s *Server) Cancel(id string) (JobView, error) {
 	}
 	switch j.state {
 	case StateQueued:
+		j.cancelReason = CancelClient
 		s.finishLocked(j, StateCancelled, context.Canceled.Error(), nil)
 	case StateRunning:
+		// Record who asked before the context unwinds, so runJob's
+		// terminal switch can tell a DELETE from a deadline.
+		j.cancelReason = CancelClient
 		if j.cancel != nil {
 			j.cancel()
 		}
@@ -343,6 +369,15 @@ func (s *Server) finishLocked(j *Job, st State, errMsg string, report []byte) {
 	default:
 		s.cFailed.Inc()
 	}
+	if j.events != nil {
+		j.events.publish(JobEvent{
+			Type:         EventEnd,
+			State:        st,
+			Error:        errMsg,
+			CancelReason: j.cancelReason,
+		})
+		j.events.close()
+	}
 	close(j.done)
 }
 
@@ -368,7 +403,9 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one dequeued job under its deadline.
+// runJob executes one dequeued job under its deadline, with the
+// monitor goroutine streaming its phase/progress onto the event log
+// for as long as it runs.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	s.gQueueDepth.Set(int64(len(s.queue)))
@@ -376,28 +413,51 @@ func (s *Server) runJob(j *Job) {
 		s.mu.Unlock()
 		return
 	}
+	kind := string(j.parsed.req.Kind)
 	j.state = StateRunning
 	j.started = time.Now()
-	s.tWait.Observe(j.started.Sub(j.created))
+	s.reg.Histogram(telemetry.Label("service.job.queue_wait_ms", "kind", kind)).
+		Observe(j.started.Sub(j.created).Milliseconds())
 	ctx, cancel := s.jobContext(j)
 	j.cancel = cancel
 	s.mu.Unlock()
 	defer cancel()
+	j.events.publish(JobEvent{Type: EventRunning, State: StateRunning})
 
-	rep, err := s.execute(ctx, j.parsed)
+	stop := make(chan struct{})
+	monDone := make(chan struct{})
+	go s.monitor(j, stop, monDone)
+
+	rep, err := s.execute(ctx, j)
 	var report []byte
 	if err == nil {
 		report, err = encodeReport(rep)
 	}
 
+	// Stop the monitor (it flushes one last sample) before publishing
+	// the terminal event, so subscribers never see progress after end.
+	close(stop)
+	<-monDone
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.cancel = nil
-	s.tRun.Observe(time.Since(j.started))
+	s.reg.Histogram(telemetry.Label("service.job.duration_ms", "kind", kind)).
+		Observe(time.Since(j.started).Milliseconds())
 	switch {
 	case err == nil:
 		s.finishLocked(j, StateDone, "", report)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if j.cancelReason == "" {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				j.cancelReason = CancelDeadline
+			case s.draining:
+				j.cancelReason = CancelShutdown
+			default:
+				j.cancelReason = CancelClient
+			}
+		}
 		s.finishLocked(j, StateCancelled, err.Error(), nil)
 	default:
 		s.finishLocked(j, StateFailed, err.Error(), nil)
@@ -422,6 +482,26 @@ func (s *Server) jobContext(j *Job) (context.Context, context.CancelFunc) {
 
 // QueueDepth reports the current admission-queue occupancy.
 func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// updateQueueAge refreshes the service.queue.age_ms gauge: the age of
+// the oldest still-queued job, 0 for an empty queue. Computed at
+// scrape time (handleMetrics) instead of continuously — an age gauge
+// only means anything at the moment it is read.
+func (s *Server) updateQueueAge() {
+	s.mu.Lock()
+	var oldest time.Time
+	for _, j := range s.jobs {
+		if j.state == StateQueued && (oldest.IsZero() || j.created.Before(oldest)) {
+			oldest = j.created
+		}
+	}
+	s.mu.Unlock()
+	if oldest.IsZero() {
+		s.gQueueAge.Set(0)
+		return
+	}
+	s.gQueueAge.Set(time.Since(oldest).Milliseconds())
+}
 
 // Shutdown gracefully stops the server: admission closes (new
 // submissions get ErrDraining), queued and running jobs drain, and
@@ -460,6 +540,7 @@ func (s *Server) Shutdown(ctx context.Context) (*telemetry.Report, error) {
 	// because ctx expired first) are marked cancelled for the record.
 	for _, j := range s.jobs {
 		if !j.state.terminal() && j.state == StateQueued {
+			j.cancelReason = CancelShutdown
 			s.finishLocked(j, StateCancelled, ErrDraining.Error(), nil)
 		}
 	}

@@ -31,7 +31,6 @@ var (
 	cKernelBoolEvals = telemetry.Default().Counter("sim.kernel.bool_evals")
 	cKernelWordEvals = telemetry.Default().Counter("sim.kernel.word_evals")
 	cKernelBlockEvals = telemetry.Default().Counter("sim.kernel.block_evals")
-	tCompile          = telemetry.Default().Timer("sim.compile")
 	tKernelExec       = telemetry.Default().Timer("sim.kernel.exec")
 )
 
@@ -101,7 +100,10 @@ const (
 // degenerate source-only circuits, so the check uses the same entry
 // condition as the interpreter: Level/Order populated by Finalize).
 func Compile(c *logic.Circuit) *Program {
-	defer tCompile.Time()()
+	// Span rather than bare timer: End observes the same sim.compile
+	// timer and additionally records a trace event with the lowering
+	// stats, so compiles show up in job span trees.
+	span := telemetry.Default().StartSpan("sim.compile")
 	p := &Program{
 		c:    c,
 		code: make([]instr, 0, len(c.Order)),
@@ -144,6 +146,9 @@ func Compile(c *logic.Circuit) *Program {
 	}
 	cCompilePrograms.Inc()
 	cCompileFolded.Add(int64(p.folded))
+	span.SetAttr("gates", fmt.Sprint(len(c.Order)))
+	span.SetAttr("folded", fmt.Sprint(p.folded))
+	span.End()
 	return p
 }
 

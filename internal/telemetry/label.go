@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label builds a canonical labeled instrument name,
+// `base{k1="v1",k2="v2"}`, from alternating key/value pairs. Labeled
+// names are ordinary registry keys — `r.Timer(Label("service.job.run",
+// "kind", "faultsim"))` creates a series per kind — and WritePrometheus
+// recognises the syntax, emitting the labels natively and grouping the
+// series under one TYPE header. Keys are sorted so the same label set
+// always produces the same registry key regardless of call-site order.
+// Values containing '"', '\\' or newlines are escaped per the
+// Prometheus text format.
+func Label(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\"\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabels separates a canonical labeled name into its base and the
+// raw label body (without braces). ok is false for unlabeled names.
+func splitLabels(name string) (base, labels string, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, "", false
+	}
+	return name[:i], name[i+1 : len(name)-1], true
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import "sync/atomic"
+
+// Progress is a lock-free done/total pair for reporting how far a
+// long-running phase has advanced. Hot loops call Add with batched
+// deltas (one atomic add per chunk, mirroring the package's counter
+// discipline); a monitor goroutine polls Value at its own cadence, so
+// the producer never blocks, allocates, or syncs with the consumer.
+//
+// Total may be set once up front (SetTotal) or grow as work is
+// discovered; a zero total means "size unknown" and consumers should
+// render the done count alone.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// SetTotal stores the expected amount of work.
+func (p *Progress) SetTotal(n int64) { p.total.Store(n) }
+
+// AddTotal grows the expected amount of work by n.
+func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
+
+// Add records n more units completed.
+func (p *Progress) Add(n int64) { p.done.Add(n) }
+
+// Inc records one more unit completed.
+func (p *Progress) Inc() { p.done.Add(1) }
+
+// Value returns the current (done, total) pair. The two loads are not
+// a single atomic snapshot, which is fine for monitoring: both values
+// only grow, so the worst case is a momentarily conservative ratio.
+func (p *Progress) Value() (done, total int64) {
+	return p.done.Load(), p.total.Load()
+}
+
+func (p *Progress) reset() {
+	p.done.Store(0)
+	p.total.Store(0)
+}
+
+// ProgressStat is the JSON-stable view of a Progress tracker.
+type ProgressStat struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total,omitempty"`
+}

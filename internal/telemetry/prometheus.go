@@ -15,68 +15,121 @@ import (
 // Instrument names map onto the Prometheus namespace as
 // `dft_<name-with-dots-replaced>`: counters gain the conventional
 // `_total` suffix, timers are exposed as summaries in seconds
-// (`_seconds_count` / `_seconds_sum`), and histograms become
-// cumulative `_bucket{le="..."}` series ending at `+Inf`. Trace
-// events have no Prometheus equivalent and are omitted. Output is
-// sorted by metric name, so it is diff-stable like the JSON form.
+// (`_seconds_count` / `_seconds_sum`), histograms become cumulative
+// `_bucket{le="..."}` series ending at `+Inf`, and progress trackers
+// are exposed as a `_done` / `_planned` gauge pair. Registry keys
+// built with Label ("base{k=\"v\"}") render as native labeled series:
+// all series of one base share a single TYPE header and their labels
+// are emitted verbatim (merged with `le` for histogram buckets).
+// Trace events have no Prometheus equivalent and are omitted. Output
+// is sorted by metric name then label set, so it is diff-stable like
+// the JSON form.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
-	for _, k := range sortedNames(s.Counters) {
-		name := promName(k) + "_total"
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
-	}
-	for _, k := range sortedNames(s.Gauges) {
-		name := promName(k)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[k])
-	}
-	{
-		keys := make([]string, 0, len(s.Timers))
-		for k := range s.Timers {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			t := s.Timers[k]
-			name := promName(k) + "_seconds"
-			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
-			fmt.Fprintf(&b, "%s_count %d\n", name, t.Count)
-			fmt.Fprintf(&b, "%s_sum %s\n", name, promSeconds(t.TotalNs))
+	for _, g := range groupSeries(s.Counters) {
+		name := promName(g.base) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		for _, ser := range g.series {
+			fmt.Fprintf(&b, "%s %d\n", sample(name, ser.labels), s.Counters[ser.key])
 		}
 	}
-	{
-		keys := make([]string, 0, len(s.Histograms))
-		for k := range s.Histograms {
-			keys = append(keys, k)
+	for _, g := range groupSeries(s.Gauges) {
+		name := promName(g.base)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		for _, ser := range g.series {
+			fmt.Fprintf(&b, "%s %d\n", sample(name, ser.labels), s.Gauges[ser.key])
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			h := s.Histograms[k]
-			name := promName(k)
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+	}
+	for _, g := range groupSeries(s.Timers) {
+		name := promName(g.base) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		for _, ser := range g.series {
+			t := s.Timers[ser.key]
+			fmt.Fprintf(&b, "%s %d\n", sample(name+"_count", ser.labels), t.Count)
+			fmt.Fprintf(&b, "%s %s\n", sample(name+"_sum", ser.labels), promSeconds(t.TotalNs))
+		}
+	}
+	for _, g := range groupSeries(s.Histograms) {
+		name := promName(g.base)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for _, ser := range g.series {
+			h := s.Histograms[ser.key]
 			cum := int64(0)
 			for _, bk := range h.Buckets {
 				cum += bk.Count
 				if bk.Le >= 0 {
-					fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Le, cum)
+					fmt.Fprintf(&b, "%s %d\n", sample(name+"_bucket", mergeLabels(ser.labels, fmt.Sprintf(`le="%d"`, bk.Le))), cum)
 				}
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-			fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
-			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+			fmt.Fprintf(&b, "%s %d\n", sample(name+"_bucket", mergeLabels(ser.labels, `le="+Inf"`)), h.Count)
+			fmt.Fprintf(&b, "%s %d\n", sample(name+"_sum", ser.labels), h.Sum)
+			fmt.Fprintf(&b, "%s %d\n", sample(name+"_count", ser.labels), h.Count)
+		}
+	}
+	for _, g := range groupSeries(s.Progress) {
+		done := promName(g.base) + "_done"
+		planned := promName(g.base) + "_planned"
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", done)
+		for _, ser := range g.series {
+			fmt.Fprintf(&b, "%s %d\n", sample(done, ser.labels), s.Progress[ser.key].Done)
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", planned)
+		for _, ser := range g.series {
+			fmt.Fprintf(&b, "%s %d\n", sample(planned, ser.labels), s.Progress[ser.key].Total)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// sortedNames returns the map's keys in lexical order.
-func sortedNames(m map[string]int64) []string {
-	keys := make([]string, 0, len(m))
+// series is one (registry key, label body) pair under a base name.
+type series struct {
+	key    string
+	labels string
+}
+
+type seriesGroup struct {
+	base   string
+	series []series
+}
+
+// groupSeries splits registry keys into per-base groups of labeled
+// series, sorted by base then label body, so each base gets exactly
+// one TYPE header with its series adjacent beneath it.
+func groupSeries[V any](m map[string]V) []seriesGroup {
+	byBase := make(map[string][]series, len(m))
 	for k := range m {
-		keys = append(keys, k)
+		base, labels, _ := splitLabels(k)
+		byBase[base] = append(byBase[base], series{key: k, labels: labels})
 	}
-	sort.Strings(keys)
-	return keys
+	bases := make([]string, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	out := make([]seriesGroup, 0, len(bases))
+	for _, base := range bases {
+		ss := byBase[base]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		out = append(out, seriesGroup{base: base, series: ss})
+	}
+	return out
+}
+
+// sample renders one sample's name with its label body, if any.
+func sample(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// mergeLabels joins two label bodies with a comma.
+func mergeLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
 }
 
 // promName maps a dotted instrument name onto the Prometheus

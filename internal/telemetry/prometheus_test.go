@@ -28,6 +28,16 @@ func TestWritePrometheusGolden(t *testing.T) {
 	h.Observe(3)
 	h.Observe(3)
 	h.Observe(900)
+	// Labeled series: per-kind job latency histograms share one TYPE
+	// header, and a labeled counter coexists with unlabeled ones.
+	r.Histogram(Label("service.job.duration_ms", "kind", "faultsim")).Observe(900)
+	r.Histogram(Label("service.job.duration_ms", "kind", "atpg")).Observe(40)
+	r.Counter(Label("service.jobs.finished", "state", "done")).Add(41)
+	r.Counter(Label("service.jobs.finished", "state", "cancelled")).Inc()
+	// Progress exports as a _done/_planned gauge pair.
+	p := r.Progress("fault.sim.progress")
+	p.SetTotal(2640)
+	p.Add(1200)
 
 	var buf bytes.Buffer
 	if err := r.Snapshot().WritePrometheus(&buf); err != nil {

@@ -30,6 +30,12 @@ type Report struct {
 	Results map[string]any `json:"results,omitempty"`
 
 	Metrics Snapshot `json:"metrics"`
+
+	// Trace is the hierarchical view of Metrics.Events: the completed
+	// spans nested by parent ID. Filled by Finish; redundant with
+	// Metrics.Events but shaped for consumers (the daemon's /trace
+	// endpoint, trajectory tooling) that want the tree directly.
+	Trace []*SpanNode `json:"trace,omitempty"`
 }
 
 // NewReport starts a report for the given tool/command/input with the
@@ -50,6 +56,7 @@ func NewReport(tool, command, input string) *Report {
 // run can end with `return rep.Finish(reg).WriteJSON(os.Stdout)`.
 func (rep *Report) Finish(r *Registry) *Report {
 	rep.Metrics = r.Snapshot()
+	rep.Trace = BuildSpanTree(rep.Metrics.Events)
 	return rep
 }
 

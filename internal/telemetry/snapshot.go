@@ -36,12 +36,13 @@ type HistStat struct {
 // Maps are rendered with sorted keys by encoding/json, so serialized
 // snapshots are diff-stable.
 type Snapshot struct {
-	Counters      map[string]int64     `json:"counters,omitempty"`
-	Gauges        map[string]int64     `json:"gauges,omitempty"`
-	Timers        map[string]TimerStat `json:"timers,omitempty"`
-	Histograms    map[string]HistStat  `json:"histograms,omitempty"`
-	Events        []Event              `json:"events,omitempty"`
-	EventsDropped int64                `json:"events_dropped,omitempty"`
+	Counters      map[string]int64        `json:"counters,omitempty"`
+	Gauges        map[string]int64        `json:"gauges,omitempty"`
+	Timers        map[string]TimerStat    `json:"timers,omitempty"`
+	Histograms    map[string]HistStat     `json:"histograms,omitempty"`
+	Progress      map[string]ProgressStat `json:"progress,omitempty"`
+	Events        []Event                 `json:"events,omitempty"`
+	EventsDropped int64                   `json:"events_dropped,omitempty"`
 }
 
 // Snapshot copies the registry's current state.
@@ -67,6 +68,13 @@ func (r *Registry) Snapshot() Snapshot {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, h := range r.hists {
 		hists[k] = h
+	}
+	if len(r.progress) > 0 {
+		s.Progress = make(map[string]ProgressStat, len(r.progress))
+		for k, p := range r.progress {
+			done, total := p.Value()
+			s.Progress[k] = ProgressStat{Done: done, Total: total}
+		}
 	}
 	r.mu.RUnlock()
 	// Timer/histogram stats take their own locks; collect them outside
@@ -158,6 +166,21 @@ func (s Snapshot) Summary() string {
 				}
 			}
 			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if len(s.Progress) > 0 {
+		fmt.Fprintf(&b, "progress:\n")
+		for _, k := range sortedKeys(len(s.Progress), func(add func(string)) {
+			for k := range s.Progress {
+				add(k)
+			}
+		}) {
+			p := s.Progress[k]
+			if p.Total > 0 {
+				fmt.Fprintf(&b, "  %-36s %12d/%d\n", k, p.Done, p.Total)
+			} else {
+				fmt.Fprintf(&b, "  %-36s %12d\n", k, p.Done)
+			}
 		}
 	}
 	if len(s.Events) > 0 {

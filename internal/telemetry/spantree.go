@@ -1,0 +1,68 @@
+package telemetry
+
+import "sort"
+
+// SpanNode is one node of a reconstructed span tree: a completed span
+// with its children nested beneath it. The run-report's `trace`
+// section is a forest of these.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	Detail   string            `json:"detail,omitempty"`
+	SpanID   int64             `json:"span_id,omitempty"`
+	StartNs  int64             `json:"start_ns"`
+	DurNs    int64             `json:"dur_ns,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// BuildSpanTree reconstructs the span forest from a flat event list
+// (as captured in a Snapshot). Events without a span ID — plain
+// Trace.Event marks — attach to their enclosing span only if the
+// producer recorded a parent ID; otherwise they appear as roots.
+// Spans whose parent fell out of the ring (or is still open) are
+// promoted to roots, so the result is always complete. Roots and
+// children are ordered by start time, ties broken by span ID.
+func BuildSpanTree(events []Event) []*SpanNode {
+	nodes := make(map[int64]*SpanNode, len(events))
+	order := make([]*SpanNode, 0, len(events))
+	parentOf := make(map[*SpanNode]int64, len(events))
+	for _, e := range events {
+		n := &SpanNode{
+			Name:    e.Name,
+			Detail:  e.Detail,
+			SpanID:  e.SpanID,
+			StartNs: e.StartNs,
+			DurNs:   e.DurNs,
+			Attrs:   e.Attrs,
+		}
+		if e.SpanID != 0 {
+			nodes[e.SpanID] = n
+		}
+		parentOf[n] = e.Parent
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if p := parentOf[n]; p != 0 {
+			if parent, ok := nodes[p]; ok && parent != n {
+				parent.Children = append(parent.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].StartNs != ns[j].StartNs {
+			return ns[i].StartNs < ns[j].StartNs
+		}
+		return ns[i].SpanID < ns[j].SpanID
+	})
+}

@@ -181,7 +181,15 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	progress map[string]*Progress
 	trace    *Trace
+
+	// Span bookkeeping: IDs are allocated from spanSeq; in-flight
+	// spans live in active until End, so a live monitor can read the
+	// current phase (ActiveSpans) while the work runs.
+	spanSeq  atomic.Int64
+	activeMu sync.Mutex
+	active   map[int64]*Span
 }
 
 // NewRegistry creates an empty registry with the default trace
@@ -192,6 +200,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
 		hists:    make(map[string]*Histogram),
+		progress: make(map[string]*Progress),
 		trace:    NewTrace(DefaultTraceCap),
 	}
 }
@@ -283,6 +292,39 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Progress returns (creating on first use) the named progress
+// tracker.
+func (r *Registry) Progress(name string) *Progress {
+	r.mu.RLock()
+	p, ok := r.progress[name]
+	r.mu.RUnlock()
+	if ok {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok = r.progress[name]; ok {
+		return p
+	}
+	p = &Progress{}
+	r.progress[name] = p
+	return p
+}
+
+// ProgressStats returns a point-in-time copy of every progress
+// tracker — the cheap polling surface for live monitors (no timer or
+// histogram locks, no trace copy, just atomic loads per tracker).
+func (r *Registry) ProgressStats() map[string]ProgressStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]ProgressStat, len(r.progress))
+	for k, p := range r.progress {
+		done, total := p.Value()
+		out[k] = ProgressStat{Done: done, Total: total}
+	}
+	return out
+}
+
 // Trace returns the registry's event trace.
 func (r *Registry) Trace() *Trace { return r.trace }
 
@@ -303,6 +345,9 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+	for _, p := range r.progress {
+		p.reset()
 	}
 	r.mu.RUnlock()
 	r.trace.Reset()

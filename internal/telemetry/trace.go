@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -10,12 +11,17 @@ import (
 const DefaultTraceCap = 256
 
 // Event is one trace record: an instantaneous event (DurNs == 0 and
-// no span) or a completed span with a duration.
+// no span ID) or a completed span with a duration. Spans carry their
+// span/parent IDs so a consumer can rebuild the tree (BuildSpanTree);
+// IDs are unique per registry, not globally.
 type Event struct {
-	Name    string `json:"name"`
-	Detail  string `json:"detail,omitempty"`
-	StartNs int64  `json:"start_ns"` // unix nanoseconds
-	DurNs   int64  `json:"dur_ns,omitempty"`
+	Name    string            `json:"name"`
+	Detail  string            `json:"detail,omitempty"`
+	SpanID  int64             `json:"span_id,omitempty"`
+	Parent  int64             `json:"parent_id,omitempty"`
+	StartNs int64             `json:"start_ns"` // unix nanoseconds
+	DurNs   int64             `json:"dur_ns,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
 }
 
 // Trace is a fixed-capacity ring buffer of events. Writers never
@@ -80,38 +86,176 @@ func (t *Trace) Reset() {
 	t.mu.Unlock()
 }
 
-// Span is an in-flight traced region started by Registry.StartSpan.
+// Span is an in-flight traced region started by Registry.StartSpan or
+// StartSpanCtx. While open it is visible through
+// Registry.ActiveSpans, so a live monitor (the dftd event streamer)
+// can report the current phase before the span completes.
 type Span struct {
 	reg    *Registry
 	name   string
-	detail string
+	id     int64
+	parent int64
 	start  time.Time
+
+	mu     sync.Mutex
+	detail string
+	attrs  map[string]string
 	ended  bool
 }
 
-// StartSpan opens a span; End records it into the trace ring and into
-// a same-named timer, so spans show up both as individual events and
-// as aggregated durations.
+// StartSpan opens a root span (no parent); End records it into the
+// trace ring and into a same-named timer, so spans show up both as
+// individual events and as aggregated durations. Use StartSpanCtx to
+// open a child of the span already carried by a context.
 func (r *Registry) StartSpan(name string) *Span {
-	return &Span{reg: r, name: name, start: time.Now()}
+	return r.startSpan(name, 0)
+}
+
+func (r *Registry) startSpan(name string, parent int64) *Span {
+	s := &Span{
+		reg:    r,
+		name:   name,
+		id:     r.spanSeq.Add(1),
+		parent: parent,
+		start:  time.Now(),
+	}
+	r.activeMu.Lock()
+	if r.active == nil {
+		r.active = make(map[int64]*Span)
+	}
+	r.active[s.id] = s
+	r.activeMu.Unlock()
+	return s
 }
 
 // SetDetail attaches a free-form annotation reported with the event.
-func (s *Span) SetDetail(detail string) { s.detail = detail }
+func (s *Span) SetDetail(detail string) {
+	s.mu.Lock()
+	s.detail = detail
+	s.mu.Unlock()
+}
+
+// SetAttr attaches one key/value attribute reported with the event and
+// in the span tree. Safe for concurrent use; last write per key wins.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// ID returns the span's registry-unique identifier.
+func (s *Span) ID() int64 { return s.id }
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
 
 // End closes the span. Multiple End calls record once.
 func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
+	s.mu.Lock()
 	if s.ended {
+		s.mu.Unlock()
 		return d
 	}
 	s.ended = true
+	detail := s.detail
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+	}
+	s.mu.Unlock()
+
+	s.reg.activeMu.Lock()
+	delete(s.reg.active, s.id)
+	s.reg.activeMu.Unlock()
+
 	s.reg.Timer(s.name).Observe(d)
 	s.reg.trace.record(Event{
 		Name:    s.name,
-		Detail:  s.detail,
+		Detail:  detail,
+		SpanID:  s.id,
+		Parent:  s.parent,
 		StartNs: s.start.UnixNano(),
 		DurNs:   d.Nanoseconds(),
+		Attrs:   attrs,
 	})
 	return d
+}
+
+// SpanInfo is a point-in-time view of an in-flight span.
+type SpanInfo struct {
+	Name    string `json:"name"`
+	ID      int64  `json:"id"`
+	Parent  int64  `json:"parent_id,omitempty"`
+	StartNs int64  `json:"start_ns"`
+}
+
+// ActiveSpans returns the registry's in-flight spans ordered by start
+// (span IDs are allocated monotonically, so the last entry is the
+// deepest/most recent phase). The result is a copy; spans may end
+// concurrently with its use.
+func (r *Registry) ActiveSpans() []SpanInfo {
+	r.activeMu.Lock()
+	out := make([]SpanInfo, 0, len(r.active))
+	for _, s := range r.active {
+		out = append(out, SpanInfo{Name: s.name, ID: s.id, Parent: s.parent, StartNs: s.start.UnixNano()})
+	}
+	r.activeMu.Unlock()
+	sortSpanInfos(out)
+	return out
+}
+
+func sortSpanInfos(s []SpanInfo) {
+	// Insertion sort by ID: the slice is tiny (phase nesting depth).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].ID > s[j].ID; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// spanCtxKey carries the innermost open span through a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span as a child of the span carried by ctx (if
+// any, and if it belongs to the same registry) and returns a derived
+// context carrying the new span. A nil registry resolves to the parent
+// span's registry, falling back to Default — so instrumented library
+// code can thread spans without knowing which registry the caller
+// chose:
+//
+//	ctx, sp := telemetry.StartSpanCtx(ctx, cfg.Metrics, "atpg.generate")
+//	defer sp.End()
+func StartSpanCtx(ctx context.Context, r *Registry, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if r == nil {
+		if parent != nil {
+			r = parent.reg
+		} else {
+			r = Default()
+		}
+	}
+	pid := int64(0)
+	if parent != nil && parent.reg == r {
+		pid = parent.id
+	}
+	s := r.startSpan(name, pid)
+	return ContextWithSpan(ctx, s), s
 }

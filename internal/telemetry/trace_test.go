@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanHierarchy checks that StartSpanCtx threads parent IDs
+// through the context and that BuildSpanTree reconstructs the nesting.
+func TestSpanHierarchy(t *testing.T) {
+	r := NewRegistry()
+	ctx := context.Background()
+
+	ctx, root := StartSpanCtx(ctx, r, "job")
+	cctx, load := StartSpanCtx(ctx, r, "job.load")
+	load.End()
+	_ = cctx
+	sctx, sim := StartSpanCtx(ctx, r, "job.sim")
+	sim.SetAttr("faults", "2640")
+	_, chunk := StartSpanCtx(sctx, r, "job.sim.chunk")
+	chunk.End()
+	sim.End()
+	root.End()
+
+	events, _ := r.Trace().Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byName := map[string]Event{}
+	for _, e := range events {
+		byName[e.Name] = e
+	}
+	if byName["job"].Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", byName["job"].Parent)
+	}
+	for _, child := range []string{"job.load", "job.sim"} {
+		if byName[child].Parent != byName["job"].SpanID {
+			t.Fatalf("%s parent = %d, want %d", child, byName[child].Parent, byName["job"].SpanID)
+		}
+	}
+	if byName["job.sim.chunk"].Parent != byName["job.sim"].SpanID {
+		t.Fatalf("chunk parent = %d, want %d", byName["job.sim.chunk"].Parent, byName["job.sim"].SpanID)
+	}
+	if byName["job.sim"].Attrs["faults"] != "2640" {
+		t.Fatalf("attrs = %+v", byName["job.sim"].Attrs)
+	}
+
+	roots := BuildSpanTree(events)
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("roots = %+v, want single job root", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("job children = %d, want 2", len(roots[0].Children))
+	}
+	if roots[0].Children[0].Name != "job.load" || roots[0].Children[1].Name != "job.sim" {
+		t.Fatalf("children order = %s, %s", roots[0].Children[0].Name, roots[0].Children[1].Name)
+	}
+	simNode := roots[0].Children[1]
+	if len(simNode.Children) != 1 || simNode.Children[0].Name != "job.sim.chunk" {
+		t.Fatalf("sim children = %+v", simNode.Children)
+	}
+}
+
+// TestSpanTreeOrphans: spans whose parent is missing from the event
+// list (ring overflow, still-open parent) must surface as roots.
+func TestSpanTreeOrphans(t *testing.T) {
+	roots := BuildSpanTree([]Event{
+		{Name: "orphan", SpanID: 5, Parent: 99, StartNs: 10},
+		{Name: "mark", StartNs: 5}, // plain event, no span ID
+	})
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	if roots[0].Name != "mark" || roots[1].Name != "orphan" {
+		t.Fatalf("root order = %s, %s", roots[0].Name, roots[1].Name)
+	}
+}
+
+// TestStartSpanCtxForeignParent: a context span from another registry
+// must not become the parent (IDs are only unique per registry).
+func TestStartSpanCtxForeignParent(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	ctx, s1 := StartSpanCtx(context.Background(), r1, "outer")
+	_, s2 := StartSpanCtx(ctx, r2, "inner")
+	s2.End()
+	s1.End()
+	events, _ := r2.Trace().Events()
+	if len(events) != 1 || events[0].Parent != 0 {
+		t.Fatalf("cross-registry span got parent %d, want 0", events[0].Parent)
+	}
+}
+
+// TestStartSpanCtxNilRegistry: nil resolves to the parent span's
+// registry so library code can pass its (possibly nil) Metrics field.
+func TestStartSpanCtxNilRegistry(t *testing.T) {
+	r := NewRegistry()
+	ctx, outer := StartSpanCtx(context.Background(), r, "outer")
+	_, inner := StartSpanCtx(ctx, nil, "inner")
+	inner.End()
+	outer.End()
+	events, _ := r.Trace().Events()
+	if len(events) != 2 {
+		t.Fatalf("nil registry did not inherit from parent: %d events", len(events))
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on empty ctx != nil")
+	}
+}
+
+// TestActiveSpans: open spans are visible, ordered by ID, and vanish
+// on End.
+func TestActiveSpans(t *testing.T) {
+	r := NewRegistry()
+	ctx, a := StartSpanCtx(context.Background(), r, "a")
+	_, b := StartSpanCtx(ctx, r, "b")
+	act := r.ActiveSpans()
+	if len(act) != 2 || act[0].Name != "a" || act[1].Name != "b" {
+		t.Fatalf("active = %+v", act)
+	}
+	if act[1].Parent != act[0].ID {
+		t.Fatalf("active child parent = %d, want %d", act[1].Parent, act[0].ID)
+	}
+	b.End()
+	a.End()
+	if act := r.ActiveSpans(); len(act) != 0 {
+		t.Fatalf("active after End = %+v", act)
+	}
+}
+
+// TestProgressConcurrent hammers one Progress from many goroutines;
+// under -race this is the primitive's memory-safety check.
+func TestProgressConcurrent(t *testing.T) {
+	r := NewRegistry()
+	p := r.Progress("work")
+	p.SetTotal(16 * 1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Add(10)
+			}
+		}()
+	}
+	// Concurrent reader, as the daemon's monitor goroutine would poll.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Value()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	done, total := p.Value()
+	if done != 16000 || total != 16000 {
+		t.Fatalf("progress = %d/%d, want 16000/16000", done, total)
+	}
+	snap := r.Snapshot()
+	if ps := snap.Progress["work"]; ps.Done != 16000 || ps.Total != 16000 {
+		t.Fatalf("snapshot progress = %+v", ps)
+	}
+	if !strings.Contains(snap.Summary(), "16000/16000") {
+		t.Fatalf("summary missing progress:\n%s", snap.Summary())
+	}
+	r.Reset()
+	if d, tot := p.Value(); d != 0 || tot != 0 {
+		t.Fatalf("reset left progress %d/%d", d, tot)
+	}
+}
+
+// TestLabelCanonical: Label sorts keys and escapes values, so the same
+// label set maps to the same registry key.
+func TestLabelCanonical(t *testing.T) {
+	if got := Label("m", "b", "2", "a", "1"); got != `m{a="1",b="2"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("m"); got != "m" {
+		t.Fatalf("Label no-kv = %q", got)
+	}
+	if got := Label("m", "k", "a\"b\\c\nd"); got != `m{k="a\"b\\c\nd"}` {
+		t.Fatalf("Label escape = %q", got)
+	}
+	base, labels, ok := splitLabels(`m{a="1"}`)
+	if !ok || base != "m" || labels != `a="1"` {
+		t.Fatalf("splitLabels = %q %q %v", base, labels, ok)
+	}
+	if _, _, ok := splitLabels("plain"); ok {
+		t.Fatal("splitLabels claimed labels on plain name")
+	}
+}
