@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-telemetry race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-sim bench-service clean
+.PHONY: all build vet test race race-telemetry race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service clean
 
 all: check
 
@@ -74,6 +74,13 @@ bench-json:
 bench-faultsim:
 	DFT_BENCH_JSON=BENCH_faultsim.json $(GO) test -bench=BenchmarkEngineScaling -benchmem .
 
+# bench-faultpar compares the fault-parallel speed tier (faultparallel
+# SPMF and cpt critical-path tracing) against the PPSFP baseline on a
+# large no-drop grading, leaving the backend work counters as a
+# dft.run-report/v1 document.
+bench-faultpar:
+	DFT_BENCH_JSON=BENCH_faultpar.json $(GO) test -bench='BenchmarkEngineScaling/(nodrop|fewpats)' -benchmem .
+
 # bench-sim measures the interpreted vs compiled good-machine kernels
 # (scalar word and blocked) and leaves the kernel counters as a
 # dft.run-report/v1 document.
@@ -89,4 +96,4 @@ bench-service:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_simkernel.json BENCH_service.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json

@@ -268,7 +268,7 @@ func BenchmarkFig22PLARandom(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.SimulatePatterns(pla, faults, pats)
+		mustFaultSim(b, pla, faults, pats, fault.Options{Backend: fault.BackendParallel})
 	}
 }
 
@@ -313,7 +313,7 @@ func BenchmarkAblationSimCollapsed(b *testing.B) {
 	pats := benchPatterns(c, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.SimulatePatterns(c, cl.Reps, pats)
+		mustFaultSim(b, c, cl.Reps, pats, fault.Options{Backend: fault.BackendParallel})
 	}
 }
 
@@ -323,7 +323,7 @@ func BenchmarkAblationSimUncollapsed(b *testing.B) {
 	pats := benchPatterns(c, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.SimulatePatterns(c, u, pats)
+		mustFaultSim(b, c, u, pats, fault.Options{Backend: fault.BackendParallel})
 	}
 }
 
@@ -348,6 +348,38 @@ func BenchmarkEngineScaling(b *testing.B) {
 			}
 		})
 	}
+	// Speed-tier comparison: the same large grading without fault
+	// dropping (every fault graded against every pattern — the service
+	// tier's re-grading workload), once per backend. This is the
+	// BENCH_faultpar.json matrix: cpt grades the whole fault list from
+	// one good-machine pass per pattern, faultparallel packs 64 faulty
+	// machines per word, parallel is the PPSFP baseline.
+	for _, be := range []fault.Backend{fault.BackendParallel, fault.BackendFaultParallel, fault.BackendCPT} {
+		b.Run("nodrop/"+be.String(), func(b *testing.B) {
+			eng := fault.NewEngine(c, fault.Options{Backend: be, Drop: fault.DropOff})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cl.Reps, pats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The SPMF sweet spot is the other corner of Eq. 1: a handful of
+	// patterns against the full fault list (incremental re-grading),
+	// where packing 64 faulty machines per word beats packing patterns.
+	few := pats[:8]
+	for _, be := range []fault.Backend{fault.BackendParallel, fault.BackendFaultParallel, fault.BackendCPT} {
+		b.Run("fewpats/"+be.String(), func(b *testing.B) {
+			eng := fault.NewEngine(c, fault.Options{Backend: be, Drop: fault.DropOff})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cl.Reps, few); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Ablation 2: bit-parallel vs serial fault simulation.
@@ -357,7 +389,7 @@ func BenchmarkAblationSimParallel(b *testing.B) {
 	pats := benchPatterns(c, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.SimulateNoDrop(c, cl.Reps, pats)
+		mustFaultSim(b, c, cl.Reps, pats, fault.Options{Backend: fault.BackendParallel, Drop: fault.DropOff})
 	}
 }
 
@@ -650,7 +682,7 @@ func BenchmarkAblationSimDeductive(b *testing.B) {
 	pats := benchPatterns(c, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.SimulateDeductive(c, cl.Reps, pats)
+		mustFaultSim(b, c, cl.Reps, pats, fault.Options{Backend: fault.BackendDeductive})
 	}
 }
 

@@ -9,7 +9,7 @@
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
 //	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
-//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|deductive|serial] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
+//	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|faultparallel|cpt|deductive|serial] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
 //	dftc syndrome  <file.bench>
@@ -239,7 +239,9 @@ fault-simulation engine (atpg/faultsim):
   -workers N        shard the fault list across N workers (0 = all CPUs);
                     results are bit-identical for every worker count
   -engine B         faultsim backend: auto (default), parallel (64-wide
-                    PPSFP), deductive (Armstrong fault lists), serial
+                    PPSFP), faultparallel (64 faulty machines per word),
+                    cpt (critical-path tracing), deductive (Armstrong
+                    fault lists), serial
   -kernel K         good-machine kernel: compiled (default; flat opcode
                     programs) or interp (levelized interpreter)
   -timeout D        abort the run after duration D (e.g. 30s, 5m); exits
@@ -381,7 +383,7 @@ func cmdFaultSim(args []string) error {
 	n := fs.Int("patterns", 1024, "random patterns to grade")
 	seed := fs.Int64("seed", 1, "random seed")
 	scan := fs.Bool("scan", false, "assume full scan view")
-	engine := fs.String("engine", "auto", "backend: auto, parallel, deductive or serial")
+	engine := fs.String("engine", "auto", "backend: auto, parallel, faultparallel, cpt, deductive or serial")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -449,6 +451,10 @@ func cmdFaultSim(args []string) error {
 			"coverage":      res.Coverage(),
 			"kept_patterns": len(kept),
 			"targets":       len(res.Faults),
+		}
+		if p := sim.ActiveProgram(d.Circuit); p != nil {
+			rep.Results["folded_gates"] = p.Folded()
+			rep.Results["hashed_gates"] = p.Hashed()
 		}
 		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
 	}

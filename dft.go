@@ -8,6 +8,7 @@ import (
 	"dft/internal/fault"
 	"dft/internal/logic"
 	"dft/internal/service"
+	"dft/internal/sim"
 )
 
 // This file is the public façade over the toolkit's unified surface:
@@ -43,14 +44,24 @@ type SimEngine = fault.Engine
 
 // Re-exported SimOptions constants.
 const (
-	BackendAuto      = fault.Auto
-	BackendParallel  = fault.BackendParallel
-	BackendDeductive = fault.BackendDeductive
-	BackendSerial    = fault.BackendSerial
-	WorkersAuto      = fault.WorkersAuto
-	DropOn           = fault.DropOn
-	DropOff          = fault.DropOff
+	BackendAuto          = fault.Auto
+	BackendParallel      = fault.BackendParallel
+	BackendDeductive     = fault.BackendDeductive
+	BackendSerial        = fault.BackendSerial
+	BackendFaultParallel = fault.BackendFaultParallel
+	BackendCPT           = fault.BackendCPT
+	WorkersAuto          = fault.WorkersAuto
+	ParallelismAuto      = fault.ParallelismAuto
+	DropOn               = fault.DropOn
+	DropOff              = fault.DropOff
 )
+
+// ParseSimBackend maps a backend name (as accepted by dftc -engine and
+// the service options schema) to a SimBackend, with did-you-mean
+// suggestions on unknown names.
+func ParseSimBackend(s string) (SimBackend, error) {
+	return fault.ParseBackend(s)
+}
 
 // Simulate fault-simulates the pattern set against the fault list; see
 // fault.Simulate. Results are bit-identical for every backend and
@@ -62,6 +73,22 @@ func Simulate(ctx context.Context, c *Circuit, faults []Fault, patterns [][]bool
 // NewSimEngine prepares a reusable engine for the circuit.
 func NewSimEngine(c *Circuit, opts SimOptions) *SimEngine {
 	return fault.NewEngine(c, opts)
+}
+
+// ReduceMap relates a reduced netlist to its original: per-net images,
+// proven constants, and the pass statistics.
+type ReduceMap = sim.ReduceMap
+
+// ReduceStats summarizes one netlist reduction pass.
+type ReduceStats = sim.ReduceStats
+
+// Reduce returns a smaller, functionally equivalent netlist (constant
+// propagation, structural hashing, fanout-free-region collapsing) plus
+// the remap table that carries fault sites and views across. The
+// interface — PI, PO and flip-flop order and count — is preserved
+// exactly.
+func Reduce(c *Circuit) (*Circuit, *ReduceMap) {
+	return sim.Reduce(c)
 }
 
 // FaultUniverse enumerates every uncollapsed stuck-at fault of the

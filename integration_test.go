@@ -64,7 +64,7 @@ func TestIntegrationFullScanFlow(t *testing.T) {
 		t.Fatalf("scan ATPG coverage %.3f", gen.RawCover)
 	}
 	patterns := atpg.Compact(c, view, cl.Reps, gen.Patterns)
-	if got := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, patterns); got.Coverage() < 1.0 {
+	if got := mustFaultSim(t, c, cl.Reps, patterns, fault.Options{Backend: fault.BackendParallel, View: fault.View{Inputs: view.Inputs, Outputs: view.Outputs}}); got.Coverage() < 1.0 {
 		t.Fatalf("compacted coverage %.3f", got.Coverage())
 	}
 

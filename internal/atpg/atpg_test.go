@@ -273,8 +273,8 @@ func TestCompactShrinksAndPreservesCoverage(t *testing.T) {
 	if len(compacted) > len(res.Patterns) {
 		t.Fatalf("compaction grew the set: %d -> %d", len(res.Patterns), len(compacted))
 	}
-	before := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, res.Patterns)
-	after := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, compacted)
+	before := mustSimView(t, c, view, cl.Reps, res.Patterns)
+	after := mustSimView(t, c, view, cl.Reps, compacted)
 	if after.NumCaught < before.NumCaught {
 		t.Fatalf("compaction lost coverage: %d -> %d", before.NumCaught, after.NumCaught)
 	}

@@ -85,8 +85,8 @@ func TestPropertyCompactionPreservesCoverage(t *testing.T) {
 		if len(compacted) > len(res.Patterns) {
 			return false
 		}
-		before := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, res.Patterns)
-		after := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, compacted)
+		before := simViewQuick(c, view, cl.Reps, res.Patterns)
+		after := simViewQuick(c, view, cl.Reps, compacted)
 		return after.NumCaught >= before.NumCaught
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
@@ -109,8 +109,8 @@ func TestPropertyDominanceTargetsSuffice(t *testing.T) {
 		view := PrimaryView(c)
 		res := Generate(c, view, dom, Config{Engine: EnginePodem, RandomSeed: seed})
 		// Grade the FULL collapsed list with the dominance-targeted set.
-		full := fault.SimulateView(c, view.Inputs, view.Outputs, cl.Reps, res.Patterns)
-		reduced := fault.SimulateView(c, view.Inputs, view.Outputs, dom, res.Patterns)
+		full := simViewQuick(c, view, cl.Reps, res.Patterns)
+		reduced := simViewQuick(c, view, dom, res.Patterns)
 		// Every fault detectable in the reduced run must come with the
 		// dominating faults for free: full coverage count can only be
 		// at least the reduced one plus the dropped-but-dominated set

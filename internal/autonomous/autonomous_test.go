@@ -1,6 +1,7 @@
 package autonomous
 
 import (
+	"context"
 	"testing"
 
 	"dft/internal/circuits"
@@ -258,7 +259,10 @@ func TestAutonomousExhaustiveIsFaultModelIndependent(t *testing.T) {
 	}
 	u := fault.Universe(c)
 	for _, f := range u {
-		res := fault.SimulatePatterns(c, []fault.Fault{f}, pats)
+		res, err := fault.Simulate(context.Background(), c, []fault.Fault{f}, pats, fault.Options{Backend: fault.BackendParallel})
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Exhaustive: every non-redundant single fault must be caught.
 		if !res.Detected[0] {
 			// Verify it is genuinely redundant.

@@ -1,13 +1,18 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"dft/internal/circuits"
 )
 
-func TestConcurrentMatchesSequential(t *testing.T) {
+// TestWorkerCountInvariance pins the engine's sharding contract: the
+// result is byte-identical at every worker count, for the fault-axis
+// backends (parallel) and the pattern-axis backends (faultparallel,
+// cpt) alike.
+func TestWorkerCountInvariance(t *testing.T) {
 	c := circuits.ArrayMultiplier(5)
 	u := Universe(c)
 	rng := rand.New(rand.NewSource(8))
@@ -19,28 +24,42 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 		}
 		pats[i] = p
 	}
-	seq := SimulatePatterns(c, u, pats)
-	for _, workers := range []int{1, 2, 4, 7} {
-		con := SimulateConcurrent(c, u, pats, workers)
-		if con.NumCaught != seq.NumCaught {
-			t.Fatalf("workers=%d: caught %d vs %d", workers, con.NumCaught, seq.NumCaught)
+	for _, backend := range []Backend{BackendParallel, BackendFaultParallel, BackendCPT} {
+		seq, err := Simulate(context.Background(), c, u, pats, Options{Backend: backend, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := range u {
-			if con.Detected[i] != seq.Detected[i] || con.DetectedBy[i] != seq.DetectedBy[i] {
-				t.Fatalf("workers=%d fault %s: (%v,%d) vs (%v,%d)", workers, u[i].Name(c),
-					con.Detected[i], con.DetectedBy[i], seq.Detected[i], seq.DetectedBy[i])
+		for _, workers := range []int{2, 4, 7} {
+			con, err := Simulate(context.Background(), c, u, pats, Options{Backend: backend, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if con.NumCaught != seq.NumCaught {
+				t.Fatalf("%v workers=%d: caught %d vs %d", backend, workers, con.NumCaught, seq.NumCaught)
+			}
+			for i := range u {
+				if con.Detected[i] != seq.Detected[i] || con.DetectedBy[i] != seq.DetectedBy[i] {
+					t.Fatalf("%v workers=%d fault %s: (%v,%d) vs (%v,%d)", backend, workers, u[i].Name(c),
+						con.Detected[i], con.DetectedBy[i], seq.Detected[i], seq.DetectedBy[i])
+				}
 			}
 		}
 	}
 }
 
-func TestConcurrentTinyFaultList(t *testing.T) {
+func TestTinyFaultListManyWorkers(t *testing.T) {
 	c := circuits.C17()
 	u := Universe(c)[:3]
 	pats := [][]bool{{true, true, true, true, true}}
-	res := SimulateConcurrent(c, u, pats, 16) // workers > faults
-	if len(res.Detected) != 3 {
-		t.Fatal("result shape wrong")
+	for _, backend := range []Backend{BackendParallel, BackendFaultParallel, BackendCPT} {
+		res, err := Simulate(context.Background(), c, u, pats,
+			Options{Backend: backend, Workers: 16}) // workers > faults and > patterns
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Detected) != 3 {
+			t.Fatalf("%v: result shape wrong", backend)
+		}
 	}
 }
 
@@ -56,14 +75,14 @@ func BenchmarkConcurrentFaultSim(b *testing.B) {
 		}
 		pats[i] = p
 	}
-	b.Run("workers1", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			SimulateConcurrent(c, u, pats, 1)
-		}
-	})
-	b.Run("workers4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			SimulateConcurrent(c, u, pats, 4)
-		}
-	})
+	for _, w := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(context.Background(), c, u, pats,
+					Options{Backend: BackendParallel, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

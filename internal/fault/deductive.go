@@ -258,13 +258,3 @@ func runDeductive(ctx context.Context, c *logic.Circuit, inputs, outputs []int,
 	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
 	return res, nil
 }
-
-// SimulateDeductive grades the pattern set with one deductive pass per
-// pattern, returning the same Result shape as the parallel-pattern
-// engine.
-//
-// Deprecated: use Simulate with Options{Backend: BackendDeductive}.
-func SimulateDeductive(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendDeductive})
-	return res
-}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -30,8 +31,14 @@ func TestDeductiveMatchesParallel(t *testing.T) {
 			}
 			patterns[k] = p
 		}
-		ded := SimulateDeductive(c, u, patterns)
-		par := SimulateNoDrop(c, u, patterns)
+		ded, err := Simulate(context.Background(), c, u, patterns, Options{Backend: BackendDeductive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Simulate(context.Background(), c, u, patterns, Options{Backend: BackendParallel, Drop: DropOff})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range u {
 			if ded.Detected[i] != par.Detected[i] || ded.DetectedBy[i] != par.DetectedBy[i] {
 				t.Fatalf("%s: fault %s: deductive (%v,%d) vs parallel (%v,%d)",
@@ -123,12 +130,18 @@ func BenchmarkDeductiveVsParallel(b *testing.B) {
 	}
 	b.Run("deductive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			SimulateDeductive(c, u, patterns)
+			if _, err := Simulate(context.Background(), c, u, patterns,
+				Options{Backend: BackendDeductive}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			SimulateNoDrop(c, u, patterns)
+			if _, err := Simulate(context.Background(), c, u, patterns,
+				Options{Backend: BackendParallel, Drop: DropOff}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

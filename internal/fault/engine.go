@@ -15,13 +15,10 @@ import (
 // Simulate is the toolkit's single fault-simulation entry point: it
 // grades the pattern set against the fault list under Options and
 // returns per-fault outcomes. Every configuration — any backend, any
-// worker count — produces bit-identical Results (same Detected,
-// DetectedBy first-pattern indices, NumCaught), because per-fault
-// outcomes are independent; the options only trade time for memory.
-//
-// The legacy entry points (SimulatePatterns, SimulateNoDrop,
-// SimulateView, SimulateDeductive, SimulateConcurrent) are deprecated
-// wrappers over this function.
+// worker count, any machine packing — produces bit-identical Results
+// (same Detected, DetectedBy first-pattern indices, NumCaught),
+// because per-fault outcomes are independent; the options only trade
+// time for memory.
 func Simulate(ctx context.Context, c *logic.Circuit, faults []Fault, patterns [][]bool, opts Options) (*Result, error) {
 	return NewEngine(c, opts).Run(ctx, faults, patterns)
 }
@@ -46,6 +43,9 @@ type Engine struct {
 	workers int
 	reg     *telemetry.Registry
 	sims    []*ParallelSim // per worker slot, built lazily
+	spmfs   []*spmfSim     // per worker slot, SPMF backend
+	cpts    []*cptSim      // per worker slot, CPT backend
+	topo    *cptTopo       // fanout classification, built lazily, shared read-only
 }
 
 // NewEngine prepares an engine for the circuit under the given
@@ -54,14 +54,24 @@ type Engine struct {
 func NewEngine(c *logic.Circuit, opts Options) *Engine {
 	inputs, outputs := opts.View.resolve(c)
 	w := opts.workers()
+	reg := telemetry.OrDefault(opts.Metrics)
+	// Surface the compiled kernel's netlist-reduction stats on the
+	// run's own registry, so per-job run reports show how much smaller
+	// the simulated circuit is than the source netlist.
+	if p := sim.ActiveProgram(c); p != nil {
+		reg.Gauge("sim.compile.folded_gates").Set(int64(p.Folded()))
+		reg.Gauge("sim.compile.hashed_gates").Set(int64(p.Hashed()))
+	}
 	return &Engine{
 		c:       c,
 		opts:    opts,
 		inputs:  inputs,
 		outputs: outputs,
 		workers: w,
-		reg:     telemetry.OrDefault(opts.Metrics),
+		reg:     reg,
 		sims:    make([]*ParallelSim, w),
+		spmfs:   make([]*spmfSim, w),
+		cpts:    make([]*cptSim, w),
 	}
 }
 
@@ -77,6 +87,36 @@ func (e *Engine) sim(wi int) *ParallelSim {
 	return e.sims[wi]
 }
 
+// spmfSim returns worker slot wi's SPMF simulator, built on first use.
+func (e *Engine) spmfSim(wi int) *spmfSim {
+	if e.spmfs[wi] == nil {
+		e.spmfs[wi] = newSPMFSim(e.c, e.inputs, e.outputs)
+	}
+	return e.spmfs[wi]
+}
+
+// cptSim returns worker slot wi's CPT simulator, built on first use
+// around the slot's pooled ParallelSim. The fanout classification is
+// computed once per engine; workers share it read-only, but it is
+// built eagerly (before worker goroutines scatter) by runCPT's callers
+// through this accessor for slot 0 or under the engine's single-
+// goroutine ownership contract.
+func (e *Engine) cptSim(wi int) *cptSim {
+	if e.cpts[wi] == nil {
+		e.cpts[wi] = newCPTSim(e.sim(wi), e.cptTopo())
+	}
+	return e.cpts[wi]
+}
+
+// cptTopo returns the engine's shared fanout classification, built on
+// first use.
+func (e *Engine) cptTopo() *cptTopo {
+	if e.topo == nil {
+		e.topo = buildCPTTopo(e.c)
+	}
+	return e.topo
+}
+
 // Run simulates the fault list against the pattern set, honoring
 // context cancellation between pattern blocks. On cancellation it
 // returns ctx's error and no Result.
@@ -90,6 +130,10 @@ func (e *Engine) Run(ctx context.Context, faults []Fault, patterns [][]bool) (*R
 		return runDeductive(ctx, e.c, e.inputs, e.outputs, faults, patterns, e.reg)
 	case BackendSerial:
 		return e.runSerial(ctx, faults, patterns)
+	case BackendFaultParallel:
+		return e.runFaultParallel(ctx, faults, patterns)
+	case BackendCPT:
+		return e.runCPT(ctx, faults, PackPatternSet(len(e.inputs), patterns))
 	default:
 		// Pack the pattern set once; every worker shares the blocks
 		// read-only instead of repacking them per chunk.
@@ -116,6 +160,10 @@ func (e *Engine) RunPacked(ctx context.Context, faults []Fault, pats *PackedPatt
 		return runDeductive(ctx, e.c, e.inputs, e.outputs, faults, pats.Patterns(), e.reg)
 	case BackendSerial:
 		return e.runSerial(ctx, faults, pats.Patterns())
+	case BackendFaultParallel:
+		return e.runFaultParallel(ctx, faults, pats.Patterns())
+	case BackendCPT:
+		return e.runCPT(ctx, faults, pats)
 	default:
 		return e.runParallel(ctx, faults, pats)
 	}
@@ -123,15 +171,25 @@ func (e *Engine) RunPacked(ctx context.Context, faults []Fault, pats *PackedPatt
 
 // pickBackend implements the Auto heuristics; the selection table is
 // documented in DESIGN.md. Tiny jobs skip engine setup and run
-// serially; large no-drop gradings of combinational circuits run
-// deductively (one levelized pass per pattern carries every fault);
-// everything else takes the sharded parallel-pattern path.
+// serially. No-drop fault-heavy gradings trace observability from the
+// good machine (CPT grades every fault in O(1) per block), except that
+// small combinational instances keep the deductive backend, whose
+// per-pattern fault-list unions are competitive there. Pattern-starved
+// gradings pack the fault axis (SPMF keeps all 64 lanes busy where
+// PPSFP blocks run nearly empty); everything else takes the sharded
+// parallel-pattern path.
 func pickBackend(c *logic.Circuit, nFaults, nPatterns int, drop bool) Backend {
 	if nFaults*nPatterns <= 512 {
 		return BackendSerial
 	}
-	if !drop && len(c.DFFs) == 0 && nFaults >= 4*nPatterns {
-		return BackendDeductive
+	if !drop && nFaults >= 4*nPatterns {
+		if len(c.DFFs) == 0 && nFaults*nPatterns <= 1<<15 {
+			return BackendDeductive
+		}
+		return BackendCPT
+	}
+	if nPatterns <= 16 && nFaults >= 64*nPatterns {
+		return BackendFaultParallel
 	}
 	return BackendParallel
 }

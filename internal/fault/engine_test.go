@@ -71,7 +71,7 @@ func TestEngineBackendAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, be := range []Backend{BackendSerial, BackendDeductive, Auto} {
+	for _, be := range []Backend{BackendSerial, BackendDeductive, BackendFaultParallel, BackendCPT, Auto} {
 		got, err := Simulate(context.Background(), c, faults, pats, Options{Backend: be})
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +111,7 @@ func TestEngineCancellation(t *testing.T) {
 	pats := enginePatterns(len(c.PIs), 256, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, be := range []Backend{BackendParallel, BackendSerial, BackendDeductive} {
+	for _, be := range []Backend{BackendParallel, BackendSerial, BackendDeductive, BackendFaultParallel, BackendCPT} {
 		res, err := Simulate(ctx, c, faults, pats, Options{Backend: be, Workers: 4})
 		if err == nil || res != nil {
 			t.Fatalf("%s: want cancellation error, got res=%v err=%v", be, res, err)
@@ -216,7 +216,7 @@ func TestEngineShardTelemetry(t *testing.T) {
 }
 
 func TestParseBackendRoundTrip(t *testing.T) {
-	for _, be := range []Backend{Auto, BackendParallel, BackendDeductive, BackendSerial} {
+	for _, be := range []Backend{Auto, BackendParallel, BackendDeductive, BackendSerial, BackendFaultParallel, BackendCPT} {
 		got, err := ParseBackend(be.String())
 		if err != nil || got != be {
 			t.Fatalf("round trip %v: got %v err %v", be, got, err)
@@ -234,19 +234,30 @@ func TestEngineAutoHeuristic(t *testing.T) {
 		t.Fatalf("tiny job picked %v", be)
 	}
 	comb := circuits.RippleAdder(8)
-	if be := pickBackend(comb, 4096, 64, false); be != BackendDeductive {
+	// Large no-drop gradings go to the observability backend; the
+	// deductive simulator keeps only the small combinational window.
+	if be := pickBackend(comb, 4096, 64, false); be != BackendCPT {
 		t.Fatalf("no-drop fault-heavy job picked %v", be)
 	}
+	if be := pickBackend(comb, 1024, 32, false); be != BackendDeductive {
+		t.Fatalf("small no-drop combinational job picked %v", be)
+	}
 	seq := circuits.Counter(8)
-	if be := pickBackend(seq, 4096, 64, false); be == BackendDeductive {
+	if be := pickBackend(seq, 1024, 32, false); be == BackendDeductive {
 		t.Fatal("deductive picked for a sequential circuit")
+	}
+	// Pattern-starved fault-heavy gradings go fault-parallel.
+	if be := pickBackend(comb, 1024, 8, true); be != BackendFaultParallel {
+		t.Fatalf("pattern-starved job picked %v", be)
 	}
 	if be := pickBackend(comb, 4096, 4096, true); be != BackendParallel {
 		t.Fatalf("dropping bulk job picked %v", be)
 	}
 }
 
-func TestLegacyWrappersStillAgree(t *testing.T) {
+// Every backend must agree with every other on the same grading —
+// the full algorithm axis of the Options surface.
+func TestAllBackendsAgree(t *testing.T) {
 	c := circuits.RippleAdder(4)
 	faults := CollapseEquiv(c, Universe(c)).Reps
 	pats := enginePatterns(len(c.PIs), 64, 21)
@@ -255,13 +266,16 @@ func TestLegacyWrappersStillAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameResult(t, "SimulatePatterns", SimulatePatterns(c, faults, pats), want)
-	sameResult(t, "SimulateConcurrent", SimulateConcurrent(c, faults, pats, 4), want)
-	sameResult(t, "SimulateView", SimulateView(c, c.PIs, c.POs, faults, pats), want)
-	nd := SimulateNoDrop(c, faults, pats)
-	sameResult(t, "SimulateNoDrop", nd, want)
-	ded := SimulateDeductive(c, faults, pats)
-	sameResult(t, "SimulateDeductive", ded, want)
+	for _, be := range []Backend{BackendSerial, BackendDeductive, BackendFaultParallel, BackendCPT, Auto} {
+		for _, drop := range []DropMode{DropOn, DropOff} {
+			got, err := Simulate(context.Background(), c, faults, pats,
+				Options{Backend: be, Drop: drop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, be.String(), got, want)
+		}
+	}
 }
 
 // Stem faults on a view input held at a constant must still be modeled

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,17 @@ import (
 	"dft/internal/logic"
 	"dft/internal/sim"
 )
+
+// mustSimulate runs Simulate with the given options, failing the test
+// on error — the migration shim for the removed convenience wrappers.
+func mustSimulate(tb testing.TB, c *logic.Circuit, faults []Fault, patterns [][]bool, opts Options) *Result {
+	tb.Helper()
+	res, err := Simulate(context.Background(), c, faults, patterns, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
 
 // andGate builds the paper's Fig. 1 circuit: a single 2-input AND.
 func andGate() *logic.Circuit {
@@ -158,7 +170,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			}
 			patterns[k] = p
 		}
-		res := SimulateNoDrop(c, u, patterns)
+		res := mustSimulate(t, c, u, patterns, Options{Backend: BackendParallel, Drop: DropOff})
 		// Spot-check a sample of faults serially.
 		for s := 0; s < 200; s++ {
 			fi := rng.Intn(len(u))
@@ -194,8 +206,8 @@ func TestDropVsNoDropAgree(t *testing.T) {
 		}
 		patterns[k] = p
 	}
-	a := SimulatePatterns(c, u, patterns)
-	b := SimulateNoDrop(c, u, patterns)
+	a := mustSimulate(t, c, u, patterns, Options{Backend: BackendParallel})
+	b := mustSimulate(t, c, u, patterns, Options{Backend: BackendParallel, Drop: DropOff})
 	for i := range u {
 		if a.Detected[i] != b.Detected[i] || a.DetectedBy[i] != b.DetectedBy[i] {
 			t.Fatalf("fault %s: drop (%v,%d) vs nodrop (%v,%d)",
@@ -221,7 +233,7 @@ func TestExhaustiveCoverageAdder(t *testing.T) {
 		}
 		patterns[x] = p
 	}
-	res := SimulatePatterns(c, u, patterns)
+	res := mustSimulate(t, c, u, patterns, Options{Backend: BackendParallel})
 	if res.Coverage() != 1.0 {
 		var left []string
 		for _, f := range res.Undetected() {

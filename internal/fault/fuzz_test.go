@@ -16,7 +16,10 @@ import (
 //
 // Run: go test -fuzz=FuzzBackendEquivalence -fuzztime=10s ./internal/fault
 func FuzzBackendEquivalence(f *testing.F) {
-	for _, seed := range []int64{1, 2, 5, 11, 42, -8} {
+	// 116 generates a 5-DFF sequential netlist and 142 a large
+	// tie-heavy combinational one — the shapes that stress the
+	// fault-parallel grouping and cpt observability chain cells.
+	for _, seed := range []int64{1, 2, 5, 11, 42, -8, 116, 142} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

@@ -26,7 +26,7 @@ func TestKernelInvariance(t *testing.T) {
 	c := circuits.ArrayMultiplier(5)
 	faults := CollapseEquiv(c, Universe(c)).Reps
 	pats := enginePatterns(len(c.PIs), 200, 23)
-	for _, be := range []Backend{BackendSerial, BackendParallel, BackendDeductive} {
+	for _, be := range []Backend{BackendSerial, BackendParallel, BackendDeductive, BackendFaultParallel, BackendCPT} {
 		for _, drop := range []DropMode{DropOn, DropOff} {
 			if be == BackendDeductive && drop == DropOn {
 				continue // deductive backend is no-drop only
@@ -49,8 +49,8 @@ func TestKernelInvariance(t *testing.T) {
 					}
 					sameResult(t, fmt.Sprintf("backend=%v kernel=compiled workers=%d drop=%v", be, w, drop), got, base)
 				})
-				if be != BackendParallel {
-					break // worker count only matters on the parallel path
+				if be == BackendSerial || be == BackendDeductive {
+					break // worker count only matters on the sharded paths
 				}
 			}
 		}
@@ -67,7 +67,7 @@ func TestRunPackedMatchesRun(t *testing.T) {
 	if packed.NumPatterns() != len(pats) {
 		t.Fatalf("packed %d patterns, want %d", packed.NumPatterns(), len(pats))
 	}
-	for _, be := range []Backend{BackendSerial, BackendParallel} {
+	for _, be := range []Backend{BackendSerial, BackendParallel, BackendFaultParallel, BackendCPT} {
 		want, err := Simulate(context.Background(), c, faults, pats, Options{Backend: be})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,425 @@
+package fault
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dft/internal/logic"
+	"dft/internal/sim"
+	"dft/internal/telemetry"
+)
+
+// Single-pattern multi-fault (SPMF) backend: the dual of the PPSFP
+// simulator. Where BackendParallel packs 64 patterns per word and
+// injects one fault at a time, BackendFaultParallel packs up to 64
+// single-stuck fault machines per word — bit j of every net word is
+// fault machine j — and replays them against one pattern per levelized
+// pass. Injection is a per-net mask pair (mask = lanes owned by faults
+// at this site, or = lanes stuck at 1) applied mid-pass, so machines
+// stay independent: forcing lane j at one site never disturbs lane k.
+//
+// The engine shards this backend over the pattern axis: injection
+// structures are a pure function of the fault list, built once per run
+// and shared read-only, while each worker claims ascending pattern
+// chunks and grades every fault group against them. Workers record
+// first detections locally and the engine min-merges, so results are
+// bit-identical at every worker count.
+
+// spmfInj is one injection site inside a fault group: force the lanes
+// in mask to the bits in or (or ⊆ mask) at order position pos. Stem
+// entries force a net's word after evaluation; branch entries force
+// operand pin of the gate at pos before evaluation; source entries
+// (pos < 0) force a source element's word at load.
+type spmfInj struct {
+	pos  int32
+	pin  int32 // -1 for stem entries
+	net  int32
+	mask uint64
+	or   uint64
+}
+
+// spmfGroup is one word of fault machines: lane j grades fault
+// faults[base+j].
+type spmfGroup struct {
+	base     int
+	all      uint64 // lanes carrying a fault (low len bits)
+	srcStems []spmfInj
+	stems    []spmfInj
+	branches []spmfInj
+}
+
+// buildSPMFGroups packs the fault list into groups of up to lanes
+// machines per word. Faults on source elements (input stems, DFF stems
+// and D-pin faults, which the element passes through) pin the source
+// word; stem faults on combinational gates pin the gate's output word;
+// branch faults force one operand pin of their gate.
+func buildSPMFGroups(c *logic.Circuit, faults []Fault, lanes int) []spmfGroup {
+	posInOrder := make([]int32, c.NumNets())
+	for i := range posInOrder {
+		posInOrder[i] = -1
+	}
+	for i, id := range c.Order {
+		posInOrder[id] = int32(i)
+	}
+	groups := make([]spmfGroup, 0, (len(faults)+lanes-1)/lanes)
+	for base := 0; base < len(faults); base += lanes {
+		hi := base + lanes
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		g := spmfGroup{base: base, all: ^uint64(0)}
+		if n := hi - base; n < 64 {
+			g.all = 1<<uint(n) - 1
+		}
+		for j, f := range faults[base:hi] {
+			bit := uint64(1) << uint(j)
+			var or uint64
+			if f.SA == logic.One {
+				or = bit
+			}
+			switch {
+			case !c.Gates[f.Gate].Type.IsCombinational():
+				g.srcStems = append(g.srcStems, spmfInj{pos: -1, pin: -1, net: int32(f.Gate), mask: bit, or: or})
+			case f.Pin == Stem:
+				g.stems = append(g.stems, spmfInj{pos: posInOrder[f.Gate], pin: -1, net: int32(f.Gate), mask: bit, or: or})
+			default:
+				g.branches = append(g.branches, spmfInj{pos: posInOrder[f.Gate], pin: int32(f.Pin), net: int32(f.Gate), mask: bit, or: or})
+			}
+		}
+		sortInj(g.stems)
+		sortInj(g.branches)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// sortInj orders injection entries by pass position (then pin), and
+// merges entries sharing a site so the pass applies each site once.
+func sortInj(inj []spmfInj) {
+	sort.Slice(inj, func(i, j int) bool {
+		if inj[i].pos != inj[j].pos {
+			return inj[i].pos < inj[j].pos
+		}
+		return inj[i].pin < inj[j].pin
+	})
+	wr := 0
+	for i := 1; i < len(inj); i++ {
+		if inj[i].pos == inj[wr].pos && inj[i].pin == inj[wr].pin {
+			inj[wr].mask |= inj[i].mask
+			inj[wr].or |= inj[i].or
+			continue
+		}
+		wr++
+		inj[wr] = inj[i]
+	}
+	if len(inj) > 0 {
+		inj = inj[:wr+1]
+	}
+}
+
+// spmfSim is one worker's SPMF state: the scalar good machine for the
+// current pattern and the word-per-net fault-machine storage.
+type spmfSim struct {
+	c       *logic.Circuit
+	inputs  []int
+	outputs []int
+	prog    *sim.Program
+	good    []bool
+	vals    []uint64
+	scratch []uint64
+	scratchB []bool
+
+	nPasses int64 // faulty word passes
+	nGood   int64 // scalar good-machine passes
+}
+
+func newSPMFSim(c *logic.Circuit, inputs, outputs []int) *spmfSim {
+	for _, in := range inputs {
+		if c.Gates[in].Type.IsCombinational() {
+			panic("fault: view input " + c.NameOf(in) + " is not a source element")
+		}
+	}
+	return &spmfSim{
+		c:        c,
+		inputs:   inputs,
+		outputs:  outputs,
+		prog:     sim.ActiveProgram(c),
+		good:     make([]bool, c.NumNets()),
+		vals:     make([]uint64, c.NumNets()),
+		scratch:  make([]uint64, c.MaxFanin()),
+		scratchB: make([]bool, c.MaxFanin()),
+	}
+}
+
+// loadGood computes the scalar good machine for one pattern under the
+// view conventions (unlisted sources held at 0).
+func (s *spmfSim) loadGood(p []bool) {
+	c := s.c
+	for _, pi := range c.PIs {
+		s.good[pi] = false
+	}
+	for _, d := range c.DFFs {
+		s.good[d] = false
+	}
+	for i, b := range p {
+		s.good[s.inputs[i]] = b
+	}
+	if s.prog != nil {
+		s.prog.ExecBool(s.good)
+	} else {
+		for _, id := range c.Order {
+			g := &c.Gates[id]
+			in := s.scratchB[:len(g.Fanin)]
+			for i, src := range g.Fanin {
+				in[i] = s.good[src]
+			}
+			s.good[id] = g.Type.EvalBool(in)
+		}
+	}
+	s.nGood++
+}
+
+// broadcast widens a scalar bit to all 64 lanes.
+func broadcast(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// gradeGroup runs one levelized word pass with grp's machines injected
+// against the loaded pattern and returns the detection word: bit j set
+// when machine j differs from the good machine at some view output.
+func (s *spmfSim) gradeGroup(grp *spmfGroup) uint64 {
+	c := s.c
+	vals := s.vals
+	for _, pi := range c.PIs {
+		vals[pi] = broadcast(s.good[pi])
+	}
+	for _, d := range c.DFFs {
+		vals[d] = broadcast(s.good[d])
+	}
+	for _, inj := range grp.srcStems {
+		vals[inj.net] = vals[inj.net]&^inj.mask | inj.or
+	}
+	bp, sp := 0, 0
+	branches, stems := grp.branches, grp.stems
+	for oi, id := range c.Order {
+		g := &c.Gates[id]
+		in := s.scratch[:len(g.Fanin)]
+		for i, src := range g.Fanin {
+			in[i] = vals[src]
+		}
+		for bp < len(branches) && int(branches[bp].pos) == oi {
+			b := &branches[bp]
+			in[b.pin] = in[b.pin]&^b.mask | b.or
+			bp++
+		}
+		v := g.Type.EvalWord(in)
+		for sp < len(stems) && int(stems[sp].pos) == oi {
+			st := &stems[sp]
+			v = v&^st.mask | st.or
+			sp++
+		}
+		vals[id] = v
+	}
+	var det uint64
+	for _, o := range s.outputs {
+		det |= vals[o] ^ broadcast(s.good[o])
+	}
+	s.nPasses++
+	return det & grp.all
+}
+
+// spmfChunk sizes the pattern-axis dynamic queue: ~4 chunks per worker,
+// with a floor of one pattern (SPMF's home turf is pattern-starved
+// workloads where even single patterns carry a full fault sweep).
+func spmfChunk(nPats, workers int) int {
+	chunk := (nPats + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// runFaultParallel is the engine's SPMF path. Faults are packed into
+// word groups once; workers claim ascending pattern chunks through an
+// atomic cursor and grade every group against each of their patterns,
+// recording first detections in worker-local arrays that are min-merged
+// into the Result — the pattern axis has no disjoint-write invariant to
+// lean on. Dropping is tracked per worker (a group is skipped once all
+// its lanes have detected locally); outcomes are identical either way.
+func (e *Engine) runFaultParallel(ctx context.Context, faults []Fault, patterns [][]bool) (*Result, error) {
+	reg := e.reg
+	nPats := len(patterns)
+	ctx, span := telemetry.StartSpanCtx(ctx, reg, "fault.sim.spmf")
+	span.SetAttr("faults", strconv.Itoa(len(faults)))
+	span.SetAttr("patterns", strconv.Itoa(nPats))
+	defer span.End()
+	res := newResult(faults, nPats)
+	if len(faults) == 0 || nPats == 0 {
+		return res, nil
+	}
+	lanes := e.opts.lanes()
+	groups := buildSPMFGroups(e.c, faults, lanes)
+	reg.Counter("fault.spmf.groups").Add(int64(len(groups)))
+	span.SetAttr("groups", strconv.Itoa(len(groups)))
+	var prog *telemetry.Progress
+	if !e.opts.NoProgress {
+		prog = reg.Progress("fault.sim.progress")
+		prog.AddTotal(int64(nPats))
+	}
+	w := e.workers
+	if w > nPats {
+		w = nPats
+	}
+	span.SetAttr("workers", strconv.Itoa(w))
+	drop := e.drop()
+
+	if w <= 1 {
+		s := e.spmfSim(0)
+		err := spmfLoop(ctx, s, groups, patterns, 0, nPats, drop, res.Detected, res.DetectedBy, prog)
+		reg.Counter("fault.spmf.word_passes").Add(s.nPasses)
+		reg.Counter("fault.spmf.good_passes").Add(s.nGood)
+		s.nPasses, s.nGood = 0, 0
+		if err != nil {
+			reg.Counter("fault.engine.cancelled").Inc()
+			return nil, err
+		}
+		for _, d := range res.Detected {
+			if d {
+				res.NumCaught++
+			}
+		}
+		reg.Counter("fault.sim.patterns").Add(int64(nPats))
+		reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
+		return res, nil
+	}
+
+	reg.Gauge("fault.sim.workers").Set(int64(w))
+	reg.Counter("fault.engine.runs").Inc()
+	chunk := spmfChunk(nPats, w)
+	shardHist := reg.Histogram("fault.engine.shard_patterns")
+	var cursor, shards atomic.Int64
+	errs := make([]error, w)
+	locals := make([][]int, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			s := e.spmfSim(wi)
+			det := make([]bool, len(faults))
+			detBy := make([]int, len(faults))
+			for i := range detBy {
+				detBy[i] = -1
+			}
+			locals[wi] = detBy
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= nPats {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					errs[wi] = err
+					break
+				}
+				hi := lo + chunk
+				if hi > nPats {
+					hi = nPats
+				}
+				shards.Add(1)
+				shardHist.Observe(int64(hi - lo))
+				if err := spmfLoop(ctx, s, groups, patterns, lo, hi, drop, det, detBy, prog); err != nil {
+					errs[wi] = err
+					break
+				}
+			}
+			reg.Counter("fault.spmf.word_passes").Add(s.nPasses)
+			reg.Counter("fault.spmf.good_passes").Add(s.nGood)
+			s.nPasses, s.nGood = 0, 0
+		}(wi)
+	}
+	wg.Wait()
+	reg.Counter("fault.engine.shards").Add(shards.Load())
+	for _, err := range errs {
+		if err != nil {
+			reg.Counter("fault.engine.cancelled").Inc()
+			return nil, err
+		}
+	}
+	mergeDetections(res, locals)
+	reg.Counter("fault.sim.patterns").Add(int64(nPats))
+	reg.Counter("fault.sim.detected").Add(int64(res.NumCaught))
+	return res, nil
+}
+
+// spmfLoop grades every fault group against patterns [lo, hi) on s,
+// recording first detections (within the caller's pattern view) into
+// detected/detectedBy. seen tracks lanes already recorded so no-drop
+// mode re-grades without re-recording; with drop a fully-detected
+// group is skipped. Cancellation is checked between patterns.
+func spmfLoop(ctx context.Context, s *spmfSim, groups []spmfGroup, patterns [][]bool, lo, hi int, drop bool,
+	detected []bool, detectedBy []int, prog *telemetry.Progress) error {
+	// seen persists across the worker's chunks via detectedBy: lanes
+	// recorded earlier keep their first (lower) pattern index because
+	// chunks ascend.
+	for p := lo; p < hi; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.loadGood(patterns[p])
+		for gi := range groups {
+			grp := &groups[gi]
+			var seen uint64
+			n := bits.OnesCount64(grp.all)
+			for j := 0; j < n; j++ {
+				if detectedBy[grp.base+j] >= 0 {
+					seen |= 1 << uint(j)
+				}
+			}
+			if drop && seen == grp.all {
+				continue
+			}
+			det := s.gradeGroup(grp) &^ seen
+			for d := det; d != 0; d &= d - 1 {
+				fi := grp.base + bits.TrailingZeros64(d)
+				detected[fi] = true
+				detectedBy[fi] = p
+			}
+		}
+		if prog != nil {
+			prog.Inc()
+		}
+	}
+	return nil
+}
+
+// mergeDetections folds worker-local first-detection arrays into res
+// by per-fault minimum, preserving the global first-pattern semantics.
+func mergeDetections(res *Result, locals [][]int) {
+	for _, detBy := range locals {
+		if detBy == nil {
+			continue
+		}
+		for fi, p := range detBy {
+			if p < 0 {
+				continue
+			}
+			if !res.Detected[fi] || p < res.DetectedBy[fi] {
+				res.Detected[fi] = true
+				res.DetectedBy[fi] = p
+			}
+		}
+	}
+	res.NumCaught = 0
+	for _, d := range res.Detected {
+		if d {
+			res.NumCaught++
+		}
+	}
+}

@@ -321,34 +321,3 @@ func blockLoop(ctx context.Context, ps *ParallelSim, faults []Fault, pats *Packe
 	}
 	return caught, blocks, nil
 }
-
-// SimulatePatterns fault-simulates the whole pattern set against the
-// fault list with fault dropping: a fault is removed from further
-// simulation after its first detection. It returns per-fault outcomes.
-//
-// Deprecated: use Simulate; a zero Options selects dropping and the
-// primary view.
-func SimulatePatterns(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendParallel})
-	return res
-}
-
-// SimulateNoDrop is SimulatePatterns without fault dropping: every
-// fault is simulated against every pattern. It exists for the ablation
-// benches measuring what dropping buys.
-//
-// Deprecated: use Simulate with Options{Drop: DropOff}.
-func SimulateNoDrop(c *logic.Circuit, faults []Fault, patterns [][]bool) *Result {
-	res, _ := Simulate(context.Background(), c, faults, patterns, Options{Backend: BackendParallel, Drop: DropOff})
-	return res
-}
-
-// SimulateView is SimulatePatterns under an explicit view: pattern bits
-// drive the listed inputs, detection is observed at the listed outputs.
-//
-// Deprecated: use Simulate with Options{View: View{Inputs, Outputs}}.
-func SimulateView(c *logic.Circuit, inputs, outputs []int, faults []Fault, patterns [][]bool) *Result {
-	res, _ := Simulate(context.Background(), c, faults, patterns,
-		Options{Backend: BackendParallel, View: View{Inputs: inputs, Outputs: outputs}})
-	return res
-}

@@ -47,10 +47,13 @@ func Baseline() SimConfig {
 
 // Matrix enumerates the configurations CheckBackends sweeps: both
 // kernels crossed with the serial backend (both drop modes), the
-// parallel backend at several worker counts (both drop modes), and the
-// deductive backend (inherently no-drop). Detection outcomes are
-// defined to be drop-invariant, so drop-on cells are compared against
-// the same baseline as drop-off cells.
+// parallel, fault-parallel and critical-path-tracing backends at
+// several worker counts (both drop modes — fault-parallel and cpt
+// shard over patterns, so their worker cells also pin the min-merge
+// of per-worker first detections), and the deductive backend
+// (inherently no-drop). Detection outcomes are defined to be
+// drop-invariant, so drop-on cells are compared against the same
+// baseline as drop-off cells.
 func Matrix() []SimConfig {
 	var m []SimConfig
 	for _, k := range []sim.Kernel{sim.KernelInterp, sim.KernelCompiled} {
@@ -58,6 +61,10 @@ func Matrix() []SimConfig {
 			m = append(m, SimConfig{k, fault.BackendSerial, 1, drop})
 			for _, w := range []int{1, 2, 5} {
 				m = append(m, SimConfig{k, fault.BackendParallel, w, drop})
+			}
+			for _, w := range []int{1, 4} {
+				m = append(m, SimConfig{k, fault.BackendFaultParallel, w, drop})
+				m = append(m, SimConfig{k, fault.BackendCPT, w, drop})
 			}
 		}
 		m = append(m, SimConfig{k, fault.BackendDeductive, 1, fault.DropOff})

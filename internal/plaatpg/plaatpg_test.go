@@ -1,6 +1,7 @@
 package plaatpg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -66,7 +67,10 @@ func TestDeterministicBeatsRandomOnWidePLA(t *testing.T) {
 		}
 		rpats[i] = p
 	}
-	rres := fault.SimulatePatterns(c, cl.Reps, rpats)
+	rres, err := fault.Simulate(context.Background(), c, cl.Reps, rpats, fault.Options{Backend: fault.BackendParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rres.Coverage() > cov/2 {
 		t.Fatalf("random coverage %.3f unexpectedly close to deterministic %.3f",
 			rres.Coverage(), cov)

@@ -48,8 +48,8 @@ type Options struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 
 	// faultsim: number of random patterns, backend name
-	// (auto|parallel|deductive|serial), and drop ("off" disables fault
-	// dropping).
+	// (auto|parallel|faultparallel|cpt|deductive|serial), and drop
+	// ("off" disables fault dropping).
 	Patterns int    `json:"patterns,omitempty"`
 	Backend  string `json:"backend,omitempty"`
 	Drop     string `json:"drop,omitempty"`

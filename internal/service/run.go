@@ -9,6 +9,7 @@ import (
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/fuzzdiff"
+	"dft/internal/sim"
 	"dft/internal/telemetry"
 )
 
@@ -132,6 +133,10 @@ func runFaultSim(ctx context.Context, p *parsedRequest, reg *telemetry.Registry)
 		"kept_patterns": len(kept),
 		"targets":       len(res.Faults),
 		"detected":      res.NumCaught,
+	}
+	if prog := sim.ActiveProgram(d.Circuit); prog != nil {
+		rep.Results["folded_gates"] = prog.Folded()
+		rep.Results["hashed_gates"] = prog.Hashed()
 	}
 	return rep, nil
 }

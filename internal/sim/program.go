@@ -20,6 +20,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"dft/internal/logic"
 	"dft/internal/telemetry"
@@ -28,6 +29,7 @@ import (
 var (
 	cCompilePrograms = telemetry.Default().Counter("sim.compile.programs")
 	cCompileFolded   = telemetry.Default().Counter("sim.compile.folded_gates")
+	cCompileHashed   = telemetry.Default().Counter("sim.compile.hashed_gates")
 	cKernelBoolEvals = telemetry.Default().Counter("sim.kernel.bool_evals")
 	cKernelWordEvals = telemetry.Default().Counter("sim.kernel.word_evals")
 	cKernelBlockEvals = telemetry.Default().Counter("sim.kernel.block_evals")
@@ -75,6 +77,7 @@ type Program struct {
 	code   []instr
 	fanins []int32
 	folded int
+	hashed int
 }
 
 // Circuit returns the netlist the program was compiled from.
@@ -87,6 +90,13 @@ func (p *Program) NumInstrs() int { return len(p.code) }
 // (constant feeds absorbed, tied inputs deduplicated, or the whole
 // gate folded to a constant).
 func (p *Program) Folded() int { return p.folded }
+
+// Hashed returns how many gates structural hashing merged with an
+// earlier twin: their instruction degrades to a copy of the twin's net
+// (the net itself stays materialized — fault injection and view
+// observation read arbitrary nets), and downstream operands read the
+// twin directly.
+func (p *Program) Hashed() int { return p.hashed }
 
 // knownness of a net's value at compile time.
 const (
@@ -109,6 +119,15 @@ func Compile(c *logic.Circuit) *Program {
 		code: make([]instr, 0, len(c.Order)),
 	}
 	known := make([]uint8, c.NumNets())
+	// alias maps each net to the earliest net proven to carry the same
+	// value; operands are forwarded through it so structurally hashed
+	// twins also canonicalize downstream operand lists.
+	alias := make([]int32, c.NumNets())
+	for i := range alias {
+		alias[i] = int32(i)
+	}
+	seen := make(map[string]int32, len(c.Order))
+	var keyBuf []byte
 	var ins []int32 // simplified operand list, reused per gate
 	for _, id := range c.Order {
 		g := &c.Gates[id]
@@ -132,24 +151,73 @@ func Compile(c *logic.Circuit) *Program {
 				if inv {
 					op = opNot
 				}
-				p.code = append(p.code, instr{op: op, out: int32(id), a: int32(f)})
+				p.code = append(p.code, instr{op: op, out: int32(id), a: alias[f]})
 			}
 		case logic.And, logic.Nand:
-			ins = p.compileAndOr(id, g, known, ins, true, g.Type == logic.Nand)
+			ins = p.compileAndOr(id, g, known, alias, ins, true, g.Type == logic.Nand)
 		case logic.Or, logic.Nor:
-			ins = p.compileAndOr(id, g, known, ins, false, g.Type == logic.Nor)
+			ins = p.compileAndOr(id, g, known, alias, ins, false, g.Type == logic.Nor)
 		case logic.Xor, logic.Xnor:
-			ins = p.compileXor(id, g, known, ins, g.Type == logic.Xnor)
+			ins = p.compileXor(id, g, known, alias, ins, g.Type == logic.Xnor)
 		default:
 			panic(fmt.Sprintf("sim: cannot compile gate type %v", g.Type))
+		}
+		// Structural hashing: a gate whose lowered instruction matches an
+		// earlier one (same opcode, same canonical operands) must compute
+		// the identical word, so its instruction degrades to a copy. The
+		// net stays materialized — fault injection and view observation
+		// read arbitrary nets — but the redundant evaluation is gone and
+		// downstream readers forward to the single survivor.
+		in := &p.code[len(p.code)-1]
+		if in.op == opBuf {
+			alias[id] = in.a
+			continue
+		}
+		keyBuf = p.instrKey(keyBuf[:0], in)
+		if twin, ok := seen[string(keyBuf)]; ok {
+			*in = instr{op: opBuf, out: in.out, a: twin}
+			alias[id] = twin
+			p.hashed++
+		} else {
+			seen[string(keyBuf)] = in.out
 		}
 	}
 	cCompilePrograms.Inc()
 	cCompileFolded.Add(int64(p.folded))
+	cCompileHashed.Add(int64(p.hashed))
 	span.SetAttr("gates", fmt.Sprint(len(c.Order)))
 	span.SetAttr("folded", fmt.Sprint(p.folded))
+	span.SetAttr("hashed", fmt.Sprint(p.hashed))
 	span.End()
 	return p
+}
+
+// instrKey encodes an instruction's structural identity: opcode plus
+// canonically ordered operands. Every multi-operand opcode here is
+// commutative, so sorting the operand list canonicalizes it.
+func (p *Program) instrKey(buf []byte, in *instr) []byte {
+	appendNet := func(buf []byte, v int32) []byte {
+		return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	buf = append(buf, byte(in.op))
+	switch {
+	case in.op == opConst0 || in.op == opConst1:
+	case in.op == opNot:
+		buf = appendNet(buf, in.a)
+	case in.op <= opXnor2:
+		a, b := in.a, in.b
+		if b < a {
+			a, b = b, a
+		}
+		buf = appendNet(appendNet(buf, a), b)
+	default:
+		ops := append([]int32(nil), p.fanins[in.a:in.a+in.b]...)
+		sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+		for _, o := range ops {
+			buf = appendNet(buf, o)
+		}
+	}
+	return buf
 }
 
 // emitConst emits a constant write for net id and records its value
@@ -169,7 +237,7 @@ func (p *Program) emitConst(id int, v bool, known []uint8) {
 // OR) are dropped, a known controlling operand (0 for AND, 1 for OR)
 // folds the gate to a constant, and duplicate operands collapse by
 // idempotence. inv selects the inverting variant.
-func (p *Program) compileAndOr(id int, g *logic.Gate, known []uint8, ins []int32, and, inv bool) []int32 {
+func (p *Program) compileAndOr(id int, g *logic.Gate, known []uint8, alias, ins []int32, and, inv bool) []int32 {
 	identity, controlling := kOne, kZero
 	if !and {
 		identity, controlling = kZero, kOne
@@ -183,8 +251,8 @@ func (p *Program) compileAndOr(id int, g *logic.Gate, known []uint8, ins []int32
 		case controlling:
 			controlled = true
 		default:
-			if !containsNet(ins, int32(f)) {
-				ins = append(ins, int32(f))
+			if af := alias[f]; !containsNet(ins, af) {
+				ins = append(ins, af)
 			}
 		}
 	}
@@ -241,7 +309,7 @@ func (p *Program) compileAndOr(id int, g *logic.Gate, known []uint8, ins []int32
 // compileXor lowers an XOR/XNOR gate: known-0 operands drop, known-1
 // operands flip the output parity, and paired duplicate operands
 // cancel (x XOR x = 0). inv starts the parity at XNOR.
-func (p *Program) compileXor(id int, g *logic.Gate, known []uint8, ins []int32, inv bool) []int32 {
+func (p *Program) compileXor(id int, g *logic.Gate, known []uint8, alias, ins []int32, inv bool) []int32 {
 	flip := inv
 	ins = ins[:0]
 	for _, f := range g.Fanin {
@@ -251,10 +319,11 @@ func (p *Program) compileXor(id int, g *logic.Gate, known []uint8, ins []int32, 
 		case kOne:
 			flip = !flip
 		default:
-			if i := indexOfNet(ins, int32(f)); i >= 0 {
+			af := alias[f]
+			if i := indexOfNet(ins, af); i >= 0 {
 				ins = append(ins[:i], ins[i+1:]...)
 			} else {
-				ins = append(ins, int32(f))
+				ins = append(ins, af)
 			}
 		}
 	}

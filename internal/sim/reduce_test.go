@@ -1,0 +1,201 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fuzzdiff"
+	"dft/internal/logic"
+	"dft/internal/sim"
+)
+
+// checkReduced verifies the full reduction contract for one circuit:
+// the reduced netlist lints as clean as the original, preserves the
+// PI/PO/DFF interface exactly, and is functionally equivalent on
+// random stimulus — including every claim the remap table makes.
+func checkReduced(t *testing.T, c *logic.Circuit, rng *rand.Rand) {
+	t.Helper()
+	rc, rm := sim.Reduce(c)
+
+	// Interface preservation: pattern and response vectors must carry
+	// over unchanged.
+	if got, want := len(rc.PIs), len(c.PIs); got != want {
+		t.Fatalf("Reduce changed PI count: got %d want %d", got, want)
+	}
+	if got, want := len(rc.POs), len(c.POs); got != want {
+		t.Fatalf("Reduce changed PO count: got %d want %d", got, want)
+	}
+	if got, want := len(rc.DFFs), len(c.DFFs); got != want {
+		t.Fatalf("Reduce changed DFF count: got %d want %d", got, want)
+	}
+	if rc.NumNets() > c.NumNets() {
+		t.Errorf("Reduce grew the netlist: %d nets from %d", rc.NumNets(), c.NumNets())
+	}
+
+	// The guard property: reduction never introduces diagnostics. The
+	// generator and the builtin library both produce lint-clean
+	// netlists, so the reduced form must be clean too.
+	if ds := fuzzdiff.Lint(c); len(ds) != 0 {
+		t.Fatalf("input circuit not lint-clean, test premise broken: %v", ds)
+	}
+	if ds := fuzzdiff.Lint(rc); len(ds) != 0 {
+		t.Fatalf("Reduce introduced diagnostics (stats %+v): %v", rm.Stats, ds)
+	}
+
+	// Source elements must map to themselves positionally.
+	for i, pi := range c.PIs {
+		if rm.NetOf[pi] != rc.PIs[i] {
+			t.Fatalf("PI %d maps to %d, want %d", pi, rm.NetOf[pi], rc.PIs[i])
+		}
+	}
+	for i, d := range c.DFFs {
+		if rm.NetOf[d] != rc.DFFs[i] {
+			t.Fatalf("DFF %d maps to %d, want %d", d, rm.NetOf[d], rc.DFFs[i])
+		}
+	}
+
+	// Functional equivalence over random 64-pattern words, with DFF
+	// outputs driven as free inputs so sequential behavior is covered
+	// for arbitrary state.
+	for trial := 0; trial < 4; trial++ {
+		pi := make([]uint64, len(c.PIs))
+		state := make([]uint64, len(c.DFFs))
+		for i := range pi {
+			pi[i] = rng.Uint64()
+		}
+		for i := range state {
+			state[i] = rng.Uint64()
+		}
+		ov := sim.EvalWords(c, pi, state)
+		rv := sim.EvalWords(rc, pi, state)
+		for i := range c.POs {
+			if ov[c.POs[i]] != rv[rc.POs[i]] {
+				t.Fatalf("trial %d: PO %d differs: %x vs %x (stats %+v)",
+					trial, i, ov[c.POs[i]], rv[rc.POs[i]], rm.Stats)
+			}
+		}
+		for i := range c.DFFs {
+			od := c.Gates[c.DFFs[i]].Fanin[0]
+			rd := rc.Gates[rc.DFFs[i]].Fanin[0]
+			if ov[od] != rv[rd] {
+				t.Fatalf("trial %d: next-state %d differs: %x vs %x", trial, i, ov[od], rv[rd])
+			}
+		}
+		// Every remap claim must hold for every net.
+		for n := 0; n < c.NumNets(); n++ {
+			if rn := rm.NetOf[n]; rn >= 0 && ov[n] != rv[rn] {
+				t.Fatalf("trial %d: net %d (%s) mapped to %d but values differ: %x vs %x",
+					trial, n, c.NameOf(n), rn, ov[n], rv[rn])
+			}
+			if kv := rm.ConstOf[n]; kv >= 0 {
+				want := uint64(0)
+				if kv == 1 {
+					want = ^uint64(0)
+				}
+				if ov[n] != want {
+					t.Fatalf("trial %d: net %d (%s) claimed constant %d but evaluates %x",
+						trial, n, c.NameOf(n), kv, ov[n])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceBuiltins runs the reduction guard over the whole builtin
+// circuit library at its default sizes.
+func TestReduceBuiltins(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range circuits.BuiltinNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := circuits.Builtin(name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReduced(t, c, rng)
+		})
+	}
+}
+
+// TestReduceFuzzCircuits runs the guard over generator output across a
+// spread of shapes: const-heavy, tie-heavy, deep, wide, sequential.
+func TestReduceFuzzCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for seed := int64(0); seed < 60; seed++ {
+		c := fuzzdiff.Generate(fuzzdiff.ShapeConfig(seed), seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkReduced(t, c, rng)
+		})
+	}
+	// Force the corners the shaped seeds may under-sample.
+	corners := []fuzzdiff.Config{
+		{Inputs: 4, Gates: 80, ConstProb: 0.45, TieProb: 0.30},
+		{Inputs: 3, Gates: 60, MaxFanin: 2, GateMix: []logic.GateType{logic.Xor, logic.Xnor}, TieProb: 0.4},
+		{Inputs: 6, Gates: 120, DFFs: 6, ConstProb: 0.25},
+		{Inputs: 2, Gates: 40, GateMix: []logic.GateType{logic.Buf, logic.Not}},
+		{Inputs: 10, Gates: 200, DepthBias: 0.95},
+	}
+	for i, cfg := range corners {
+		for s := int64(0); s < 8; s++ {
+			c := fuzzdiff.Generate(cfg, 1000+int64(i)*8+s)
+			t.Run(fmt.Sprintf("corner%d_seed%d", i, s), func(t *testing.T) {
+				checkReduced(t, c, rng)
+			})
+		}
+	}
+}
+
+// TestReduceActuallyReduces pins down that the pass finds real work on
+// circuits built to contain it: shared structure for hashing, constant
+// feeds for folding, single-fanout chains for collapsing.
+func TestReduceActuallyReduces(t *testing.T) {
+	b := logic.New("reducible")
+	a := b.AddInput("a")
+	x := b.AddInput("x")
+	y := b.AddInput("y")
+	one := b.AddGate(logic.Const1, "one")
+	// Two structurally identical NANDs (commutative operands) -> one
+	// survives; NAND is inverting so absorption cannot claim it first.
+	n1 := b.AddGate(logic.Nand, "n1", a, x)
+	n2 := b.AddGate(logic.Nand, "n2", x, a)
+	// Constant feed folds through.
+	g3 := b.AddGate(logic.And, "g3", n1, one)
+	// Buf chain collapses.
+	g4 := b.AddGate(logic.Buf, "g4", g3)
+	// Single-fanout AND absorbed into its NAND reader.
+	g5 := b.AddGate(logic.And, "g5", g4, n2)
+	g6 := b.AddGate(logic.Nand, "g6", g5, y)
+	b.MarkOutput(g6)
+	c := b.MustFinalize()
+
+	rc, rm := sim.Reduce(c)
+	if rm.Stats.Hashed == 0 {
+		t.Errorf("expected structural hashing to fire: %+v", rm.Stats)
+	}
+	if rm.Stats.Collapsed == 0 {
+		t.Errorf("expected wrapper/FFR collapsing to fire: %+v", rm.Stats)
+	}
+	if rc.NumGates() >= c.NumGates() {
+		t.Errorf("expected fewer gates: %d -> %d", c.NumGates(), rc.NumGates())
+	}
+	checkReduced(t, c, rand.New(rand.NewSource(3)))
+}
+
+// TestReduceConstantCircuit exercises the orphan-repair path: folding
+// the only reader of a primary input must not leave the input dangling.
+func TestReduceConstantCircuit(t *testing.T) {
+	b := logic.New("allconst")
+	a := b.AddInput("a")
+	// XOR(a, a) == 0: a's single reader folds to a constant.
+	x := b.AddGate(logic.Xor, "x", a, a)
+	y := b.AddGate(logic.Not, "y", x)
+	b.MarkOutput(y)
+	c := b.MustFinalize()
+	checkReduced(t, c, rand.New(rand.NewSource(5)))
+	_, rm := sim.Reduce(c)
+	if rm.ConstOf[y] != 1 {
+		t.Errorf("expected output folded to constant 1, got %d", rm.ConstOf[y])
+	}
+}

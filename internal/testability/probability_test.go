@@ -1,6 +1,7 @@
 package testability
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -114,7 +115,10 @@ func TestDetectProbabilityCalibration(t *testing.T) {
 		}
 		pats[i] = pat
 	}
-	res := fault.SimulatePatterns(c, cl.Reps, pats)
+	res, err := fault.Simulate(context.Background(), c, cl.Reps, pats, fault.Options{Backend: fault.BackendParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Compare the prediction with measurement in aggregate: faults
 	// predicted easy (dp > 0.2) must on average be found much earlier
 	// than faults predicted hard (dp < 0.05).

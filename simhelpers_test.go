@@ -1,0 +1,21 @@
+package dft
+
+import (
+	"context"
+	"testing"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// mustFaultSim grades faults through the engine's Options surface,
+// failing the test on error — the migration shim for the removed
+// package-level convenience wrappers.
+func mustFaultSim(tb testing.TB, c *logic.Circuit, faults []fault.Fault, pats [][]bool, opts fault.Options) *fault.Result {
+	tb.Helper()
+	res, err := fault.Simulate(context.Background(), c, faults, pats, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
