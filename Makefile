@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-telemetry race-fault race-sim race-service check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service clean
+.PHONY: all build vet test race race-telemetry race-fault race-sim race-service race-compact check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service bench-compact clean
 
 all: check
 
@@ -42,7 +42,13 @@ race-sim:
 race-service:
 	$(GO) test -race ./internal/service/...
 
-check: build vet race-telemetry race-fault race-sim race-service race fuzz-smoke
+# race-compact covers the compaction engine's sharded replay sessions —
+# worker-invariance tests drive the same session at several sharding
+# degrees.
+race-compact:
+	$(GO) test -race ./internal/compact/...
+
+check: build vet race-telemetry race-fault race-sim race-service race-compact race fuzz-smoke
 
 # fuzz runs the coverage-guided differential fuzz targets: the compiled
 # kernel against the interpreter at every execution width, and every
@@ -94,6 +100,13 @@ bench-sim:
 bench-service:
 	DFT_BENCH_JSON=BENCH_service.json $(GO) test -bench=BenchmarkService -benchmem .
 
+# bench-compact measures test-set compaction on random and
+# deterministic workloads (targets: ≥ 4× on a 1024-pattern random set,
+# ≥ 1.5× on the classical per-fault deterministic set) and leaves the
+# ratios and engine counters as a dft.run-report/v1 document.
+bench-compact:
+	DFT_BENCH_JSON=BENCH_compact.json $(GO) test -bench=BenchmarkCompact -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json BENCH_compact.json

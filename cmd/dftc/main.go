@@ -8,7 +8,8 @@
 //
 //	dftc info      <file.bench>
 //	dftc scoap     <file.bench> [-top N]
-//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
+//	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact off|reverse|static|dynamic|full] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
+//	dftc compact   <file.bench> [-mode reverse|static|full] [-in cubes.txt | -random N] [-seed S] [-scan] [-workers N] [-kernel compiled|interp] [-timeout D] [-json] [-out file]
 //	dftc faultsim  <file.bench> [-patterns N] [-seed S] [-scan] [-engine auto|parallel|faultparallel|cpt|deductive|serial] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
 //	dftc scan      <file.bench> [-style lssd|mux]
 //	dftc bilbo     <c1.bench> <c2.bench> [-patterns N]
@@ -43,6 +44,7 @@ import (
 	"dft/internal/atpg"
 	"dft/internal/bilbo"
 	"dft/internal/circuits"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/experiments"
 	"dft/internal/fault"
@@ -68,6 +70,7 @@ var subcommands = map[string]func([]string) error{
 	"info":        cmdInfo,
 	"scoap":       cmdScoap,
 	"atpg":        cmdATPG,
+	"compact":     cmdCompact,
 	"faultsim":    cmdFaultSim,
 	"scan":        cmdScan,
 	"bilbo":       cmdBILBO,
@@ -207,6 +210,12 @@ subcommands:
   info <f.bench>                      structural summary
   scoap <f.bench> [-top N]            SCOAP testability analysis
   atpg <f.bench> [flags]              deterministic test generation
+                                      (-compact off|reverse|static|dynamic|full
+                                      shrinks the set before reporting)
+  compact <f.bench> [flags]           compact a test set: -in cubes.txt reads
+                                      01X cubes (one per line), -random N
+                                      compacts a seeded random set; kept
+                                      patterns print to stdout or -out file
   faultsim <f.bench> [flags]          random-pattern fault grading
   scan <f.bench> [-style lssd|mux]    scan insertion, emits .bench
   bilbo <c1> <c2> [-patterns N]       BILBO self-test coverage
@@ -304,7 +313,7 @@ func cmdATPG(args []string) error {
 	engine := fs.String("engine", "podem", "podem or dalg")
 	scan := fs.Bool("scan", false, "assume full scan (LSSD view)")
 	random := fs.Int("random", 0, "random-first pattern budget")
-	compact := fs.Bool("compact", false, "reverse-order compaction")
+	compactFlag := fs.String("compact", "off", "compaction mode: off, reverse, static, dynamic or full")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
 	kernel := fs.String("kernel", "compiled", "simulation kernel: compiled or interp")
@@ -336,10 +345,14 @@ func cmdATPG(args []string) error {
 	} else if *engine != "podem" {
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
+	mode, err := compact.ParseMode(*compactFlag)
+	if err != nil {
+		return err
+	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	ts, err := d.GenerateContext(ctx, core.GenerateOptions{
-		Engine: e, RandomFirst: *random, Seed: *seed, Compact: *compact,
+		Engine: e, RandomFirst: *random, Seed: *seed, CompactMode: mode,
 		Workers: *workers,
 	})
 	if err != nil {
@@ -351,7 +364,7 @@ func cmdATPG(args []string) error {
 			"engine":  *engine,
 			"scan":    *scan,
 			"random":  *random,
-			"compact": *compact,
+			"compact": mode.String(),
 			"seed":    *seed,
 			"workers": *workers,
 			"kernel":  k.String(),
@@ -366,9 +379,25 @@ func cmdATPG(args []string) error {
 			"gates":        d.Circuit.NumGates(),
 			"dffs":         d.Circuit.NumDFFs(),
 		}
+		if st := ts.Compaction; st != nil {
+			rep.Results["patterns_in"] = st.PatternsIn
+			rep.Results["patterns_out"] = st.PatternsOut
+			rep.Results["compact_ratio"] = st.Ratio
+			rep.Results["replay_passes"] = st.ReplayPasses
+			rep.Results["merge_attempts"] = st.MergeAttempts
+			rep.Results["merge_hits"] = st.MergeHits
+		}
 		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
 	}
 	fmt.Print(d.BuildReport(ts))
+	if st := ts.Compaction; st != nil {
+		note := "coverage unchanged"
+		if st.DetectedOut > st.DetectedIn {
+			note = fmt.Sprintf("coverage +%d faults", st.DetectedOut-st.DetectedIn)
+		}
+		fmt.Printf("compact   : patterns %d -> %d (%.1fx, %d replay passes), %s\n",
+			st.PatternsIn, st.PatternsOut, st.Ratio, st.ReplayPasses, note)
+	}
 	if ts.Untestable > 0 {
 		fmt.Printf("untestable (redundant) faults: %d\n", ts.Untestable)
 	}

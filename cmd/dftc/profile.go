@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"dft/internal/atpg"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/signature"
 	"dft/internal/telemetry"
@@ -94,7 +96,11 @@ func cmdProfile(args []string) error {
 	}
 
 	step("compact", func() string {
-		kept := atpg.Compact(d.Circuit, d.View(), d.Faults(), podemSet.Patterns)
+		kept, _, err := compact.Patterns(context.Background(), d.Circuit, d.View(), d.Faults(),
+			podemSet.Patterns, compact.Options{Mode: compact.ModeReverse})
+		if err != nil {
+			return fmt.Sprintf("error: %v", err)
+		}
 		results["compact_kept"] = len(kept)
 		return fmt.Sprintf("%d -> %d patterns", len(podemSet.Patterns), len(kept))
 	})

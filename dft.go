@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 
+	"dft/internal/atpg"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/logic"
@@ -95,6 +97,40 @@ func Reduce(c *Circuit) (*Circuit, *ReduceMap) {
 // circuit.
 func FaultUniverse(c *Circuit) []Fault {
 	return fault.Universe(c)
+}
+
+// CompactMode selects the test-set compaction passes; see
+// GenerateOptions.CompactMode and ParseCompactMode.
+type CompactMode = compact.Mode
+
+// CompactOptions configures CompactPatterns.
+type CompactOptions = compact.Options
+
+// CompactStats reports what a compaction run did.
+type CompactStats = compact.Stats
+
+// Re-exported CompactMode constants.
+const (
+	CompactOff     = compact.ModeOff
+	CompactReverse = compact.ModeReverse
+	CompactStatic  = compact.ModeStatic
+	CompactDynamic = compact.ModeDynamic
+	CompactFull    = compact.ModeFull
+)
+
+// ParseCompactMode maps a mode name (off, reverse, static, dynamic,
+// full — as accepted by dftc -compact and the service options schema)
+// to a CompactMode, with did-you-mean suggestions on unknown names.
+func ParseCompactMode(s string) (CompactMode, error) {
+	return compact.ParseMode(s)
+}
+
+// CompactPatterns compacts a fully-specified pattern set against the
+// fault list by reverse-order replay; the kept set detects exactly
+// what the input did. See internal/compact for the cube-level entry
+// points, reached through GenerateOptions.CompactMode.
+func CompactPatterns(ctx context.Context, c *Circuit, faults []Fault, patterns [][]bool, opt CompactOptions) ([][]bool, *CompactStats, error) {
+	return compact.Patterns(ctx, c, atpg.PrimaryView(c), faults, patterns, opt)
 }
 
 // Design is a circuit moving through the DFT flow.

@@ -6,11 +6,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"dft/internal/atpg"
 	"dft/internal/circuits"
+	"dft/internal/compact"
 	"dft/internal/diagnose"
 	"dft/internal/fault"
 )
@@ -23,7 +25,11 @@ func main() {
 	cl := fault.CollapseEquiv(c, u)
 	gen := atpg.Generate(c, atpg.PrimaryView(c), cl.Reps,
 		atpg.Config{Engine: atpg.EnginePodem, RandomFirst: 64, RandomSeed: 2})
-	patterns := atpg.Compact(c, atpg.PrimaryView(c), cl.Reps, gen.Patterns)
+	patterns, _, err := compact.Patterns(context.Background(), c, atpg.PrimaryView(c), cl.Reps,
+		gen.Patterns, compact.Options{Mode: compact.ModeReverse})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("test set: %d patterns, %.0f%% stuck-at coverage\n",
 		len(patterns), gen.RawCover*100)
 

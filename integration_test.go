@@ -6,6 +6,7 @@ package dft
 // diagnosis — on one design each.
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"dft/internal/atpg"
 	"dft/internal/bilbo"
 	"dft/internal/circuits"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/diagnose"
 	"dft/internal/fault"
@@ -63,7 +65,14 @@ func TestIntegrationFullScanFlow(t *testing.T) {
 	if gen.RawCover < 1.0 {
 		t.Fatalf("scan ATPG coverage %.3f", gen.RawCover)
 	}
-	patterns := atpg.Compact(c, view, cl.Reps, gen.Patterns)
+	patterns, cst, err := compact.Patterns(context.Background(), c, view, cl.Reps, gen.Patterns,
+		compact.Options{Mode: compact.ModeReverse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.PatternsOut > cst.PatternsIn {
+		t.Fatalf("compaction grew the set: %+v", cst)
+	}
 	if got := mustFaultSim(t, c, cl.Reps, patterns, fault.Options{Backend: fault.BackendParallel, View: fault.View{Inputs: view.Inputs, Outputs: view.Outputs}}); got.Coverage() < 1.0 {
 		t.Fatalf("compacted coverage %.3f", got.Coverage())
 	}

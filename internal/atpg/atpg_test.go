@@ -264,22 +264,6 @@ func TestGenerateDeterministicOnly(t *testing.T) {
 	}
 }
 
-func TestCompactShrinksAndPreservesCoverage(t *testing.T) {
-	c := circuits.RippleAdder(6)
-	cl := fault.CollapseEquiv(c, fault.Universe(c))
-	view := PrimaryView(c)
-	res := Generate(c, view, cl.Reps, Config{Engine: EnginePodem, RandomFirst: 256, RandomSeed: 3})
-	compacted := Compact(c, view, cl.Reps, res.Patterns)
-	if len(compacted) > len(res.Patterns) {
-		t.Fatalf("compaction grew the set: %d -> %d", len(res.Patterns), len(compacted))
-	}
-	before := mustSimView(t, c, view, cl.Reps, res.Patterns)
-	after := mustSimView(t, c, view, cl.Reps, compacted)
-	if after.NumCaught < before.NumCaught {
-		t.Fatalf("compaction lost coverage: %d -> %d", before.NumCaught, after.NumCaught)
-	}
-}
-
 func TestTestStringAndFill(t *testing.T) {
 	tst := Test{Values: []logic.V{logic.Zero, logic.One, logic.X}}
 	if tst.String() != "01X" {

@@ -1,0 +1,98 @@
+package atpg
+
+import (
+	"testing"
+
+	"dft/internal/circuits"
+	"dft/internal/fault"
+	"dft/internal/logic"
+	"dft/internal/telemetry"
+)
+
+// PodemExtend must keep the base cube's care bits byte-for-byte and,
+// when it succeeds, produce a cube detecting both the base fault and
+// the secondary target.
+func TestPodemExtendPreservesBase(t *testing.T) {
+	c := circuits.ArrayMultiplier(4)
+	view := PrimaryView(c)
+	faults := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+	extended := 0
+	for fi := 0; fi+1 < len(faults) && extended < 25; fi++ {
+		base, err := Podem(c, view, faults[fi], PodemConfig{})
+		if err != nil {
+			continue
+		}
+		for fj := fi + 1; fj < fi+8 && fj < len(faults); fj++ {
+			ext, err := PodemExtend(c, view, faults[fj], base, PodemConfig{MaxBacktracks: 64})
+			if err != nil {
+				continue
+			}
+			extended++
+			for i, v := range base.Values {
+				if v != logic.X && ext.Values[i] != v {
+					t.Fatalf("fault pair (%d,%d): base care bit %d changed %v -> %v", fi, fj, i, v, ext.Values[i])
+				}
+			}
+			if !Verify(c, view, faults[fi], ext) {
+				t.Fatalf("fault pair (%d,%d): extension lost the primary detection", fi, fj)
+			}
+			if !Verify(c, view, faults[fj], ext) {
+				t.Fatalf("fault pair (%d,%d): extension does not detect its own target", fi, fj)
+			}
+		}
+	}
+	if extended == 0 {
+		t.Fatal("no extension ever succeeded — test exercised nothing")
+	}
+}
+
+// A fully specified incompatible base must fail with ErrUntestable
+// even when the fault is testable on its own: the error means "no
+// completion of base", not "redundant".
+func TestPodemExtendIncompatibleBase(t *testing.T) {
+	c := andCircuit()
+	and, _ := c.NetByName("C")
+	view := PrimaryView(c)
+	f := fault.Fault{Gate: and, Pin: 0, SA: logic.One}
+	// The only test is 01; freeze A=1 so no completion works.
+	base := Test{Values: []logic.V{logic.One, logic.X}}
+	if _, err := PodemExtend(c, view, f, base, PodemConfig{}); err != ErrUntestable {
+		t.Fatalf("want ErrUntestable, got %v", err)
+	}
+	if test, err := Podem(c, view, f, PodemConfig{}); err != nil || !Verify(c, view, f, test) {
+		t.Fatalf("fault is testable standalone: test=%v err=%v", test, err)
+	}
+}
+
+// Dynamic compaction must not change what a run detects — only how
+// many patterns it takes. Coverage stays identical everywhere; the
+// pattern count strictly shrinks on the control-heavy ALU (on wide
+// data paths random X-fill can beat directed extension, which is why
+// the pipeline always finishes with a reverse replay).
+func TestGenerateDynamicCompaction(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		c          *logic.Circuit
+		mustShrink bool
+	}{
+		{"alu74181", circuits.ALU74181(), true},
+		{"mult4", circuits.ArrayMultiplier(4), false},
+	} {
+		c := tc.c
+		view := PrimaryView(c)
+		targets := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+		reg := telemetry.NewRegistry()
+		plain := Generate(c, view, targets, Config{RandomSeed: 5, Metrics: reg})
+		dyn := Generate(c, view, targets, Config{RandomSeed: 5, Dynamic: true, Metrics: reg})
+		if dyn.Coverage != plain.Coverage {
+			t.Fatalf("%s: dynamic coverage %v != plain %v", tc.name, dyn.Coverage, plain.Coverage)
+		}
+		if tc.mustShrink && len(dyn.Patterns) >= len(plain.Patterns) {
+			t.Fatalf("%s: dynamic produced %d patterns, plain %d — no compaction", tc.name, len(dyn.Patterns), len(plain.Patterns))
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["compact.dynamic.attempts"] == 0 || snap.Counters["compact.dynamic.hits"] == 0 {
+			t.Fatalf("%s: dynamic counters not flushed: %v", tc.name, snap.Counters)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"errors"
+	"fmt"
 
 	"dft/internal/fault"
 	"dft/internal/logic"
@@ -31,11 +32,33 @@ const DefaultBacktracks = 10000
 // branch-and-bound over view-input assignments only, with objectives
 // backtraced from the fault site and D-frontier.
 func Podem(c *logic.Circuit, view View, f fault.Fault, cfg PodemConfig) (Test, error) {
+	return podemSearch(newSim5(c, view, f), cfg)
+}
+
+// PodemExtend runs the PODEM search for f on top of an existing test
+// cube: base's assigned inputs are frozen (backtrace never revisits a
+// non-X input) and only base's X positions are decision variables.
+// This is the dynamic-compaction primitive — extending a deterministic
+// test toward a secondary target without disturbing its primary
+// detection. ErrUntestable here means only that no completion of base
+// detects f, NOT that f is globally untestable.
+func PodemExtend(c *logic.Circuit, view View, f fault.Fault, base Test, cfg PodemConfig) (Test, error) {
+	if len(base.Values) != len(view.Inputs) {
+		panic(fmt.Sprintf("atpg: base test width %d != view width %d", len(base.Values), len(view.Inputs)))
+	}
+	s := newSim5(c, view, f)
+	copy(s.assign, base.Values)
+	return podemSearch(s, cfg)
+}
+
+// podemSearch is the shared branch-and-bound loop. Inputs already
+// assigned in s.assign are constants: backtrace refuses to return
+// them, so decisions are made only over the remaining X positions.
+func podemSearch(s *sim5, cfg PodemConfig) (Test, error) {
 	maxBT := cfg.MaxBacktracks
 	if maxBT <= 0 {
 		maxBT = DefaultBacktracks
 	}
-	s := newSim5(c, view, f)
 
 	type decision struct {
 		idx     int // index into view.Inputs

@@ -73,26 +73,9 @@ func TestPropertyEnginesAgreeOnTestability(t *testing.T) {
 	}
 }
 
-// TestPropertyCompactionPreservesCoverage on random circuits.
-func TestPropertyCompactionPreservesCoverage(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		c := circuits.RandomCircuit(rng, 8, 40, 4, 4)
-		cl := fault.CollapseEquiv(c, fault.Universe(c))
-		view := PrimaryView(c)
-		res := Generate(c, view, cl.Reps, Config{Engine: EnginePodem, RandomFirst: 128, RandomSeed: seed})
-		compacted := Compact(c, view, cl.Reps, res.Patterns)
-		if len(compacted) > len(res.Patterns) {
-			return false
-		}
-		before := simViewQuick(c, view, cl.Reps, res.Patterns)
-		after := simViewQuick(c, view, cl.Reps, compacted)
-		return after.NumCaught >= before.NumCaught
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
-		t.Error(err)
-	}
-}
+// Compaction coverage-preservation properties moved to
+// internal/compact (which owns the compaction engine now) — see
+// compact's property and fuzzdiff CheckCompaction tests.
 
 // TestPropertyDominanceTargetsSuffice: generating tests only for the
 // dominance-reduced target list still detects the dropped (dominating)

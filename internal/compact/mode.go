@@ -1,0 +1,127 @@
+// Package compact shrinks test sets. The paper's cost model makes the
+// case: tester time scales with pattern count (and test cost with the
+// N³ of Eq. 1), so a test set 4× larger than necessary wastes most of
+// what a fast generator buys. Three cooperating passes do the work —
+// reverse-order fault simulation (keep only patterns that first-detect
+// something, walking last-to-first), static compaction (merge
+// compatible partially-specified cubes before X-fill), and dynamic
+// compaction (grow each deterministic cube toward secondary targets
+// inside the generator, driven by atpg.PodemExtend). Every pipeline
+// ends with replay, so a compacted set is never larger than its input
+// and always detects the same collapsed fault set.
+package compact
+
+import "fmt"
+
+// Mode selects which compaction passes run. The zero value is Off.
+type Mode int
+
+const (
+	// ModeOff disables compaction entirely.
+	ModeOff Mode = iota
+	// ModeReverse runs reverse-order replay only: patterns are graded
+	// last-to-first with dropping and only first-detectors survive.
+	ModeReverse
+	// ModeStatic merges compatible test cubes before X-fill, then
+	// replays. Requires cubes; raw pattern sets fall back to replay.
+	ModeStatic
+	// ModeDynamic extends each deterministic cube toward secondary
+	// targets during generation, then replays the result.
+	ModeDynamic
+	// ModeFull runs everything: dynamic generation, static merging,
+	// reverse replay.
+	ModeFull
+)
+
+// Enabled reports whether any compaction runs.
+func (m Mode) Enabled() bool { return m != ModeOff }
+
+// Dynamic reports whether generation-time cube extension is on; the
+// ATPG driver consults it via core.GenerateOptions.
+func (m Mode) Dynamic() bool { return m == ModeDynamic || m == ModeFull }
+
+// static reports whether the cube-merging pass runs.
+func (m Mode) static() bool { return m == ModeStatic || m == ModeFull }
+
+// String names the mode as accepted by the dftc -compact flag.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeReverse:
+		return "reverse"
+	case ModeStatic:
+		return "static"
+	case ModeDynamic:
+		return "dynamic"
+	case ModeFull:
+		return "full"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// modeNames lists every accepted -compact spelling, for parse errors
+// and did-you-mean suggestions.
+var modeNames = []string{"off", "reverse", "static", "dynamic", "full"}
+
+// ParseMode maps a dftc -compact flag value to a Mode. Unknown names
+// get a did-you-mean suggestion when an accepted spelling is within
+// edit distance 3, mirroring fault.ParseBackend.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return ModeOff, nil
+	case "reverse":
+		return ModeReverse, nil
+	case "static":
+		return ModeStatic, nil
+	case "dynamic":
+		return ModeDynamic, nil
+	case "full":
+		return ModeFull, nil
+	}
+	want := "want off, reverse, static, dynamic or full"
+	if sug := closestModeName(s); sug != "" {
+		return ModeOff, fmt.Errorf("compact: unknown mode %q (did you mean %q? %s)", s, sug, want)
+	}
+	return ModeOff, fmt.Errorf("compact: unknown mode %q (%s)", s, want)
+}
+
+// closestModeName suggests a mode name within edit distance 3.
+func closestModeName(s string) string {
+	best, bestDist := "", 4
+	for _, n := range modeNames {
+		if d := modeEditDistance(s, n); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	return best
+}
+
+// modeEditDistance is the Levenshtein distance between a and b.
+func modeEditDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1
+			if c := cur[j-1] + 1; c < d {
+				d = c
+			}
+			if c := prev[j-1] + cost; c < d {
+				d = c
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -14,6 +14,7 @@ import (
 
 	"dft/internal/atpg"
 	"dft/internal/bilbo"
+	"dft/internal/compact"
 	"dft/internal/cost"
 	"dft/internal/fault"
 	"dft/internal/fuzzdiff"
@@ -134,6 +135,9 @@ type TestSet struct {
 	Untestable int
 	Aborted    int
 	TargetN    int
+	// Compaction holds the compaction pass's stats, nil when compaction
+	// was off.
+	Compaction *compact.Stats
 }
 
 // GenerateOptions tunes Generate.
@@ -142,7 +146,12 @@ type GenerateOptions struct {
 	RandomFirst   int
 	MaxBacktracks int
 	Seed          int64
-	Compact       bool
+	// Compact is the legacy on/off switch, equivalent to CompactMode =
+	// compact.ModeReverse; CompactMode wins when both are set.
+	Compact bool
+	// CompactMode selects the compaction pipeline (off / reverse /
+	// static / dynamic / full) run on the generated set.
+	CompactMode compact.Mode
 	// Rand, when non-nil, is the injected random source; it takes
 	// precedence over Seed.
 	Rand *rand.Rand
@@ -169,6 +178,10 @@ func (d *Design) GenerateContext(ctx context.Context, opt GenerateOptions) (Test
 	span.SetDetail(d.Circuit.Name)
 	defer span.End()
 	targets := d.Faults()
+	mode := opt.CompactMode
+	if mode == compact.ModeOff && opt.Compact {
+		mode = compact.ModeReverse
+	}
 	res, err := atpg.GenerateContext(ctx, d.Circuit, d.View(), targets, atpg.Config{
 		Engine:        opt.Engine,
 		MaxBacktracks: opt.MaxBacktracks,
@@ -176,23 +189,34 @@ func (d *Design) GenerateContext(ctx context.Context, opt GenerateOptions) (Test
 		RandomFirst:   opt.RandomFirst,
 		Rand:          opt.Rand,
 		Workers:       opt.Workers,
+		Dynamic:       mode.Dynamic(),
 		Metrics:       opt.Metrics,
 	})
 	if err != nil {
 		return TestSet{}, err
 	}
-	patterns := res.Patterns
-	if opt.Compact {
-		patterns = atpg.Compact(d.Circuit, d.View(), targets, patterns)
-	}
-	return TestSet{
-		Patterns:   patterns,
+	ts := TestSet{
 		Coverage:   res.Coverage,
 		RawCover:   res.RawCover,
 		Untestable: len(res.Untestable),
 		Aborted:    len(res.Aborted),
 		TargetN:    len(targets),
-	}, nil
+	}
+	if mode.Enabled() {
+		st, err := compact.Result(ctx, d.Circuit, d.View(), targets, res, compact.Options{
+			Mode:    mode,
+			Workers: opt.Workers,
+			Rand:    opt.Rand,
+			Seed:    opt.Seed,
+			Metrics: opt.Metrics,
+		})
+		if err != nil {
+			return TestSet{}, err
+		}
+		ts.Compaction = st
+	}
+	ts.Patterns = res.Patterns
+	return ts, nil
 }
 
 // RandomTests generates random patterns with fault dropping and

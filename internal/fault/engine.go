@@ -3,6 +3,7 @@ package fault
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -471,7 +472,11 @@ const minSessionShard = 64
 // list — the engine's interface for generator loops (random-pattern
 // ATPG, compaction) that produce patterns block by block and need to
 // know which patterns earned their keep. Dropping is always on: a
-// session exists to shrink its live list.
+// session exists to shrink its live list. Replay adds the compaction
+// discipline on top: a whole packed set graded in either direction
+// with per-pattern first-detect credit, and Reset re-arms the fault
+// list between passes without rebuilding the session (or re-collapsing
+// the fault list).
 type Session struct {
 	e      *Engine
 	faults []Fault
@@ -481,7 +486,7 @@ type Session struct {
 	// per-worker scratch, reused every block
 	counts  []int
 	caughts []int
-	usefuls []uint64
+	credits [][64]int
 
 	// packed holds the current block, packed once and shared read-only
 	// by every worker's LoadPackedBlock.
@@ -502,24 +507,58 @@ func (e *Engine) NewSession(faults []Fault) *Session {
 		live:    live,
 		counts:  make([]int, e.workers),
 		caughts: make([]int, e.workers),
-		usefuls: make([]uint64, e.workers),
+		credits: make([][64]int, e.workers),
 		packed:  make([]uint64, len(e.inputs)),
 	}
 }
 
-// ApplyBlock grades one block of up to 64 patterns against the
-// still-live faults, with dropping. Newly caught faults are marked in
-// detected (indexed like the session's fault list), and the returned
-// mask has bit p set when block pattern p was the first detector of
-// some fault — the block's "useful" patterns. The live list is sharded
-// across the engine's workers when it is large enough to pay for the
-// per-worker good-machine pass; outcomes are bit-identical either way.
-func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
-	e := s.e
-	if len(block) > 64 {
-		block = block[:64]
+// Reset re-arms every fault: the live list returns to the full fault
+// list and the caught count clears, while the engine's pooled
+// simulators — the expensive state — carry over. Multi-pass compaction
+// replays call this between passes.
+func (s *Session) Reset() {
+	if cap(s.live) < len(s.faults) {
+		s.live = make([]int, len(s.faults))
 	}
-	k := sim.PackPatternsInto(block, s.packed)
+	s.live = s.live[:len(s.faults)]
+	for i := range s.live {
+		s.live[i] = i
+	}
+	s.caught = 0
+}
+
+// ReplayOrder selects the direction Replay walks a pattern set.
+type ReplayOrder int
+
+const (
+	// ReplayForward walks patterns first-to-last; a caught fault
+	// credits its lowest-indexed detecting pattern.
+	ReplayForward ReplayOrder = iota
+	// ReplayReverse walks patterns last-to-first; a caught fault
+	// credits its highest-indexed detecting pattern — the reverse-order
+	// compaction discipline.
+	ReplayReverse
+)
+
+// creditBit picks the block bit a newly caught fault credits: the
+// first detecting pattern met in walk order.
+func creditBit(det uint64, order ReplayOrder) int {
+	if order == ReplayReverse {
+		return 63 - bits.LeadingZeros64(det)
+	}
+	return bits.TrailingZeros64(det)
+}
+
+// applyPacked grades one packed block (k patterns in the words' low
+// bits) against the still-live faults, with dropping. Newly caught
+// faults are marked in detected (indexed like the session's fault
+// list) and each credits exactly one block pattern — the first one met
+// in walk order — by incrementing credits[bit]. The live list is
+// sharded across the engine's workers when it is large enough to pay
+// for the per-worker good-machine pass; per-worker credit buffers are
+// summed afterwards, so outcomes are identical for every worker count.
+func (s *Session) applyPacked(words []uint64, k int, order ReplayOrder, detected []bool, credits *[64]int) {
+	e := s.e
 	mask := ^uint64(0)
 	if k < 64 {
 		mask = 1<<uint(k) - 1
@@ -528,11 +567,10 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 	if max := len(s.live) / minSessionShard; w > max {
 		w = max
 	}
-	var useful uint64
 	var masks, evals int64
 	if w <= 1 {
 		ps := e.sim(0)
-		ps.LoadPackedBlock(s.packed, k)
+		ps.LoadPackedBlock(words, k)
 		wr := 0
 		for _, fi := range s.live {
 			det := ps.FaultMask(s.faults[fi]) & mask
@@ -543,7 +581,7 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 			}
 			detected[fi] = true
 			s.caught++
-			useful |= det & -det
+			credits[creditBit(det, order)]++
 		}
 		s.live = s.live[:wr]
 		masks, evals = ps.TakeCounts()
@@ -560,9 +598,9 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 				defer wg.Done()
 				lo, hi := wi*nLive/w, (wi+1)*nLive/w
 				ps := e.sim(wi)
-				ps.LoadPackedBlock(s.packed, k)
+				ps.LoadPackedBlock(words, k)
 				wr := lo
-				var myUseful uint64
+				myCredits := &s.credits[wi]
 				myCaught := 0
 				for _, fi := range s.live[lo:hi] {
 					det := ps.FaultMask(s.faults[fi]) & mask
@@ -573,11 +611,10 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 					}
 					detected[fi] = true
 					myCaught++
-					myUseful |= det & -det
+					myCredits[creditBit(det, order)]++
 				}
 				s.counts[wi] = wr - lo
 				s.caughts[wi] = myCaught
-				s.usefuls[wi] = myUseful
 			}(wi)
 		}
 		wg.Wait()
@@ -590,7 +627,12 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 		s.live = s.live[:kept]
 		for wi := 0; wi < w; wi++ {
 			s.caught += s.caughts[wi]
-			useful |= s.usefuls[wi]
+			for b, n := range s.credits[wi] {
+				if n != 0 {
+					credits[b] += n
+					s.credits[wi][b] = 0
+				}
+			}
 			m, ev := e.sims[wi].TakeCounts()
 			masks += m
 			evals += ev
@@ -600,8 +642,76 @@ func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
 	reg.Counter("fault.sim.faultmasks").Add(masks)
 	reg.Counter("fault.sim.events").Add(evals)
 	reg.Counter("fault.sim.blocks").Inc()
-	reg.Counter("fault.sim.patterns").Add(int64(len(block)))
+	reg.Counter("fault.sim.patterns").Add(int64(k))
+}
+
+// ApplyBlock grades one block of up to 64 patterns against the
+// still-live faults, with dropping. Newly caught faults are marked in
+// detected (indexed like the session's fault list), and the returned
+// mask has bit p set when block pattern p was the first detector of
+// some fault — the block's "useful" patterns. The live list is sharded
+// across the engine's workers when it is large enough to pay for the
+// per-worker good-machine pass; outcomes are bit-identical either way.
+func (s *Session) ApplyBlock(block [][]bool, detected []bool) uint64 {
+	if len(block) > 64 {
+		block = block[:64]
+	}
+	k := sim.PackPatternsInto(block, s.packed)
+	var credits [64]int
+	s.applyPacked(s.packed, k, ReplayForward, detected, &credits)
+	var useful uint64
+	for b := 0; b < k; b++ {
+		if credits[b] != 0 {
+			useful |= 1 << uint(b)
+		}
+	}
 	return useful
+}
+
+// Replay grades an entire packed pattern set through the session with
+// dropping, crediting each fault's first detection to exactly one
+// pattern and returning the per-pattern credit counts: credits[p] is
+// the number of faults pattern p first-detected, so the patterns with
+// credits[p] > 0 are the set's useful patterns. Under ReplayForward
+// blocks run first-to-last and a fault credits its lowest-indexed
+// detecting pattern; under ReplayReverse blocks run last-to-first and
+// a fault credits its highest-indexed one — exactly per-pattern
+// reverse-order processing, at PPSFP block speed: dropping between
+// blocks reproduces the per-pattern live lists, and within a block
+// each fault's detection mask is independent of the order patterns are
+// consumed. detected, when non-nil, receives the caught faults
+// (indexed like the session's fault list). Cancellation is honored
+// between blocks. Callers replaying a set from scratch on a used
+// session call Reset first.
+func (s *Session) Replay(ctx context.Context, pats *PackedPatterns, order ReplayOrder, detected []bool) ([]int, error) {
+	if pats.NumInputs() != len(s.e.inputs) {
+		panic(fmt.Sprintf("fault: packed patterns are %d wide for %d view inputs", pats.NumInputs(), len(s.e.inputs)))
+	}
+	if detected == nil {
+		detected = make([]bool, len(s.faults))
+	}
+	credits := make([]int, pats.NumPatterns())
+	nb := pats.NumBlocks()
+	for i := 0; i < nb && len(s.live) > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			s.e.reg.Counter("fault.engine.cancelled").Inc()
+			return nil, err
+		}
+		bi := i
+		if order == ReplayReverse {
+			bi = nb - 1 - i
+		}
+		words, k := pats.Block(bi)
+		var block [64]int
+		s.applyPacked(words, k, order, detected, &block)
+		base := bi * 64
+		for b := 0; b < k; b++ {
+			if block[b] != 0 {
+				credits[base+b] = block[b]
+			}
+		}
+	}
+	return credits, nil
 }
 
 // Remaining reports the number of still-undetected faults.

@@ -91,8 +91,9 @@ func runConfig(ctx context.Context, c *logic.Circuit, faults []fault.Fault, pats
 type Divergence struct {
 	// Kind is "kernel" (good-machine valuations differ across kernels
 	// or execution widths), "backend" (fault.Result differs across
-	// matrix cells), or "lint" (the generator emitted an invalid
-	// netlist — a generator bug).
+	// matrix cells), "compact" (the compaction engine disagrees with
+	// the baseline grading oracle), or "lint" (the generator emitted an
+	// invalid netlist — a generator bug).
 	Kind string
 	// Seed replays the circuit via Generate(ShapeConfig(Seed), Seed)
 	// when the divergence came out of Round; 0 for hand-built circuits.
@@ -418,9 +419,10 @@ type RoundOptions struct {
 
 // Round runs one complete differential round for a seed: generate a
 // circuit from the config, lint it, cross-check the kernels at every
-// execution width, then sweep the backend matrix over a collapsed
-// fault list and a seeded random pattern set. It returns the first
-// divergence, or nil for a clean round. The fuzz.rounds and
+// execution width, sweep the backend matrix over a collapsed fault
+// list and a seeded random pattern set, then cross-check the
+// compaction engine against the baseline grading oracle. It returns
+// the first divergence, or nil for a clean round. The fuzz.rounds and
 // fuzz.divergences counters record the outcome.
 func Round(cfg Config, seed int64, opt RoundOptions) *Divergence {
 	if opt.Patterns <= 0 {
@@ -442,6 +444,12 @@ func Round(cfg Config, seed int64, opt RoundOptions) *Divergence {
 	d, err := CheckBackends(context.Background(), c, faults, pats, seed)
 	if err != nil {
 		d = &Divergence{Kind: "backend", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
+	}
+	if d == nil {
+		d, err = CheckCompaction(context.Background(), c, faults, pats, seed)
+		if err != nil {
+			d = &Divergence{Kind: "compact", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
+		}
 	}
 	if d != nil {
 		cDivergences.Inc()

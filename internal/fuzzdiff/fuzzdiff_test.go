@@ -157,6 +157,33 @@ func TestRoundCleanTree(t *testing.T) {
 	}
 }
 
+// TestCheckCompactionCleanSweep is the compaction acceptance check:
+// 200 seeded rounds of the compaction cross-oracle — reverse replay
+// against an independent baseline grade, worker invariance, static
+// merge coverage repair and seed purity — must produce zero
+// divergences.
+func TestCheckCompactionCleanSweep(t *testing.T) {
+	rounds := int64(200)
+	if testing.Short() {
+		rounds = 25
+	}
+	for seed := int64(1); seed <= rounds; seed++ {
+		c := Generate(ShapeConfig(seed), seed)
+		if ds := Lint(c); HasErrors(ds) {
+			t.Fatalf("seed %d: generator emitted errors: %v", seed, ds)
+		}
+		faults := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+		pats := RandomPatterns(len(c.PIs), 48, seed^0x6A09E667)
+		d, err := CheckCompaction(context.Background(), c, faults, pats, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d != nil {
+			t.Fatalf("seed %d diverged:\n%s", seed, d.Repro())
+		}
+	}
+}
+
 // TestBrokenKernelCaught corrupts each instruction of a compiled
 // program in turn and requires the differential checker to catch at
 // least one mutant with a usable, replayable repro — the acceptance

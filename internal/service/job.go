@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dft/internal/circuits"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/logic"
@@ -55,9 +56,14 @@ type Options struct {
 	Drop     string `json:"drop,omitempty"`
 
 	// atpg: engine (podem|dalg), random-first budget, compaction.
-	Engine  string `json:"engine,omitempty"`
-	Random  int    `json:"random,omitempty"`
-	Compact bool   `json:"compact,omitempty"`
+	// Compact is the legacy on/off switch (reverse-order compaction);
+	// CompactMode (off|reverse|static|dynamic|full) selects the full
+	// pipeline and wins when both are set. On faultsim jobs CompactMode
+	// compacts the graded random set and reports the ratio.
+	Engine      string `json:"engine,omitempty"`
+	Random      int    `json:"random,omitempty"`
+	Compact     bool   `json:"compact,omitempty"`
+	CompactMode string `json:"compact_mode,omitempty"`
 
 	// fuzz: differential-fuzz rounds (seeds 1..Rounds).
 	Rounds int `json:"rounds,omitempty"`
@@ -126,6 +132,9 @@ func parseRequest(req JobRequest) (*parsedRequest, error) {
 	case "", "podem", "dalg":
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want podem or dalg)", req.Options.Engine)
+	}
+	if _, err := compact.ParseMode(req.Options.CompactMode); err != nil {
+		return nil, err
 	}
 
 	p := &parsedRequest{req: req}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dft/internal/atpg"
+	"dft/internal/compact"
 	"dft/internal/core"
 	"dft/internal/fault"
 	"dft/internal/fuzzdiff"
@@ -122,17 +123,36 @@ func runFaultSim(ctx context.Context, p *parsedRequest, reg *telemetry.Registry)
 			kept[pi] = true
 		}
 	}
+	mode, _ := compact.ParseMode(o.CompactMode) // validated at admission
+	var cst *compact.Stats
+	if mode.Enabled() {
+		_, cst, err = compact.Patterns(ctx, d.Circuit, view, d.Faults(), pats, compact.Options{
+			Mode: mode, Workers: o.Workers, Seed: seed, Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	rep := telemetry.NewReport("dftd", string(KindFaultSim), p.input)
 	rep.Config = map[string]any{
 		"patterns": n, "seed": seed, "scan": o.Scan,
 		"engine": backend.String(), "workers": o.Workers,
 		"drop": drop == fault.DropOn,
 	}
+	if mode.Enabled() {
+		rep.Config["compact_mode"] = mode.String()
+	}
 	rep.Results = map[string]any{
 		"coverage":      res.Coverage(),
 		"kept_patterns": len(kept),
 		"targets":       len(res.Faults),
 		"detected":      res.NumCaught,
+	}
+	if cst != nil {
+		rep.Results["patterns_in"] = cst.PatternsIn
+		rep.Results["patterns_out"] = cst.PatternsOut
+		rep.Results["compact_ratio"] = cst.Ratio
+		rep.Results["replay_passes"] = cst.ReplayPasses
 	}
 	if prog := sim.ActiveProgram(d.Circuit); prog != nil {
 		rep.Results["folded_gates"] = prog.Folded()
@@ -154,11 +174,13 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 		engine = atpg.EngineDAlg
 	}
 	seed := seedOf(o)
+	mode, _ := compact.ParseMode(o.CompactMode) // validated at admission
 	ts, err := d.GenerateContext(ctx, core.GenerateOptions{
 		Engine:      engine,
 		RandomFirst: o.Random,
 		Seed:        seed,
 		Compact:     o.Compact,
+		CompactMode: mode,
 		Workers:     o.Workers,
 		Metrics:     reg,
 	})
@@ -170,6 +192,9 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 		"engine": o.Engine, "scan": o.Scan, "random": o.Random,
 		"compact": o.Compact, "seed": seed, "workers": o.Workers,
 	}
+	if mode.Enabled() {
+		rep.Config["compact_mode"] = mode.String()
+	}
 	rep.Results = map[string]any{
 		"patterns":     len(ts.Patterns),
 		"coverage":     ts.Coverage,
@@ -179,6 +204,12 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 		"targets":      ts.TargetN,
 		"gates":        d.Circuit.NumGates(),
 		"dffs":         d.Circuit.NumDFFs(),
+	}
+	if ts.Compaction != nil {
+		rep.Results["patterns_in"] = ts.Compaction.PatternsIn
+		rep.Results["patterns_out"] = ts.Compaction.PatternsOut
+		rep.Results["compact_ratio"] = ts.Compaction.Ratio
+		rep.Results["replay_passes"] = ts.Compaction.ReplayPasses
 	}
 	return rep, nil
 }

@@ -456,6 +456,7 @@ func TestServiceValidation(t *testing.T) {
 		"huge size":       {Kind: KindFaultSim, Builtin: "adder", N: 1 << 20},
 		"bad backend":     {Kind: KindFaultSim, Builtin: "c17", Options: Options{Backend: "warp"}},
 		"bad engine":      {Kind: KindATPG, Builtin: "c17", Options: Options{Engine: "brute"}},
+		"bad compaction":  {Kind: KindATPG, Builtin: "c17", Options: Options{CompactMode: "bogus"}},
 		"negative budget": {Kind: KindFaultSim, Builtin: "c17", Options: Options{Patterns: -4}},
 		"fuzz + circuit":  {Kind: KindFuzz, Builtin: "c17"},
 		"bad bench": {Kind: KindFaultSim,
@@ -477,6 +478,57 @@ func TestServiceValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("cancel unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceCompactMode: compact_mode on atpg jobs runs the full
+// compaction pipeline and surfaces its stats in the report, and on
+// faultsim jobs compacts the graded random set.
+func TestServiceCompactMode(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{Workers: 2, QueueDepth: 8})
+	defer srv.Shutdown(context.Background())
+
+	v, code, _ := postJob(t, ts.URL, JobRequest{
+		Kind: KindATPG, Builtin: "alu74181",
+		Options: Options{Random: 64, CompactMode: "full"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got := waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("atpg compact job: %s (%s)", got.State, got.Error)
+	}
+	results := reportResults(t, got)
+	var in, out int
+	if err := json.Unmarshal(results["patterns_in"], &in); err != nil {
+		t.Fatalf("patterns_in missing: %v", err)
+	}
+	if err := json.Unmarshal(results["patterns_out"], &out); err != nil {
+		t.Fatalf("patterns_out missing: %v", err)
+	}
+	if out > in || out == 0 {
+		t.Fatalf("compaction: patterns %d -> %d", in, out)
+	}
+
+	v, code, _ = postJob(t, ts.URL, JobRequest{
+		Kind: KindFaultSim, Builtin: "mult", N: 5,
+		Options: Options{Patterns: 256, CompactMode: "reverse"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got = waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("faultsim compact job: %s (%s)", got.State, got.Error)
+	}
+	results = reportResults(t, got)
+	var ratio float64
+	if err := json.Unmarshal(results["compact_ratio"], &ratio); err != nil {
+		t.Fatalf("compact_ratio missing: %v", err)
+	}
+	if ratio < 2 {
+		t.Fatalf("faultsim compact ratio = %.2f, want >= 2 on a 256-pattern random set", ratio)
 	}
 }
 

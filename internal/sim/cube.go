@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dft/internal/logic"
+)
+
+// PackedCube is a partially-specified input vector packed along the
+// input axis: bit i of Care is set when input i is assigned, and bit i
+// of Val holds its value (only meaningful under a set Care bit). Two
+// word slices make the static-compaction inner loop — compatibility
+// checks over thousands of cube pairs — a handful of word operations
+// instead of a per-input walk.
+type PackedCube struct {
+	Care []uint64
+	Val  []uint64
+}
+
+// PackCube packs a ternary input vector (logic.Zero / logic.One /
+// logic.X per input) into word form.
+func PackCube(vals []logic.V) PackedCube {
+	nw := (len(vals) + 63) / 64
+	c := PackedCube{Care: make([]uint64, nw), Val: make([]uint64, nw)}
+	for i, v := range vals {
+		switch v {
+		case logic.One:
+			c.Care[i/64] |= 1 << uint(i%64)
+			c.Val[i/64] |= 1 << uint(i%64)
+		case logic.Zero:
+			c.Care[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return c
+}
+
+// Compatible reports whether the two cubes agree on every input both
+// care about — i.e. whether they can be merged into one pattern.
+func (c PackedCube) Compatible(d PackedCube) bool {
+	if len(c.Care) != len(d.Care) {
+		panic(fmt.Sprintf("sim: cube widths differ (%d vs %d words)", len(c.Care), len(d.Care)))
+	}
+	for w := range c.Care {
+		if both := c.Care[w] & d.Care[w]; both&(c.Val[w]^d.Val[w]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge absorbs d into c: every input d cares about becomes assigned
+// in c. The caller must have checked Compatible first; on conflicting
+// bits the result is undefined.
+func (c PackedCube) Merge(d PackedCube) {
+	for w := range c.Care {
+		c.Care[w] |= d.Care[w]
+		c.Val[w] |= d.Val[w] & d.Care[w]
+	}
+}
+
+// CareCount is the number of assigned inputs — the cube's specificity,
+// which greedy essential-fault-first ordering sorts on.
+func (c PackedCube) CareCount() int {
+	n := 0
+	for _, w := range c.Care {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Unpack expands the cube back to a ternary vector of n inputs.
+func (c PackedCube) Unpack(n int) []logic.V {
+	vals := make([]logic.V, n)
+	for i := range vals {
+		switch {
+		case c.Care[i/64]&(1<<uint(i%64)) == 0:
+			vals[i] = logic.X
+		case c.Val[i/64]&(1<<uint(i%64)) != 0:
+			vals[i] = logic.One
+		default:
+			vals[i] = logic.Zero
+		}
+	}
+	return vals
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dft/internal/logic"
+)
+
+func randCubeVals(rng *rand.Rand, n int) []logic.V {
+	vals := make([]logic.V, n)
+	for i := range vals {
+		vals[i] = [3]logic.V{logic.Zero, logic.One, logic.X}[rng.Intn(3)]
+	}
+	return vals
+}
+
+// naiveCompatible is the per-input reference the packed word check
+// must agree with.
+func naiveCompatible(a, b []logic.V) bool {
+	for i := range a {
+		if a[i] != logic.X && b[i] != logic.X && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPackedCubeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 7, 64, 65, 130} {
+		for trial := 0; trial < 200; trial++ {
+			a, b := randCubeVals(rng, n), randCubeVals(rng, n)
+			pa, pb := PackCube(a), PackCube(b)
+			if got, want := pa.Compatible(pb), naiveCompatible(a, b); got != want {
+				t.Fatalf("n=%d: Compatible=%v naive=%v\na=%v\nb=%v", n, got, want, a, b)
+			}
+			if got := pa.Unpack(n); len(got) != n {
+				t.Fatalf("Unpack length %d", len(got))
+			} else {
+				for i := range got {
+					if got[i] != a[i] {
+						t.Fatalf("n=%d input %d: round trip %v != %v", n, i, got[i], a[i])
+					}
+				}
+			}
+			if !pa.Compatible(pb) {
+				continue
+			}
+			pa.Merge(pb)
+			merged := pa.Unpack(n)
+			for i := range merged {
+				want := a[i]
+				if want == logic.X {
+					want = b[i]
+				}
+				if merged[i] != want {
+					t.Fatalf("n=%d input %d: merged %v, want %v", n, i, merged[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedCubeCareCount(t *testing.T) {
+	c := PackCube([]logic.V{logic.One, logic.X, logic.Zero, logic.X, logic.One})
+	if c.CareCount() != 3 {
+		t.Fatalf("CareCount = %d, want 3", c.CareCount())
+	}
+	if c.Compatible(PackCube([]logic.V{logic.Zero, logic.X, logic.Zero, logic.X, logic.One})) {
+		t.Fatal("conflicting first bit reported compatible")
+	}
+}

@@ -20,6 +20,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("service.jobs.accepted").Add(42)
 	r.Counter("fault.sim.events").Add(123456)
+	r.Counter("compact.patterns.dropped").Add(315)
+	r.Counter("compact.merge.attempts").Add(12)
+	r.Counter("compact.merge.hits").Add(5)
 	r.Gauge("service.queue.depth").Set(7)
 	r.Timer("service.job.run").Observe(1500 * time.Millisecond)
 	r.Timer("service.job.run").Observe(500 * time.Millisecond)
