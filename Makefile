@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-telemetry race-fault race-sim race-service race-compact check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service bench-compact clean
+.PHONY: all build vet test race race-telemetry race-fault race-sim race-service race-compact race-diagnose check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service bench-compact bench-diagnose clean
 
 all: check
 
@@ -48,7 +48,13 @@ race-service:
 race-compact:
 	$(GO) test -race ./internal/compact/...
 
-check: build vet race-telemetry race-fault race-sim race-service race-compact race fuzz-smoke
+# race-diagnose covers the fault-dictionary build (engine detail grades
+# at several backends and worker counts must agree byte-for-byte) and
+# the pooled per-dictionary simulator shared by concurrent lookups.
+race-diagnose:
+	$(GO) test -race ./internal/diagnose/...
+
+check: build vet race-telemetry race-fault race-sim race-service race-compact race-diagnose race fuzz-smoke
 
 # fuzz runs the coverage-guided differential fuzz targets: the compiled
 # kernel against the interpreter at every execution width, and every
@@ -107,6 +113,14 @@ bench-service:
 bench-compact:
 	DFT_BENCH_JSON=BENCH_compact.json $(GO) test -bench=BenchmarkCompact -benchmem .
 
+# bench-diagnose measures fault-dictionary construction: the
+# engine-backed build against the legacy serial per-fault loop (target:
+# ≥ 4× on the 8×8 multiplier), plus the full-response tier and the
+# compacted-input variant, leaving dictionary sizes and the speedup as
+# a dft.run-report/v1 document.
+bench-diagnose:
+	DFT_BENCH_JSON=BENCH_diagnose.json $(GO) test -bench=BenchmarkDiagnose -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json BENCH_compact.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json BENCH_compact.json BENCH_diagnose.json

@@ -7,6 +7,7 @@ package dft
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"strings"
@@ -778,8 +779,124 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 	pats := benchPatterns(c, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		diagnose.Build(c, u, pats)
+		if _, err := diagnose.Build(context.Background(), c, u, pats, diagnose.Options{}); err != nil {
+			b.Fatal(err)
+		}
 	}
+}
+
+// legacyDictionaryBuild replicates the pre-engine serial dictionary
+// loop byte-for-byte as the BenchmarkDiagnose baseline: one fresh
+// ParallelSim, per-output bit-by-bit response extraction into a
+// full per-pattern matrix, and an fnv hash over every response word.
+func legacyDictionaryBuild(c *logic.Circuit, faults []fault.Fault, patterns [][]bool) map[uint64][]int {
+	poWords := (len(c.POs) + 63) / 64
+	responses := make([][][]uint64, len(faults))
+	for i := range responses {
+		responses[i] = make([][]uint64, len(patterns))
+		for p := range responses[i] {
+			responses[i][p] = make([]uint64, poWords)
+		}
+	}
+	ps := fault.NewParallelSim(c)
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		k := ps.LoadBlock(patterns[base:end])
+		for fi, f := range faults {
+			ps.FaultMask(f)
+			for j, po := range c.POs {
+				diff := ps.FaultyWord(po) ^ ps.GoodWord(po)
+				for bit := 0; bit < k; bit++ {
+					if diff>>uint(bit)&1 == 1 {
+						responses[fi][base+bit][j/64] |= 1 << uint(j%64)
+					}
+				}
+			}
+		}
+	}
+	byHash := map[uint64][]int{}
+	var buf [8]byte
+	for fi := range responses {
+		h := fnv.New64a()
+		for _, pat := range responses[fi] {
+			for _, w := range pat {
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(w >> uint(8*i))
+				}
+				h.Write(buf[:])
+			}
+		}
+		byHash[h.Sum64()] = append(byHash[h.Sum64()], fi)
+	}
+	return byHash
+}
+
+// BenchmarkDiagnose measures the tentpole claims on the 8×8 multiplier:
+// engine-backed dictionary builds vs the legacy serial loop, and the
+// storage cost of the compact tier vs the full-response tier vs a
+// compacted-input dictionary. Gauges land in BENCH_diagnose.json via
+// DFT_BENCH_JSON.
+func BenchmarkDiagnose(b *testing.B) {
+	reg := telemetry.Default()
+	c := circuits.ArrayMultiplier(8)
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	pats := benchPatterns(c, 256)
+	var engineNs, legacyNs int64
+	b.Run("build/engine/mult8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := diagnose.Build(context.Background(), c, cl.Reps, pats, diagnose.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				reg.Gauge("diagnose.bench.dict_bytes_compact").Set(int64(d.CompactBytes()))
+			}
+		}
+		engineNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		reg.Gauge("diagnose.bench.engine_ns_per_build").Set(engineNs)
+	})
+	b.Run("build/legacy/mult8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			legacyDictionaryBuild(c, cl.Reps, pats)
+		}
+		legacyNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		reg.Gauge("diagnose.bench.legacy_ns_per_build").Set(legacyNs)
+		if engineNs > 0 {
+			reg.Gauge("diagnose.bench.speedup_x100").Set(legacyNs * 100 / engineNs)
+		}
+	})
+	b.Run("build/full/mult8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := diagnose.Build(context.Background(), c, cl.Reps, pats, diagnose.Options{Workers: 1, Full: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				reg.Gauge("diagnose.bench.dict_bytes_full").Set(int64(d.CompactBytes() + d.FullBytes()))
+			}
+		}
+	})
+	b.Run("build/compacted/mult8", func(b *testing.B) {
+		kept, _, err := compact.Patterns(context.Background(), c, atpg.PrimaryView(c), cl.Reps, pats,
+			compact.Options{Mode: compact.ModeReverse, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := diagnose.Build(context.Background(), c, cl.Reps, kept, diagnose.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				reg.Gauge("diagnose.bench.dict_bytes_compacted_input").Set(int64(d.CompactBytes()))
+				reg.Gauge("diagnose.bench.compacted_input_patterns").Set(int64(d.NumPats))
+			}
+		}
+	})
 }
 
 func BenchmarkHazardAnalysis(b *testing.B) {

@@ -20,7 +20,7 @@
 //	dftc bridge    <file.bench> [-limit N] [-window W] [-seed S]
 //	dftc cmos      <file.bench> [-seed S]
 //	dftc seqtest   <file.bench> [-frames N]
-//	dftc diagnose  <file.bench> [-patterns N] [-seed S]
+//	dftc diagnose  <file.bench> [-patterns N] [-seed S] [-scan] [-engine B] [-workers N] [-compact M] [-full] [-save F | -load F] [-inject "gN s-a-V" | -signature 0101...] [-top N] [-json]
 //	dftc profile   <file.bench> [-seed S] [-json]
 //	dftc experiments [id] [-json]
 //	dftc fuzz      [-rounds N] [-seeds a,b,c] [-patterns N] [-json]
@@ -229,7 +229,11 @@ subcommands:
   bridge <f.bench> [flags]            bridging-fault coverage of an SSA set
   cmos <f.bench>                      stuck-open two-pattern testing
   seqtest <f.bench> [-frames N]       sequential ATPG (time-frame expansion)
-  diagnose <f.bench> [flags]          fault-dictionary resolution
+  diagnose <f.bench> [flags]          fault-dictionary diagnosis: build a
+                                      compact pass/fail dictionary over the
+                                      collapsed faults (-save/-load persist
+                                      it), then -inject or -signature maps an
+                                      observed failure to ranked candidates
   profile <f.bench> [-seed S] [-json] standard workload with per-phase timing
   experiments [id] [-json]            regenerate paper tables/figures
   fuzz [-rounds N] [-seeds a,b,c]     differential fuzz: every kernel/backend

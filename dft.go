@@ -7,6 +7,7 @@ import (
 	"dft/internal/atpg"
 	"dft/internal/compact"
 	"dft/internal/core"
+	"dft/internal/diagnose"
 	"dft/internal/fault"
 	"dft/internal/logic"
 	"dft/internal/service"
@@ -161,10 +162,55 @@ func FromCircuit(c *Circuit) *Design {
 	return core.FromCircuit(c)
 }
 
+// FaultDictionary maps observed failing responses back to candidate
+// fault sites: a compact pass/fail dictionary built through the
+// sharded engine, with exact lookup, Hamming-ranked truncated lookup,
+// adaptive narrowing and a versioned binary encoding.
+type FaultDictionary = diagnose.Dictionary
+
+// DiagnoseOptions configures BuildDictionary; the zero value selects
+// automatic backend choice and the primary view.
+type DiagnoseOptions = diagnose.Options
+
+// DiagnoseCandidate is one ranked suspect from FaultDictionary.Rank.
+type DiagnoseCandidate = diagnose.Candidate
+
+// FailSignature is a pass/fail response string over the dictionary's
+// pattern set; see ParseFailSignature for the wire form.
+type FailSignature = diagnose.Signature
+
+// BuildDictionary fault-simulates every fault against the pattern set
+// through the engine and stores the packed per-pattern detect bits.
+// Rows are bit-identical for every backend and worker count.
+func BuildDictionary(ctx context.Context, c *Circuit, faults []Fault, patterns [][]bool, opts DiagnoseOptions) (*FaultDictionary, error) {
+	return diagnose.Build(ctx, c, faults, patterns, opts)
+}
+
+// DecodeDictionary reads a dictionary previously written with
+// FaultDictionary.Encode, verifying magic, dimensions and checksum;
+// call Attach before simulating new evidence against it.
+func DecodeDictionary(r io.Reader) (*FaultDictionary, error) {
+	return diagnose.Decode(r)
+}
+
+// ParseFailSignature parses a tester response string of '0' (pass) and
+// '1' (fail) characters, one per applied pattern.
+func ParseFailSignature(s string) (FailSignature, error) {
+	return diagnose.ParseSignature(s)
+}
+
+// ParseFault parses a fault name in the "g12 s-a-0" / "g12.in3 s-a-1"
+// form produced by Fault.String; validate against a circuit with
+// Fault.Validate.
+func ParseFault(s string) (Fault, error) {
+	return fault.ParseFault(s)
+}
+
 // Service is the DFT-as-a-service job server: an http.Handler
-// exposing fault simulation, ATPG and differential fuzzing as
-// asynchronous jobs with a bounded queue, worker pool, result cache
-// and admission control. It is the library form of the dftd daemon.
+// exposing fault simulation, ATPG, fault diagnosis and differential
+// fuzzing as asynchronous jobs with a bounded queue, worker pool,
+// result cache and admission control. It is the library form of the
+// dftd daemon.
 type Service = service.Server
 
 // ServiceConfig sizes a Service; the zero value is a working

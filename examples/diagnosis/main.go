@@ -33,10 +33,13 @@ func main() {
 	fmt.Printf("test set: %d patterns, %.0f%% stuck-at coverage\n",
 		len(patterns), gen.RawCover*100)
 
-	dict := diagnose.Build(c, u, patterns)
+	dict, err := diagnose.Build(context.Background(), c, u, patterns, diagnose.Options{})
+	if err != nil {
+		panic(err)
+	}
 	r := dict.Resolution()
-	fmt.Printf("dictionary: %d classes over %d faults (mean %.2f, max %d)\n\n",
-		r.Classes, len(u), r.MeanSize, r.MaxSize)
+	fmt.Printf("dictionary: %d classes over %d faults (mean %.2f, max %d), %d bytes\n\n",
+		r.Classes, len(u), r.MeanSize, r.MaxSize, dict.CompactBytes())
 
 	// A "returned board" with an unknown defect.
 	rng := rand.New(rand.NewSource(7))

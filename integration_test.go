@@ -170,7 +170,10 @@ func TestIntegrationBISTAndDiagnosis(t *testing.T) {
 	cl := fault.CollapseEquiv(c1, fault.Universe(c1))
 	gen := atpg.Generate(c1, atpg.PrimaryView(c1), cl.Reps,
 		atpg.Config{Engine: atpg.EnginePodem, RandomFirst: 64, RandomSeed: 3})
-	dict := diagnose.Build(c1, u, gen.Patterns)
+	dict, err := diagnose.Build(context.Background(), c1, u, gen.Patterns, diagnose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cands := dict.Diagnose(truth)
 	found := false
 	for _, f := range cands {

@@ -6,6 +6,8 @@ package fault
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"dft/internal/logic"
 )
@@ -33,6 +35,59 @@ func (f Fault) String() string {
 		return fmt.Sprintf("g%d s-a-%v", f.Gate, f.SA)
 	}
 	return fmt.Sprintf("g%d.in%d s-a-%v", f.Gate, f.Pin, f.SA)
+}
+
+// ParseFault parses the String rendering back into a Fault: "g12
+// s-a-0" for a stem fault, "g12.in3 s-a-1" for an input-branch fault.
+// It is the wire format used by the service's inject option and the
+// dftc diagnose -inject flag. The gate index is not range-checked
+// here — callers with a circuit in hand validate it against
+// c.NumNets().
+func ParseFault(s string) (Fault, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) != 2 {
+		return Fault{}, fmt.Errorf("fault %q: want \"g<gate> s-a-<v>\" or \"g<gate>.in<pin> s-a-<v>\"", s)
+	}
+	var sa logic.V
+	switch fields[1] {
+	case "s-a-0":
+		sa = logic.Zero
+	case "s-a-1":
+		sa = logic.One
+	default:
+		return Fault{}, fmt.Errorf("fault %q: bad stuck value %q (want s-a-0 or s-a-1)", s, fields[1])
+	}
+	site := fields[0]
+	if !strings.HasPrefix(site, "g") {
+		return Fault{}, fmt.Errorf("fault %q: site %q must start with g", s, site)
+	}
+	site = site[1:]
+	pin := Stem
+	if dot := strings.Index(site, ".in"); dot >= 0 {
+		p, err := strconv.Atoi(site[dot+3:])
+		if err != nil || p < 0 {
+			return Fault{}, fmt.Errorf("fault %q: bad pin index %q", s, site[dot+3:])
+		}
+		pin = p
+		site = site[:dot]
+	}
+	gate, err := strconv.Atoi(site)
+	if err != nil || gate < 0 {
+		return Fault{}, fmt.Errorf("fault %q: bad gate index %q", s, site)
+	}
+	return Fault{Gate: gate, Pin: pin, SA: sa}, nil
+}
+
+// Validate range-checks a parsed fault against the circuit: the gate
+// must exist and a branch pin must name one of its fanin operands.
+func (f Fault) Validate(c *logic.Circuit) error {
+	if f.Gate < 0 || f.Gate >= c.NumNets() {
+		return fmt.Errorf("fault %s: gate out of range (circuit has %d nets)", f, c.NumNets())
+	}
+	if f.Pin != Stem && (f.Pin < 0 || f.Pin >= len(c.Gates[f.Gate].Fanin)) {
+		return fmt.Errorf("fault %s: pin out of range (gate has %d inputs)", f, len(c.Gates[f.Gate].Fanin))
+	}
+	return nil
 }
 
 // Name renders the fault with circuit net names, e.g. "G16 s-a-1" or

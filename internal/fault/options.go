@@ -171,6 +171,16 @@ func (v View) resolve(c *logic.Circuit) (inputs, outputs []int) {
 	return v.Inputs, v.Outputs
 }
 
+// Resolve is the exported form of resolve: the concrete input and
+// output net lists the engine simulates under this view (the zero
+// view selects the primary inputs and outputs). Consumers that build
+// per-output structures over the same nets the engine observes — the
+// diagnose package's full-response dictionary tier — share the
+// resolution rule through it.
+func (v View) Resolve(c *logic.Circuit) (inputs, outputs []int) {
+	return v.resolve(c)
+}
+
 // ParallelismAuto (the Parallelism zero value) packs the full 64-bit
 // word on the backend's packed axis.
 const ParallelismAuto = 0

@@ -89,6 +89,23 @@ func (pp *PackedPatterns) Patterns() [][]bool {
 	return out
 }
 
+// AppendBlock appends one pre-packed 64-pattern block (k patterns,
+// len(words) == nInputs). The set must be 64-aligned — decoders
+// rebuilding a packed set block-by-block are the intended caller.
+func (pp *PackedPatterns) AppendBlock(words []uint64, k int) {
+	if len(words) != pp.nInputs {
+		panic(fmt.Sprintf("fault: block has %d words for %d inputs", len(words), pp.nInputs))
+	}
+	if pp.n%64 != 0 {
+		panic(fmt.Sprintf("fault: AppendBlock on unaligned set (%d patterns)", pp.n))
+	}
+	if k < 0 || k > 64 {
+		panic(fmt.Sprintf("fault: block pattern count %d out of range [0,64]", k))
+	}
+	pp.blocks = append(pp.blocks, append([]uint64(nil), words...))
+	pp.n += k
+}
+
 // AppendEnum appends the full exhaustive enumeration over the free
 // input positions — pattern x (for x in [0, 2^len(free))) assigns bit
 // b of x to input free[b] — with the fixedOnes positions held at 1 and

@@ -92,8 +92,10 @@ type Divergence struct {
 	// Kind is "kernel" (good-machine valuations differ across kernels
 	// or execution widths), "backend" (fault.Result differs across
 	// matrix cells), "compact" (the compaction engine disagrees with
-	// the baseline grading oracle), or "lint" (the generator emitted an
-	// invalid netlist — a generator bug).
+	// the baseline grading oracle), "dict" (the fault-dictionary
+	// detail grade disagrees with the baseline, or is worker/backend
+	// dependent), or "lint" (the generator emitted an invalid netlist
+	// — a generator bug).
 	Kind string
 	// Seed replays the circuit via Generate(ShapeConfig(Seed), Seed)
 	// when the divergence came out of Round; 0 for hand-built circuits.
@@ -421,9 +423,10 @@ type RoundOptions struct {
 // circuit from the config, lint it, cross-check the kernels at every
 // execution width, sweep the backend matrix over a collapsed fault
 // list and a seeded random pattern set, then cross-check the
-// compaction engine against the baseline grading oracle. It returns
-// the first divergence, or nil for a clean round. The fuzz.rounds and
-// fuzz.divergences counters record the outcome.
+// compaction engine and the fault-dictionary detail grade against the
+// baseline grading oracle. It returns the first divergence, or nil for
+// a clean round. The fuzz.rounds and fuzz.divergences counters record
+// the outcome.
 func Round(cfg Config, seed int64, opt RoundOptions) *Divergence {
 	if opt.Patterns <= 0 {
 		opt.Patterns = 64
@@ -449,6 +452,12 @@ func Round(cfg Config, seed int64, opt RoundOptions) *Divergence {
 		d, err = CheckCompaction(context.Background(), c, faults, pats, seed)
 		if err != nil {
 			d = &Divergence{Kind: "compact", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
+		}
+	}
+	if d == nil {
+		d, err = CheckDictionary(context.Background(), c, faults, pats, seed)
+		if err != nil {
+			d = &Divergence{Kind: "dict", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
 		}
 	}
 	if d != nil {

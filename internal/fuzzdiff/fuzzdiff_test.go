@@ -184,6 +184,50 @@ func TestCheckCompactionCleanSweep(t *testing.T) {
 	}
 }
 
+// TestCheckDictionaryCleanSweep is the dictionary acceptance check:
+// seeded rounds of the dictionary cross-oracle — detect-bit agreement
+// with an independent baseline grade, worker/backend invariance of the
+// rows, and closed-loop observe→lookup→rank — must produce zero
+// divergences.
+func TestCheckDictionaryCleanSweep(t *testing.T) {
+	rounds := int64(60)
+	if testing.Short() {
+		rounds = 10
+	}
+	for seed := int64(1); seed <= rounds; seed++ {
+		c := Generate(ShapeConfig(seed), seed)
+		if ds := Lint(c); HasErrors(ds) {
+			t.Fatalf("seed %d: generator emitted errors: %v", seed, ds)
+		}
+		faults := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+		pats := RandomPatterns(len(c.PIs), 48, seed^0x243F6A88)
+		d, err := CheckDictionary(context.Background(), c, faults, pats, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d != nil {
+			t.Fatalf("seed %d diverged:\n%s", seed, d.Repro())
+		}
+	}
+}
+
+// TestDictDivergenceRepro checks that a dict-kind finding carries a
+// usable repro: the netlist, the whole pattern set (rows are set-level
+// properties), and replay instructions.
+func TestDictDivergenceRepro(t *testing.T) {
+	c := Generate(ShapeConfig(4), 4)
+	pats := RandomPatterns(len(c.PIs), 8, 4)
+	d := dictDivergence(c, 4, pats, "fault g1 s-a-0: synthetic detail")
+	if d.Kind != "dict" || len(d.Patterns) != len(pats) {
+		t.Fatalf("divergence malformed: %+v", d)
+	}
+	for _, want := range []string{"synthetic detail", ".bench", "replay: dftc fuzz -seeds 4"} {
+		if !strings.Contains(d.Repro(), want) {
+			t.Fatalf("repro missing %q:\n%s", want, d.Repro())
+		}
+	}
+}
+
 // TestBrokenKernelCaught corrupts each instruction of a compiled
 // program in turn and requires the differential checker to catch at
 // least one mutant with a usable, replayable repro — the acceptance

@@ -1,0 +1,30 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalBench renders the circuit's identity text: its .bench
+// rendering minus the "# name" comment header, so the display name
+// never splits a content key and an inline submission of a builtin's
+// rendering collides with the builtin itself. The service dedup key,
+// the circuit interner and the fault-dictionary netlist hash all key
+// on this rendering.
+func CanonicalBench(c *Circuit) string {
+	var b strings.Builder
+	if err := WriteBench(&b, c); err != nil {
+		// WriteBench over a finalized circuit cannot fail; keep the
+		// result well-defined anyway.
+		return fmt.Sprintf("err=%v\n", err)
+	}
+	var out strings.Builder
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"dft/internal/compact"
+	"dft/internal/diagnose"
+	"dft/internal/fault"
+	"dft/internal/telemetry"
+)
+
+// runDiagnose executes a kind: diagnose job: build (or reuse from the
+// server's dictionary cache) a compact fault dictionary over the
+// collapsed fault list and a compacted seeded pattern set, then map
+// the observed failing signature — supplied directly, or produced by
+// simulating an injected fault — to a ranked candidate list.
+func (s *Server) runDiagnose(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*telemetry.Report, error) {
+	o := p.req.Options
+	d, err := design(p)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := fault.ParseBackend(o.Backend)
+	if err != nil {
+		return nil, err
+	}
+	n := o.Patterns
+	if n == 0 {
+		n = 256
+	}
+	top := o.Top
+	if top == 0 {
+		top = 10
+	}
+	seed := seedOf(o)
+	// Diagnose jobs default to reverse-order compaction: the compacted
+	// set keeps full coverage at a fraction of the patterns, and
+	// dictionary size is patterns × faults, so the shrink is free
+	// resolution-per-byte. compact_mode: "off" opts out.
+	mode, _ := compact.ParseMode(o.CompactMode) // validated at admission
+	if o.CompactMode == "" {
+		mode = compact.ModeReverse
+	}
+
+	view := d.View()
+	cl := fault.CollapseEquiv(d.Circuit, fault.Universe(d.Circuit))
+	rng := rand.New(rand.NewSource(seed))
+	pats := make([][]bool, n)
+	for i := range pats {
+		pat := make([]bool, len(view.Inputs))
+		for j := range pat {
+			pat[j] = rng.Intn(2) == 1
+		}
+		pats[i] = pat
+	}
+	var cst *compact.Stats
+	if mode.Enabled() {
+		pats, cst, err = compact.Patterns(ctx, d.Circuit, view, cl.Reps, pats, compact.Options{
+			Mode: mode, Workers: o.Workers, Seed: seed, Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dopt := diagnose.Options{
+		Backend: backend,
+		Workers: o.Workers,
+		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+		Full:    o.DictFull,
+		Metrics: reg,
+	}
+	dict, cached, err := s.dictionaryFor(p, n, seed, mode, o.DictFull, func() (*diagnose.Dictionary, error) {
+		return diagnose.Build(ctx, d.Circuit, cl.Reps, pats, dopt)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := telemetry.NewReport("dftd", string(KindDiagnose), p.input)
+	rep.Config = map[string]any{
+		"patterns": n, "scan": o.Scan,
+		"engine": backend.String(), "workers": o.Workers,
+		"compact_mode": mode.String(), "top": top,
+		"dict_full": o.DictFull,
+	}
+	recordSeed(rep, o, seed)
+
+	var sig diagnose.Signature
+	if o.Inject != "" {
+		f, err := fault.ParseFault(o.Inject) // syntax checked at admission
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Validate(d.Circuit); err != nil {
+			return nil, err
+		}
+		sig, err = dict.ObserveMachine(f)
+		if err != nil {
+			return nil, err
+		}
+		rep.Config["inject"] = f.String()
+		rep.Results = map[string]any{"injected": f.Name(d.Circuit)}
+		if classID, ok := cl.ClassOf[f]; ok {
+			rep.Results["injected_rep"] = cl.Reps[classID].String()
+		}
+	} else {
+		sig, err = diagnose.ParseSignature(o.Signature)
+		if err != nil {
+			return nil, err
+		}
+		if sig.N > dict.NumPats {
+			return nil, fmt.Errorf("signature covers %d patterns, dictionary has %d", sig.N, dict.NumPats)
+		}
+		rep.Results = map[string]any{}
+	}
+
+	ranked := dict.Rank(sig, top)
+	cands := make([]map[string]any, len(ranked))
+	for i, cand := range ranked {
+		cands[i] = map[string]any{
+			"fault":    cand.Fault.String(),
+			"name":     cand.Fault.Name(d.Circuit),
+			"distance": cand.Distance,
+		}
+	}
+	res := dict.Resolution()
+	rep.Results["candidates"] = cands
+	rep.Results["observed_fails"] = sig.Weight()
+	rep.Results["observed_patterns"] = sig.N
+	if sig.N == dict.NumPats {
+		exact := dict.Lookup(sig)
+		rep.Results["class_size"] = len(exact)
+		if o.Inject != "" {
+			f, _ := fault.ParseFault(o.Inject)
+			hit := false
+			for _, fi := range exact {
+				if classID, ok := cl.ClassOf[f]; ok && dict.Faults[fi] == cl.Reps[classID] {
+					hit = true
+				}
+			}
+			rep.Results["hit"] = hit
+		}
+	}
+	rep.Results["dict_faults"] = len(dict.Faults)
+	rep.Results["universe"] = len(cl.ClassOf)
+	rep.Results["dict_patterns"] = dict.NumPats
+	rep.Results["dict_bytes"] = dict.CompactBytes()
+	rep.Results["dict_full_bytes"] = dict.FullBytes()
+	rep.Results["dict_cached"] = cached
+	rep.Results["classes"] = res.Classes
+	rep.Results["mean_class"] = res.MeanSize
+	rep.Results["max_class"] = res.MaxSize
+	rep.Results["undetected"] = res.Undetected
+	if cst != nil {
+		rep.Results["patterns_in"] = cst.PatternsIn
+		rep.Results["compact_ratio"] = cst.Ratio
+	}
+	return rep, nil
+}
+
+// dictionaryFor serves a dictionary from the server cache or builds
+// and caches it. The key covers the post-scan canonical netlist and
+// every build input that changes the stored bits — patterns, seed,
+// compaction mode, full tier — but NOT workers or backend: rows are
+// worker- and backend-invariant, so an 8-worker CPT job reuses the
+// dictionary a 1-worker parallel job built. Build runs outside the
+// server lock; two racing misses build twice and the second insert
+// wins, which is benign (the dictionaries are identical).
+func (s *Server) dictionaryFor(p *parsedRequest, n int, seed int64, mode compact.Mode, full bool, build func() (*diagnose.Dictionary, error)) (*diagnose.Dictionary, bool, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "dict\nscan=%v\npatterns=%d\nseed=%d\nmode=%s\nfull=%v\n",
+		p.req.Options.Scan, n, seed, mode.String(), full)
+	h.Write([]byte(canonicalBench(p.circuit)))
+	key := hex.EncodeToString(h.Sum(nil))
+
+	s.mu.Lock()
+	if v, ok := s.dicts.get(key); ok {
+		s.mu.Unlock()
+		s.cDictHit.Inc()
+		return v.(*diagnose.Dictionary), true, nil
+	}
+	s.mu.Unlock()
+	s.cDictMiss.Inc()
+	dict, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.dicts.add(key, dict)
+	s.mu.Unlock()
+	return dict, false, nil
+}

@@ -16,7 +16,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"strings"
 	"time"
 
 	"dft/internal/circuits"
@@ -34,6 +33,7 @@ const (
 	KindFaultSim Kind = "faultsim"
 	KindATPG     Kind = "atpg"
 	KindFuzz     Kind = "fuzz"
+	KindDiagnose Kind = "diagnose"
 )
 
 // Options mirrors the dftc flag surface for the jobbed subcommands.
@@ -67,6 +67,18 @@ type Options struct {
 
 	// fuzz: differential-fuzz rounds (seeds 1..Rounds).
 	Rounds int `json:"rounds,omitempty"`
+
+	// diagnose: exactly one of Signature (an observed pass/fail string,
+	// '1' = pattern failed, possibly shorter than the dictionary when
+	// the tester log was truncated) or Inject (a fault in the
+	// fault.ParseFault wire format, e.g. "g12 s-a-0", observed by
+	// simulating the defective machine). Top bounds the ranked
+	// candidate list (default 10); DictFull additionally stores the
+	// per-output full-response tier in the dictionary.
+	Signature string `json:"signature,omitempty"`
+	Inject    string `json:"inject,omitempty"`
+	Top       int    `json:"top,omitempty"`
+	DictFull  bool   `json:"dict_full,omitempty"`
 }
 
 // JobRequest is the POST /v1/jobs body. The circuit comes either
@@ -110,15 +122,37 @@ type parsedRequest struct {
 // structural linting as CLI file loads.
 func parseRequest(req JobRequest) (*parsedRequest, error) {
 	switch req.Kind {
-	case KindFaultSim, KindATPG, KindFuzz:
+	case KindFaultSim, KindATPG, KindFuzz, KindDiagnose:
 	case "":
-		return nil, fmt.Errorf("missing kind (want faultsim, atpg or fuzz)")
+		return nil, fmt.Errorf("missing kind (want faultsim, atpg, fuzz or diagnose)")
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want faultsim, atpg or fuzz)", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want faultsim, atpg, fuzz or diagnose)", req.Kind)
 	}
 	if req.Options.Patterns < 0 || req.Options.Random < 0 || req.Options.Rounds < 0 ||
-		req.Options.Workers < 0 || req.Options.TimeoutMs < 0 {
+		req.Options.Workers < 0 || req.Options.TimeoutMs < 0 || req.Options.Top < 0 {
 		return nil, fmt.Errorf("negative option values are invalid")
+	}
+	if req.Kind == KindDiagnose {
+		switch {
+		case req.Options.Signature == "" && req.Options.Inject == "":
+			return nil, fmt.Errorf("diagnose jobs need a signature or an inject fault")
+		case req.Options.Signature != "" && req.Options.Inject != "":
+			return nil, fmt.Errorf("give signature or inject, not both")
+		case req.Options.Signature != "":
+			for i := 0; i < len(req.Options.Signature); i++ {
+				if b := req.Options.Signature[i]; b != '0' && b != '1' {
+					return nil, fmt.Errorf("signature byte %d is %q (want 0 or 1)", i, b)
+				}
+			}
+		default:
+			// Syntax only at admission: the gate range depends on the
+			// post-scan circuit, so Validate runs inside the job.
+			if _, err := fault.ParseFault(req.Options.Inject); err != nil {
+				return nil, err
+			}
+		}
+	} else if req.Options.Signature != "" || req.Options.Inject != "" {
+		return nil, fmt.Errorf("signature/inject only apply to diagnose jobs")
 	}
 	if _, err := fault.ParseBackend(req.Options.Backend); err != nil {
 		return nil, err
@@ -188,27 +222,13 @@ func requestKey(kind Kind, c *logic.Circuit, opts Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// canonicalBench renders the netlist identity used by both the dedup
-// key and the circuit interner: the circuit's .bench text minus the
-// "# name" comment header, so the display name never splits a key and
-// an inline submission of a builtin's rendering collides with the
-// builtin itself.
+// canonicalBench renders the netlist identity used by the dedup key,
+// the circuit interner and the fault-dictionary cache. It is
+// logic.CanonicalBench, shared with the diagnose package so a stored
+// dictionary's netlist hash and the service's cache keys agree on
+// what "the same circuit" means.
 func canonicalBench(c *logic.Circuit) string {
-	var b strings.Builder
-	if err := logic.WriteBench(&b, c); err != nil {
-		// WriteBench over a finalized circuit cannot fail; keep the
-		// result well-defined anyway.
-		return fmt.Sprintf("err=%v\n", err)
-	}
-	var out strings.Builder
-	for _, line := range strings.Split(b.String(), "\n") {
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		out.WriteString(line)
-		out.WriteByte('\n')
-	}
-	return out.String()
+	return logic.CanonicalBench(c)
 }
 
 // Cancellation reasons recorded in cancel_reason: who or what killed

@@ -33,6 +33,8 @@ func (s *Server) execute(ctx context.Context, j *Job) (*telemetry.Report, error)
 		rep, err = runFaultSim(ctx, p, reg)
 	case KindATPG:
 		rep, err = runATPG(ctx, p, reg)
+	case KindDiagnose:
+		rep, err = s.runDiagnose(ctx, p, reg)
 	default:
 		rep, err = runFuzz(ctx, p, reg)
 	}
@@ -74,6 +76,18 @@ func seedOf(o Options) int64 {
 	return o.Seed
 }
 
+// recordSeed writes the effective seed into the report config. seed 0
+// in a request silently aliases to the CLI default of 1; recording the
+// resolved value (and flagging the aliasing) keeps the report honest —
+// a client that sent seed 0 and reads back seed 1 knows exactly which
+// pattern set was graded.
+func recordSeed(rep *telemetry.Report, o Options, seed int64) {
+	rep.Config["seed"] = seed
+	if o.Seed == 0 {
+		rep.Config["seed_defaulted"] = true
+	}
+}
+
 // runFaultSim mirrors `dftc faultsim`: grade a seeded random pattern
 // set against the collapsed fault list. Coverage is bit-identical to
 // a direct fault.Simulate call with the same circuit, seed and
@@ -107,52 +121,60 @@ func runFaultSim(ctx context.Context, p *parsedRequest, reg *telemetry.Registry)
 		}
 		pats[i] = pat
 	}
-	res, err := fault.Simulate(ctx, d.Circuit, d.Faults(), pats, fault.Options{
-		Backend: backend,
-		Workers: o.Workers,
-		Drop:    drop,
-		View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
-		Metrics: reg,
-	})
-	if err != nil {
-		return nil, err
+	rep := telemetry.NewReport("dftd", string(KindFaultSim), p.input)
+	rep.Config = map[string]any{
+		"patterns": n, "scan": o.Scan,
+		"engine": backend.String(), "workers": o.Workers,
+		"drop": drop == fault.DropOn,
 	}
-	kept := make(map[int]bool)
-	for _, pi := range res.DetectedBy {
-		if pi >= 0 {
-			kept[pi] = true
-		}
-	}
+	recordSeed(rep, o, seed)
 	mode, _ := compact.ParseMode(o.CompactMode) // validated at admission
-	var cst *compact.Stats
 	if mode.Enabled() {
-		_, cst, err = compact.Patterns(ctx, d.Circuit, view, d.Faults(), pats, compact.Options{
+		// Compaction replays the same engine grade internally
+		// (detection outcomes are drop-invariant), so running
+		// fault.Simulate first would grade the whole set twice for the
+		// same numbers. The compactor's before-side stats ARE the
+		// plain grade.
+		_, cst, err := compact.Patterns(ctx, d.Circuit, view, d.Faults(), pats, compact.Options{
 			Mode: mode, Workers: o.Workers, Seed: seed, Metrics: reg,
 		})
 		if err != nil {
 			return nil, err
 		}
-	}
-	rep := telemetry.NewReport("dftd", string(KindFaultSim), p.input)
-	rep.Config = map[string]any{
-		"patterns": n, "seed": seed, "scan": o.Scan,
-		"engine": backend.String(), "workers": o.Workers,
-		"drop": drop == fault.DropOn,
-	}
-	if mode.Enabled() {
 		rep.Config["compact_mode"] = mode.String()
-	}
-	rep.Results = map[string]any{
-		"coverage":      res.Coverage(),
-		"kept_patterns": len(kept),
-		"targets":       len(res.Faults),
-		"detected":      res.NumCaught,
-	}
-	if cst != nil {
-		rep.Results["patterns_in"] = cst.PatternsIn
-		rep.Results["patterns_out"] = cst.PatternsOut
-		rep.Results["compact_ratio"] = cst.Ratio
-		rep.Results["replay_passes"] = cst.ReplayPasses
+		rep.Results = map[string]any{
+			"coverage":      cst.CoverageIn,
+			"kept_patterns": cst.PatternsOut,
+			"targets":       len(d.Faults()),
+			"detected":      cst.DetectedIn,
+			"patterns_in":   cst.PatternsIn,
+			"patterns_out":  cst.PatternsOut,
+			"compact_ratio": cst.Ratio,
+			"replay_passes": cst.ReplayPasses,
+		}
+	} else {
+		res, err := fault.Simulate(ctx, d.Circuit, d.Faults(), pats, fault.Options{
+			Backend: backend,
+			Workers: o.Workers,
+			Drop:    drop,
+			View:    fault.View{Inputs: view.Inputs, Outputs: view.Outputs},
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		kept := make(map[int]bool)
+		for _, pi := range res.DetectedBy {
+			if pi >= 0 {
+				kept[pi] = true
+			}
+		}
+		rep.Results = map[string]any{
+			"coverage":      res.Coverage(),
+			"kept_patterns": len(kept),
+			"targets":       len(res.Faults),
+			"detected":      res.NumCaught,
+		}
 	}
 	if prog := sim.ActiveProgram(d.Circuit); prog != nil {
 		rep.Results["folded_gates"] = prog.Folded()
@@ -190,8 +212,9 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 	rep := telemetry.NewReport("dftd", string(KindATPG), p.input)
 	rep.Config = map[string]any{
 		"engine": o.Engine, "scan": o.Scan, "random": o.Random,
-		"compact": o.Compact, "seed": seed, "workers": o.Workers,
+		"compact": o.Compact, "workers": o.Workers,
 	}
+	recordSeed(rep, o, seed)
 	if mode.Enabled() {
 		rep.Config["compact_mode"] = mode.String()
 	}

@@ -111,6 +111,7 @@ type Server struct {
 	inflight map[string]*Job // request key → queued/running job
 	results  *lruCache       // request key → report bytes
 	interned *lruCache       // netlist hash → *logic.Circuit
+	dicts    *lruCache       // dictionary key → *diagnose.Dictionary
 	seq      int64
 
 	queue chan *Job
@@ -126,6 +127,8 @@ type Server struct {
 	cCacheHit  *telemetry.Counter
 	cCacheMiss *telemetry.Counter
 	cCacheEvict *telemetry.Counter
+	cDictHit    *telemetry.Counter
+	cDictMiss   *telemetry.Counter
 	gQueueDepth *telemetry.Gauge
 	gQueueAge   *telemetry.Gauge
 	gWorkers    *telemetry.Gauge
@@ -145,6 +148,7 @@ func New(cfg Config) *Server {
 		inflight:   make(map[string]*Job),
 		results:    newLRU(cfg.CacheSize),
 		interned:   newLRU(cfg.CacheSize),
+		dicts:      newLRU(cfg.CacheSize),
 		queue:      make(chan *Job, cfg.QueueDepth),
 
 		cAccepted:   reg.Counter("service.jobs.accepted"),
@@ -156,6 +160,8 @@ func New(cfg Config) *Server {
 		cCacheHit:   reg.Counter("service.cache.hits"),
 		cCacheMiss:  reg.Counter("service.cache.misses"),
 		cCacheEvict: reg.Counter("service.cache.evictions"),
+		cDictHit:    reg.Counter("service.dict.hits"),
+		cDictMiss:   reg.Counter("service.dict.misses"),
 		gQueueDepth: reg.Gauge("service.queue.depth"),
 		gQueueAge:   reg.Gauge("service.queue.age_ms"),
 		gWorkers:    reg.Gauge("service.workers"),

@@ -459,6 +459,17 @@ func TestServiceValidation(t *testing.T) {
 		"bad compaction":  {Kind: KindATPG, Builtin: "c17", Options: Options{CompactMode: "bogus"}},
 		"negative budget": {Kind: KindFaultSim, Builtin: "c17", Options: Options{Patterns: -4}},
 		"fuzz + circuit":  {Kind: KindFuzz, Builtin: "c17"},
+		"diagnose no evidence": {Kind: KindDiagnose, Builtin: "c17"},
+		"diagnose both evidence": {Kind: KindDiagnose, Builtin: "c17",
+			Options: Options{Inject: "g6 s-a-0", Signature: "0101"}},
+		"diagnose bad signature": {Kind: KindDiagnose, Builtin: "c17",
+			Options: Options{Signature: "01x1"}},
+		"diagnose bad inject": {Kind: KindDiagnose, Builtin: "c17",
+			Options: Options{Inject: "g6 stuck"}},
+		"diagnose negative top": {Kind: KindDiagnose, Builtin: "c17",
+			Options: Options{Inject: "g6 s-a-0", Top: -1}},
+		"signature on faultsim": {Kind: KindFaultSim, Builtin: "c17",
+			Options: Options{Signature: "0101"}},
 		"bad bench": {Kind: KindFaultSim,
 			Bench: "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"},
 	} {
@@ -529,6 +540,134 @@ func TestServiceCompactMode(t *testing.T) {
 	}
 	if ratio < 2 {
 		t.Fatalf("faultsim compact ratio = %.2f, want >= 2 on a 256-pattern random set", ratio)
+	}
+}
+
+// TestServiceDiagnose is the diagnosis acceptance check: a kind:
+// diagnose job with an injected fault must return that fault's
+// equivalence-class representative among the ranked candidates at
+// Hamming distance 0 with an exact-class hit, a second job against the
+// same design must reuse the cached dictionary, and a signature-driven
+// job must accept a truncated response.
+func TestServiceDiagnose(t *testing.T) {
+	srv, ts, reg := testServer(t, Config{Workers: 2, QueueDepth: 8})
+	defer srv.Shutdown(context.Background())
+
+	c := circuits.C17()
+	cl := fault.CollapseEquiv(c, fault.Universe(c))
+	truth := cl.Reps[3]
+
+	v, code, e := postJob(t, ts.URL, JobRequest{
+		Kind: KindDiagnose, Builtin: "c17",
+		Options: Options{Inject: truth.String(), Patterns: 64},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d (%s)", code, e.Error)
+	}
+	got := waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("diagnose job: %s (%s)", got.State, got.Error)
+	}
+	results := reportResults(t, got)
+
+	var cands []struct {
+		Fault    string `json:"fault"`
+		Name     string `json:"name"`
+		Distance int    `json:"distance"`
+	}
+	if err := json.Unmarshal(results["candidates"], &cands); err != nil {
+		t.Fatalf("candidates missing: %v", err)
+	}
+	found := false
+	for _, cand := range cands {
+		if cand.Fault == truth.String() {
+			found = true
+			if cand.Distance != 0 {
+				t.Fatalf("injected rep ranked at distance %d, want 0", cand.Distance)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("injected rep %s not among candidates %v", truth.String(), cands)
+	}
+	var hit, cached bool
+	if err := json.Unmarshal(results["hit"], &hit); err != nil || !hit {
+		t.Fatalf("hit = %s (%v), want true", results["hit"], err)
+	}
+	if err := json.Unmarshal(results["dict_cached"], &cached); err != nil || cached {
+		t.Fatalf("first job dict_cached = %s, want false", results["dict_cached"])
+	}
+
+	// The unsalted seed defaults to 1, and the report says so.
+	var rep struct {
+		Config map[string]json.RawMessage `json:"config"`
+	}
+	if err := json.Unmarshal(got.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var seed int64
+	var defaulted bool
+	if err := json.Unmarshal(rep.Config["seed"], &seed); err != nil || seed != 1 {
+		t.Fatalf("config seed = %s (%v), want 1", rep.Config["seed"], err)
+	}
+	if err := json.Unmarshal(rep.Config["seed_defaulted"], &defaulted); err != nil || !defaulted {
+		t.Fatalf("config seed_defaulted = %s (%v), want true", rep.Config["seed_defaulted"], err)
+	}
+
+	// A different evidence signature against the same design reuses the
+	// dictionary: dict_cached flips and the hit counter moves.
+	misses := reg.Counter("service.dict.misses").Value()
+	v, code, _ = postJob(t, ts.URL, JobRequest{
+		Kind: KindDiagnose, Builtin: "c17",
+		Options: Options{Inject: cl.Reps[5].String(), Patterns: 64},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got = waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("second diagnose job: %s (%s)", got.State, got.Error)
+	}
+	results = reportResults(t, got)
+	if err := json.Unmarshal(results["dict_cached"], &cached); err != nil || !cached {
+		t.Fatalf("second job dict_cached = %s, want true", results["dict_cached"])
+	}
+	if h := reg.Counter("service.dict.hits").Value(); h < 1 {
+		t.Fatalf("service.dict.hits = %d, want >= 1", h)
+	}
+	if m := reg.Counter("service.dict.misses").Value(); m != misses {
+		t.Fatalf("second job missed the dictionary cache (%d -> %d)", misses, m)
+	}
+
+	// Truncated-signature evidence: a prefix of the injected machine's
+	// response still ranks its class best.
+	var dictPats int
+	if err := json.Unmarshal(results["dict_patterns"], &dictPats); err != nil {
+		t.Fatal(err)
+	}
+	half := dictPats / 2
+	if half == 0 {
+		t.Fatalf("dictionary kept %d patterns", dictPats)
+	}
+	sig := strings.Repeat("0", half)
+	v, code, _ = postJob(t, ts.URL, JobRequest{
+		Kind: KindDiagnose, Builtin: "c17",
+		Options: Options{Signature: sig, Patterns: 64, Top: 3},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	got = waitTerminal(t, ts.URL, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("signature job: %s (%s)", got.State, got.Error)
+	}
+	results = reportResults(t, got)
+	if err := json.Unmarshal(results["candidates"], &cands); err != nil || len(cands) == 0 || len(cands) > 3 {
+		t.Fatalf("signature candidates = %s (%v), want 1..3", results["candidates"], err)
+	}
+	var obs int
+	if err := json.Unmarshal(results["observed_patterns"], &obs); err != nil || obs != half {
+		t.Fatalf("observed_patterns = %s (%v), want %d", results["observed_patterns"], err, half)
 	}
 }
 

@@ -23,6 +23,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter("compact.patterns.dropped").Add(315)
 	r.Counter("compact.merge.attempts").Add(12)
 	r.Counter("compact.merge.hits").Add(5)
+	r.Counter("diagnose.dict.builds").Inc()
+	r.Counter("diagnose.dict.faults").Add(128)
+	r.Counter("diagnose.dict.patterns").Add(64)
+	r.Counter("service.dict.hits").Add(3)
+	r.Counter("service.dict.misses").Inc()
+	r.Gauge("diagnose.dict.bytes").Set(2048)
 	r.Gauge("service.queue.depth").Set(7)
 	r.Timer("service.job.run").Observe(1500 * time.Millisecond)
 	r.Timer("service.job.run").Observe(500 * time.Millisecond)
