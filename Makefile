@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-telemetry race-fault race-sim race-service race-compact race-diagnose check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service bench-compact bench-diagnose clean
+.PHONY: all build vet test race race-telemetry race-fault race-sim race-service race-compact race-diagnose race-advise check fuzz fuzz-smoke bench bench-json bench-faultsim bench-faultpar bench-sim bench-service bench-compact bench-diagnose bench-advise clean
 
 all: check
 
@@ -54,7 +54,13 @@ race-compact:
 race-diagnose:
 	$(GO) test -race ./internal/diagnose/...
 
-check: build vet race-telemetry race-fault race-sim race-service race-compact race-diagnose race fuzz-smoke
+# race-advise covers the closed-loop advisor — sharded probe sessions
+# plus the long-running service job kind whose mid-run cancellation and
+# per-iteration checkpointing must stay clean under the race detector.
+race-advise:
+	$(GO) test -race ./internal/advise/... ./internal/service/...
+
+check: build vet race-telemetry race-fault race-sim race-service race-compact race-diagnose race-advise race fuzz-smoke
 
 # fuzz runs the coverage-guided differential fuzz targets: the compiled
 # kernel against the interpreter at every execution width, and every
@@ -121,6 +127,14 @@ bench-compact:
 bench-diagnose:
 	DFT_BENCH_JSON=BENCH_diagnose.json $(GO) test -bench=BenchmarkDiagnose -benchmem .
 
+# bench-advise measures the closed-loop DFT advisor's coverage-vs-
+# overhead trade on the hardcore builtin (must climb from a sub-90%
+# baseline to the 99% target) and the 74181 ALU (must stop early at
+# zero overhead), leaving the trajectory gauges and probe counters as a
+# dft.run-report/v1 document.
+bench-advise:
+	DFT_BENCH_JSON=BENCH_advise.json $(GO) test -bench=BenchmarkAdvise -benchmem .
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json BENCH_compact.json BENCH_diagnose.json
+	rm -f BENCH_telemetry.json BENCH_faultsim.json BENCH_faultpar.json BENCH_simkernel.json BENCH_service.json BENCH_compact.json BENCH_diagnose.json BENCH_advise.json

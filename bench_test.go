@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"dft/internal/advise"
 	"dft/internal/atpg"
 	"dft/internal/autonomous"
 	"dft/internal/bilbo"
@@ -897,6 +898,51 @@ func BenchmarkDiagnose(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAdvise is the advisor acceptance benchmark, run via
+// `make bench-advise` to capture BENCH_advise.json. Two rows: the
+// hardcore builtin (buried sequential logic the advisor must open
+// with test points and partial scan — coverage must climb from a
+// sub-90% baseline to the 99% target) and the 74181 ALU (already
+// highly testable — the advisor must stop early and cheaply). Each
+// row leaves its coverage-vs-overhead trajectory in the telemetry as
+// advise.bench.<row>.* gauges, so the JSON document carries the
+// acceptance numbers alongside the advisor's own probe counters.
+func BenchmarkAdvise(b *testing.B) {
+	reg := telemetry.Default()
+	for _, tc := range []struct {
+		name string
+		c    *logic.Circuit
+	}{
+		{"hardcore", circuits.Hardcore(8)},
+		{"alu74181", circuits.ALU74181()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var plan *advise.Plan
+			for i := 0; i < b.N; i++ {
+				var err error
+				plan, err = advise.Run(context.Background(), tc.c, advise.Options{
+					Target: 0.99, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if plan.Coverage < 0.99 {
+				b.Fatalf("%s: coverage %.4f below target", tc.name, plan.Coverage)
+			}
+			b.ReportMetric(plan.Coverage*100, "coverage%")
+			b.ReportMetric(plan.Overhead*100, "overhead%")
+			b.ReportMetric(float64(len(plan.Steps)), "steps")
+			row := "advise.bench." + tc.name
+			reg.Gauge(row + ".baseline_bp").Set(int64(plan.Baseline * 10000))
+			reg.Gauge(row + ".coverage_bp").Set(int64(plan.Coverage * 10000))
+			reg.Gauge(row + ".overhead_x100").Set(int64(plan.Overhead * 100))
+			reg.Gauge(row + ".steps").Set(int64(len(plan.Steps)))
+			reg.Gauge(row + ".pins").Set(int64(plan.Pins))
+		})
+	}
 }
 
 func BenchmarkHazardAnalysis(b *testing.B) {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dft/internal/advise"
+	"dft/internal/circuits"
+	"dft/internal/logic"
+	"dft/internal/lssd"
+	"dft/internal/telemetry"
+)
+
+// cmdAdvise drives the closed-loop DFT advisor: probe, score, apply
+// the cheapest intervention, repeat until the coverage target is met
+// or the overhead budget is spent. The plan — every applied step with
+// its measured coverage, the scan-chain order, and the instrumented
+// netlist — prints as a table, or as machine-readable JSON with
+// -json/-out.
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
+	builtin := fs.String("builtin", "", "advise a library circuit instead of a file")
+	n := fs.Int("n", 0, "library circuit size (with -builtin)")
+	target := fs.Float64("target", advise.DefaultTarget, "fault-coverage goal in [0,1]")
+	budget := fs.Float64("budget", advise.DefaultBudget, "overhead budget as a fraction of circuit size")
+	maxSteps := fs.Int("max-steps", advise.DefaultMaxSteps, "intervention cap")
+	patterns := fs.Int("patterns", advise.DefaultPatterns, "random patterns per probe")
+	seed := fs.Int64("seed", 1, "master seed; per-iteration probe seeds derive from it")
+	workers := fs.Int("workers", 0, "fault-sharding workers (0 = all CPUs)")
+	style := fs.String("style", "lssd", "scan style for chain materialization: lssd or mux")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
+	out := fs.String("out", "", "also write the plan JSON to this file")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *target < 0 || *target > 1 {
+		return fmt.Errorf("-target %v out of range [0,1]", *target)
+	}
+
+	var c *logic.Circuit
+	switch {
+	case *builtin != "" && fs.NArg() > 0:
+		return fmt.Errorf("give -builtin or a .bench file, not both")
+	case *builtin != "":
+		cc, err := circuits.Builtin(*builtin, *n)
+		if err != nil {
+			return err
+		}
+		c = cc
+	case fs.NArg() == 1:
+		d, err := loadDesign(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		c = d.Circuit
+	default:
+		return fmt.Errorf("advise needs one .bench file or -builtin name")
+	}
+
+	st := lssd.StyleLSSD
+	if *style == "mux" {
+		st = lssd.StyleMuxScan
+	} else if *style != "lssd" {
+		return fmt.Errorf("unknown style %q", *style)
+	}
+
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	plan, err := advise.Run(ctx, c, advise.Options{
+		Target:   *target,
+		Budget:   *budget,
+		MaxSteps: *maxSteps,
+		Patterns: *patterns,
+		Seed:     uint64(*seed),
+		Workers:  *workers,
+		Style:    st,
+	})
+	if err != nil {
+		return fmt.Errorf("advise gave up after -timeout %v: %w", *timeout, err)
+	}
+
+	if *out != "" {
+		if err := writePlanJSON(*out, plan); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		rep := telemetry.NewReport("dftc", "advise", planInput(*builtin, fs))
+		rep.Config = map[string]any{
+			"target": *target, "budget": *budget, "max_steps": *maxSteps,
+			"patterns": *patterns, "seed": *seed, "workers": *workers,
+			"style": *style,
+		}
+		rep.Results = map[string]any{
+			"baseline":       plan.Baseline,
+			"coverage":       plan.Coverage,
+			"steps":          len(plan.Steps),
+			"scanned":        len(plan.Scanned),
+			"overhead":       plan.Overhead,
+			"overhead_gates": plan.OverheadGates,
+			"pins":           plan.Pins,
+			"stop_reason":    plan.StopReason,
+			"plan":           plan,
+		}
+		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
+	}
+
+	fmt.Printf("advising %s: %d collapsed faults, target %.2f%%, budget %.0f%% overhead\n",
+		plan.Circuit, plan.Faults, 100*plan.Target, 100*plan.Budget)
+	fmt.Printf("baseline coverage %.2f%%\n", 100*plan.Baseline)
+	if len(plan.Steps) > 0 {
+		fmt.Printf("%-4s %-9s %-24s %9s %8s %9s %5s\n",
+			"step", "kind", "net", "coverage", "delta", "overhead", "pins")
+		for i, s := range plan.Steps {
+			net := s.Net
+			if len(s.FFs) > 1 {
+				net = fmt.Sprintf("%s (+%d more)", s.FFs[0], len(s.FFs)-1)
+			}
+			fmt.Printf("%-4d %-9s %-24s %8.2f%% %+7.2f%% %8.1f%% %5d\n",
+				i+1, s.Kind, net, 100*s.Coverage, 100*s.Delta, 100*s.Overhead, s.Pins)
+		}
+	}
+	fmt.Printf("final coverage %.2f%% after %d steps (%s), overhead %.1f%% (%d GE, %d pins)\n",
+		100*plan.Coverage, len(plan.Steps), plan.StopReason,
+		100*plan.Overhead, plan.OverheadGates, plan.Pins)
+	if len(plan.Scanned) > 0 {
+		fmt.Printf("scan chain (%d elements): %v\n", len(plan.Scanned), plan.Scanned)
+	}
+	if *out != "" {
+		fmt.Printf("plan written to %s\n", *out)
+	}
+	return nil
+}
+
+// planInput names the report input: the builtin or the file path.
+func planInput(builtin string, fs *flag.FlagSet) string {
+	if builtin != "" {
+		return builtin
+	}
+	return fs.Arg(0)
+}
+
+// writePlanJSON dumps the raw plan document (not a run report) so
+// downstream tools can apply it without unwrapping telemetry.
+func writePlanJSON(path string, plan *advise.Plan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(plan)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dft/internal/advise"
+	"dft/internal/telemetry"
+)
+
+// TestAdviseCLIReachesTarget is the CLI acceptance criterion:
+// `dftc advise -builtin hardcore -target 0.99` climbs from a sub-90%
+// baseline to the target, prints the step table, and -out saves a
+// plan that parses back with monotone non-decreasing coverage.
+func TestAdviseCLIReachesTarget(t *testing.T) {
+	telemetry.Default().Reset()
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	out := captureStdout(t, func() error {
+		return run([]string{"advise", "-builtin", "hardcore", "-target", "0.99", "-seed", "7", "-out", planPath})
+	})
+	if !strings.Contains(out, "final coverage") || !strings.Contains(out, "(target)") {
+		t.Fatalf("advise output missing final coverage / target stop:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan advise.Plan
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		t.Fatalf("plan does not parse: %v", err)
+	}
+	if plan.Baseline >= 0.90 {
+		t.Fatalf("baseline %.4f, want < 0.90", plan.Baseline)
+	}
+	if plan.Coverage < 0.99 || plan.StopReason != advise.StopTarget {
+		t.Fatalf("coverage %.4f stop %q, want >= 0.99 via target", plan.Coverage, plan.StopReason)
+	}
+	prev := plan.Baseline
+	for i, s := range plan.Steps {
+		if s.Coverage < prev {
+			t.Fatalf("step %d coverage %.4f < previous %.4f — not monotone", i, s.Coverage, prev)
+		}
+		prev = s.Coverage
+	}
+}
+
+// TestAdviseCLIJSONReport locks the -json report shape.
+func TestAdviseCLIJSONReport(t *testing.T) {
+	telemetry.Default().Reset()
+	out := captureStdout(t, func() error {
+		return run([]string{"advise", "-builtin", "hardcore", "-seed", "7", "-json"})
+	})
+	rep, err := telemetry.ParseReport([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseReport: %v\noutput:\n%s", err, out)
+	}
+	if rep.Tool != "dftc" || rep.Command != "advise" || rep.Input != "hardcore" {
+		t.Fatalf("report header = %q/%q/%q", rep.Tool, rep.Command, rep.Input)
+	}
+	cov, ok := rep.Results["coverage"].(float64)
+	if !ok || cov < 0.99 {
+		t.Fatalf("coverage = %v, want >= 0.99", rep.Results["coverage"])
+	}
+	if rep.Results["stop_reason"] != "target" {
+		t.Fatalf("stop_reason = %v", rep.Results["stop_reason"])
+	}
+	if _, ok := rep.Results["plan"].(map[string]any); !ok {
+		t.Fatalf("results carry no embedded plan: %T", rep.Results["plan"])
+	}
+	c := rep.Metrics.Counters
+	for _, name := range []string{
+		"advise.interventions.applied",
+		"advise.candidates.scored",
+		"advise.probe.patterns",
+	} {
+		if c[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, c[name])
+		}
+	}
+	if _, ok := rep.Metrics.Timers["advise.run"]; !ok {
+		t.Error("missing advise.run timer")
+	}
+}
+
+// TestInfoJSONTestability locks the testability section of
+// `dftc info -json`: SCOAP aggregates plus per-net COP annotations.
+func TestInfoJSONTestability(t *testing.T) {
+	telemetry.Default().Reset()
+	bench := writeBenchBuiltin(t, "hardcore")
+	out := captureStdout(t, func() error {
+		return run([]string{"info", bench, "-json", "-top", "5"})
+	})
+	rep, err := telemetry.ParseReport([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseReport: %v\noutput:\n%s", err, out)
+	}
+	sec, ok := rep.Results["testability"].(map[string]any)
+	if !ok {
+		t.Fatalf("no testability section: %T", rep.Results["testability"])
+	}
+	if _, ok := sec["scoap"].(map[string]any); !ok {
+		t.Fatal("testability section has no scoap summary")
+	}
+	nets, ok := sec["hardest_nets"].([]any)
+	if !ok || len(nets) != 5 {
+		t.Fatalf("hardest_nets = %v, want 5 rows", sec["hardest_nets"])
+	}
+	row, ok := nets[0].(map[string]any)
+	if !ok {
+		t.Fatalf("hardest net row: %T", nets[0])
+	}
+	for _, key := range []string{"net", "cc0", "cc1", "co", "p1", "obs"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("hardest net row missing %q: %v", key, row)
+		}
+	}
+	if stems, ok := sec["reconvergent_stems"].(float64); !ok || stems <= 0 {
+		t.Fatalf("reconvergent_stems = %v, want > 0 on hardcore", sec["reconvergent_stems"])
+	}
+}
+
+// writeBenchBuiltin materializes a named library circuit via the
+// bench subcommand's generator table.
+func writeBenchBuiltin(t *testing.T, name string) string {
+	t.Helper()
+	out := captureStdout(t, func() error {
+		return run([]string{"bench", name})
+	})
+	path := filepath.Join(t.TempDir(), name+".bench")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dftc info      <file.bench>
+//	dftc info      <file.bench> [-top N] [-json]
 //	dftc scoap     <file.bench> [-top N]
 //	dftc atpg      <file.bench> [-engine podem|dalg] [-scan] [-random N] [-compact off|reverse|static|dynamic|full] [-workers N] [-kernel compiled|interp] [-timeout D] [-json]
 //	dftc compact   <file.bench> [-mode reverse|static|full] [-in cubes.txt | -random N] [-seed S] [-scan] [-workers N] [-kernel compiled|interp] [-timeout D] [-json] [-out file]
@@ -21,6 +21,7 @@
 //	dftc cmos      <file.bench> [-seed S]
 //	dftc seqtest   <file.bench> [-frames N]
 //	dftc diagnose  <file.bench> [-patterns N] [-seed S] [-scan] [-engine B] [-workers N] [-compact M] [-full] [-save F | -load F] [-inject "gN s-a-V" | -signature 0101...] [-top N] [-json]
+//	dftc advise    (<file.bench> | -builtin name [-n N]) [-target T] [-budget B] [-max-steps N] [-patterns N] [-seed S] [-workers N] [-style lssd|mux] [-timeout D] [-json] [-out plan.json]
 //	dftc profile   <file.bench> [-seed S] [-json]
 //	dftc experiments [id] [-json]
 //	dftc fuzz      [-rounds N] [-seeds a,b,c] [-patterns N] [-json]
@@ -54,6 +55,7 @@ import (
 	"dft/internal/sim"
 	"dft/internal/syndrome"
 	"dft/internal/telemetry"
+	"dft/internal/testability"
 	"dft/internal/walsh"
 )
 
@@ -82,6 +84,7 @@ var subcommands = map[string]func([]string) error{
 	"cmos":        cmdCMOS,
 	"seqtest":     cmdSeqTest,
 	"diagnose":    cmdDiagnose,
+	"advise":      cmdAdvise,
 	"profile":     cmdProfile,
 	"experiments": cmdExperiments,
 	"fuzz":        cmdFuzz,
@@ -207,7 +210,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dftc — design-for-testability toolkit (Williams & Parker 1982 reproduction)
 
 subcommands:
-  info <f.bench>                      structural summary
+  info <f.bench> [-top N] [-json]     structural summary; -json adds a
+                                      testability section with per-net
+                                      SCOAP + COP metrics
   scoap <f.bench> [-top N]            SCOAP testability analysis
   atpg <f.bench> [flags]              deterministic test generation
                                       (-compact off|reverse|static|dynamic|full
@@ -225,7 +230,7 @@ subcommands:
   bench <gen> [args...]               emit a library circuit (c17, adder,
                                       mult, parity, decoder, mux, cmp, maj,
                                       alu74181, alu74181x, counter, shift,
-                                      johnson, gray)
+                                      johnson, gray, hardcore)
   bridge <f.bench> [flags]            bridging-fault coverage of an SSA set
   cmos <f.bench>                      stuck-open two-pattern testing
   seqtest <f.bench> [-frames N]       sequential ATPG (time-frame expansion)
@@ -234,6 +239,12 @@ subcommands:
                                       collapsed faults (-save/-load persist
                                       it), then -inject or -signature maps an
                                       observed failure to ranked candidates
+  advise <f.bench> [flags]            closed-loop DFT advisor: probe with
+                                      bounded ATPG/fault-sim, score test
+                                      points and partial scan by predicted
+                                      gain per gate, apply the cheapest,
+                                      repeat to -target within -budget;
+                                      -out saves the machine-readable plan
   profile <f.bench> [-seed S] [-json] standard workload with per-phase timing
   experiments [id] [-json]            regenerate paper tables/figures
   fuzz [-rounds N] [-seeds a,b,c]     differential fuzz: every kernel/backend
@@ -272,6 +283,8 @@ func loadDesign(path string) (*core.Design, error) {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	top := fs.Int("top", 10, "hardest nets in the testability section")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable run report")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -281,6 +294,21 @@ func cmdInfo(args []string) error {
 	d, err := loadDesign(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		view := d.View()
+		rep := telemetry.NewReport("dftc", "info", fs.Arg(0))
+		rep.Config = map[string]any{"top": *top}
+		rep.Results = map[string]any{
+			"gates":   d.Circuit.NumGates(),
+			"dffs":    d.Circuit.NumDFFs(),
+			"inputs":  len(d.Circuit.PIs),
+			"outputs": len(d.Circuit.POs),
+			"targets": len(d.Faults()),
+			"testability": testability.ReportSection(
+				d.Circuit, view.Inputs, view.Outputs, d.Faults(), *top),
+		}
+		return rep.Finish(telemetry.Default()).WriteJSON(os.Stdout)
 	}
 	fmt.Println(d.Circuit.Stats())
 	fmt.Printf("collapsed fault targets: %d\n", len(d.Faults()))

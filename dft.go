@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"dft/internal/advise"
 	"dft/internal/atpg"
 	"dft/internal/compact"
 	"dft/internal/core"
@@ -206,11 +207,35 @@ func ParseFault(s string) (Fault, error) {
 	return fault.ParseFault(s)
 }
 
+// AdviseOptions configures Advise; the zero value asks for 99% fault
+// coverage within a 50% gate-overhead budget in at most 32 steps.
+type AdviseOptions = advise.Options
+
+// AdvisePlan is the advisor's machine-readable output: the ordered
+// interventions, their coverage/overhead trajectory, and the final
+// instrumented netlist (with a materialized scan chain when storage
+// elements were scanned).
+type AdvisePlan = advise.Plan
+
+// AdviseStep is one applied intervention with its measured effect.
+type AdviseStep = advise.Step
+
+// Advise closes the DFT loop on a circuit: probe with bounded
+// ATPG/fault simulation, score candidate test points and partial-scan
+// conversions by predicted coverage gain per gate of overhead, apply
+// the cheapest, and repeat until the coverage target is met or the
+// budget is spent. Coverage is monotone non-decreasing step over
+// step, and the whole run is a pure function of its seed. On context
+// cancellation the partial plan is returned alongside the error.
+func Advise(ctx context.Context, c *Circuit, opt AdviseOptions) (*AdvisePlan, error) {
+	return advise.Run(ctx, c, opt)
+}
+
 // Service is the DFT-as-a-service job server: an http.Handler
-// exposing fault simulation, ATPG, fault diagnosis and differential
-// fuzzing as asynchronous jobs with a bounded queue, worker pool,
-// result cache and admission control. It is the library form of the
-// dftd daemon.
+// exposing fault simulation, ATPG, fault diagnosis, differential
+// fuzzing and closed-loop DFT advising as asynchronous jobs with a
+// bounded queue, worker pool, result cache and admission control. It
+// is the library form of the dftd daemon.
 type Service = service.Server
 
 // ServiceConfig sizes a Service; the zero value is a working

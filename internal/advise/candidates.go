@@ -1,0 +1,235 @@
+package advise
+
+import (
+	"math"
+	"sort"
+
+	"dft/internal/lssd"
+	"dft/internal/scanset"
+	"dft/internal/testability"
+)
+
+// gainEps is the smallest predicted gain treated as real; below it a
+// candidate is considered useless rather than marginal.
+const gainEps = 1e-9
+
+// candidate is one scored intervention.
+type candidate struct {
+	kind   string  // "observe", "control", "scan-ff" or "chain"
+	net    int     // targeted net in st.work (scan: the element; chain: first element)
+	ffs    []int   // chain only: every element to scan
+	costGE int     // gate equivalents this candidate adds
+	pins   int     // package pins this candidate adds
+	gain   float64 // predicted expected new detections per probe
+	score  float64 // gain per gate equivalent
+}
+
+// scanCosts returns the advisor's overhead model for scan conversion
+// under the chosen style, aligned with what lssd.InsertPartial
+// materializes: 3 gates per element for the sys/scan/mux path (plus an
+// L2 latch ≈ 2 more under LSSD), and a fixed SE inverter + SO buffer
+// and 3 package pins paid once with the first scanned element.
+func scanCosts(style lssd.Style, first bool) (perFF, fixedGE, fixedPins int) {
+	perFF = 3
+	if style == lssd.StyleLSSD {
+		perFF += 2
+	}
+	if first {
+		fixedGE, fixedPins = 2, lssd.PinOverhead()
+	}
+	return perFF, fixedGE, fixedPins
+}
+
+// candidates proposes up to opt.Candidates interventions: observe and
+// control points at the sites where undetected faults concentrate
+// (reconvergent stems boosted — that is where random resistance
+// lives), scan conversion of the highest-value unscanned storage
+// elements in scanset order, and a whole-chain candidate covering
+// every remaining element.
+func (st *state) candidates(opt Options) []candidate {
+	// Rank hard sites by undetected-fault count, reconvergent stems
+	// doubled.
+	count := make(map[int]int)
+	for i, f := range st.faults {
+		if !st.detected[i] {
+			count[f.Site(st.work)]++
+		}
+	}
+	stem := make(map[int]bool)
+	for _, s := range testability.ReconvergentStems(st.work) {
+		stem[s] = true
+	}
+	type site struct{ net, weight int }
+	sites := make([]site, 0, len(count))
+	for n, k := range count {
+		w := k
+		if stem[n] {
+			w *= 2
+		}
+		sites = append(sites, site{n, w})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].weight != sites[j].weight {
+			return sites[i].weight > sites[j].weight
+		}
+		return sites[i].net < sites[j].net
+	})
+
+	scannedSet := make(map[int]bool, len(st.scanned))
+	for _, ff := range st.scanned {
+		scannedSet[ff] = true
+	}
+	first := len(st.scanned) == 0
+	perFF, fixedGE, fixedPins := scanCosts(opt.Style, first)
+
+	var cands []candidate
+	// Scan candidates first: the structural interventions the paper
+	// leans on. scanset ranks elements by cycle-cutting value, then
+	// SCOAP depth.
+	var remaining []int
+	for _, ff := range scanset.SelectPartialScan(st.orig, st.orig.NumDFFs()) {
+		if !scannedSet[ff] {
+			remaining = append(remaining, ff)
+		}
+	}
+	for i, ff := range remaining {
+		if i == 4 {
+			break
+		}
+		cands = append(cands, candidate{
+			kind: "scan-ff", net: ff,
+			costGE: perFF + fixedGE, pins: fixedPins,
+		})
+	}
+	if len(remaining) > 1 {
+		cands = append(cands, candidate{
+			kind: "chain", net: remaining[0], ffs: remaining,
+			costGE: len(remaining)*perFF + fixedGE, pins: fixedPins,
+		})
+	}
+	// Test points at the hard sites, skipping nets already instrumented.
+	for _, s := range sites {
+		if len(cands) >= opt.Candidates {
+			break
+		}
+		if st.points[s.net]&1 == 0 {
+			cands = append(cands, candidate{kind: "observe", net: s.net, costGE: 1, pins: 1})
+		}
+		if len(cands) < opt.Candidates && st.points[s.net]&2 == 0 {
+			cands = append(cands, candidate{kind: "control", net: s.net, costGE: 3, pins: 2})
+		}
+	}
+	if len(cands) > opt.Candidates {
+		cands = cands[:opt.Candidates]
+	}
+	return cands
+}
+
+// baselineDetect returns, per fault, the probability that the current
+// probe configuration detects it — the reference the candidate gains
+// are measured against.
+func (st *state) baselineDetect(opt Options) []float64 {
+	view := viewFor(st.work, st.scanned)
+	cop := testability.ViewCOP(st.work, view.Inputs, view.Outputs)
+	n := float64(opt.Patterns)
+	base := make([]float64, len(st.faults))
+	for i, f := range st.faults {
+		if st.detected[i] {
+			continue
+		}
+		if dp := cop.Detect(st.work, f); dp > 0 {
+			base[i] = 1 - math.Pow(1-dp, n)
+		}
+	}
+	return base
+}
+
+// score fills in the candidate's predicted gain: the COP-estimated
+// expected count of newly detected faults over an opt.Patterns-pattern
+// probe of the hypothetical circuit, minus the same estimate for the
+// current circuit. Hypotheticals are cheap — a clone plus one
+// linear-time probability pass — so every candidate is scored exactly
+// the way it would be graded.
+func (st *state) score(cand *candidate, base []float64, opt Options) {
+	c2 := st.work
+	scanned2 := st.scanned
+	switch cand.kind {
+	case "observe":
+		c2 = testability.AddObservationPoint(st.work, cand.net)
+	case "control":
+		c2 = testability.AddControlPoint(st.work, cand.net)
+	case "scan-ff":
+		scanned2 = append(append([]int(nil), st.scanned...), cand.net)
+	case "chain":
+		scanned2 = append(append([]int(nil), st.scanned...), cand.ffs...)
+	}
+	view := viewFor(c2, scanned2)
+	cop := testability.ViewCOP(c2, view.Inputs, view.Outputs)
+	n := float64(opt.Patterns)
+	gain := 0.0
+	for i, f := range st.faults {
+		if st.detected[i] {
+			continue
+		}
+		dp := cop.Detect(c2, f)
+		if dp <= 0 {
+			continue
+		}
+		if p := 1 - math.Pow(1-dp, n); p > base[i] {
+			gain += p - base[i]
+		}
+	}
+	cand.gain = gain
+	cand.score = gain / float64(cand.costGE)
+}
+
+// pick selects the best candidate that fits the remaining budget:
+// highest gain per gate equivalent, ties broken toward cheaper then
+// structurally earlier candidates. When no candidate predicts real
+// gain but unscanned storage remains, the cheapest scan candidate in
+// budget is returned instead — COP underestimates deep sequential
+// unlocks, and scan conversion is never wasted on a circuit below
+// target. Returns nil when nothing useful fits.
+func pick(cands []candidate, budgetGE int) *candidate {
+	var best *candidate
+	for i := range cands {
+		cd := &cands[i]
+		if cd.costGE > budgetGE || cd.gain <= gainEps {
+			continue
+		}
+		if best == nil || cd.score > best.score ||
+			(cd.score == best.score && cd.costGE < best.costGE) {
+			best = cd
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for i := range cands {
+		cd := &cands[i]
+		if cd.kind == "scan-ff" && cd.costGE <= budgetGE {
+			return cd
+		}
+	}
+	return nil
+}
+
+// apply commits the candidate to the working state. Every
+// transformation appends nets, so fault sites and previously scanned
+// element IDs stay valid.
+func (st *state) apply(cand candidate) {
+	switch cand.kind {
+	case "observe":
+		st.work = testability.AddObservationPoint(st.work, cand.net)
+		st.points[cand.net] |= 1
+	case "control":
+		st.work = testability.AddControlPoint(st.work, cand.net)
+		st.points[cand.net] |= 2
+	case "scan-ff":
+		st.scanned = append(st.scanned, cand.net)
+	case "chain":
+		st.scanned = append(st.scanned, cand.ffs...)
+	}
+	st.overheadGE += cand.costGE
+	st.pins += cand.pins
+}

@@ -29,6 +29,7 @@ var builtins = map[string]struct {
 	"shift":     {8, ShiftRegister},
 	"johnson":   {4, JohnsonCounter},
 	"gray":      {4, GrayCounter},
+	"hardcore":  {8, Hardcore},
 }
 
 // maxBuiltinSize bounds the size argument: generators grow at least

@@ -1,0 +1,104 @@
+package circuits
+
+import (
+	"fmt"
+
+	"dft/internal/logic"
+)
+
+// Hardcore returns the advisor's standing demo/bench circuit: an n-input
+// network built to be hard to test from the package pins — deep
+// reconvergent fanout in the combinational front, a wide AND "key"
+// detector whose cone never reaches a primary output, and a chain of
+// buried flip-flops whose next-state logic is likewise invisible from
+// outside. Under the primary view (storage held at reset) a large
+// fraction of its faults is structurally untestable: the key tree and
+// every next-state cone end at flip-flop D inputs, and the lock tree
+// needs state values reset never supplies. Scan conversion and test
+// points recover them — exactly the gap `dftc advise` exists to close.
+//
+// n is the X-input width (minimum 4, default 8 via the builtin table);
+// the circuit carries n/2+2 flip-flops and ~8n gates.
+func Hardcore(n int) *logic.Circuit {
+	if n < 4 {
+		panic("circuits: Hardcore needs n >= 4")
+	}
+	c := logic.New(fmt.Sprintf("hardcore%d", n))
+	x := make([]int, n)
+	for i := range x {
+		x[i] = c.AddInput(fmt.Sprintf("X%d", i))
+	}
+	m := n/2 + 2
+	r := make([]int, m)
+	for i := range r {
+		r[i] = c.AddDFF(fmt.Sprintf("R%d", i), 0) // patched below
+	}
+
+	// Combinational front: a ring mesh with three readers per input —
+	// reconvergent stems that stress the independence approximation —
+	// feeding an OR tree and a parity tree on the primary outputs.
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := c.AddGate(logic.Xor, fmt.Sprintf("A%d", i), x[i], x[(i+1)%n])
+		bs[i] = c.AddGate(logic.And, fmt.Sprintf("B%d", i), a, x[(i+2)%n])
+	}
+	front := orTree(c, "FR", bs)
+	c.MarkOutput(c.AddGate(logic.Buf, "FRONT", front))
+	par := xorTree(c, "PR", x)
+
+	// Key detector: the AND of every input. Its only readers are the
+	// next-state cones below, so the whole tree is dark at the pins.
+	key := andTree(c, "K", x)
+	nkey := c.AddGate(logic.Not, "NKEY", key)
+
+	// Buried state chain: R0 toggles on the key; each later stage mixes
+	// its predecessor, its own value and two inputs through AND/OR/XOR.
+	// Every cone ends at a D input — invisible without scan.
+	c.Gates[r[0]].Fanin[0] = c.AddGate(logic.Xor, "D0", key, r[0])
+	for i := 1; i < m; i++ {
+		s, t := x[(2*i)%n], x[(2*i+1)%n]
+		g := c.AddGate(logic.And, fmt.Sprintf("G%d", i), r[i-1], s)
+		u := c.AddGate(logic.And, fmt.Sprintf("U%d", i), r[i], t)
+		j := c.AddGate(logic.Or, fmt.Sprintf("J%d", i), g, u)
+		c.Gates[r[i]].Fanin[0] = c.AddGate(logic.Xor, fmt.Sprintf("D%d", i), j, nkey)
+	}
+
+	// Lock: the AND of all state bits, observable only when every
+	// flip-flop holds 1 — unreachable from reset without DFT.
+	lock := andTree(c, "L", r)
+	c.MarkOutput(c.AddGate(logic.And, "UNLOCK", lock, key))
+	c.MarkOutput(c.AddGate(logic.Xor, "MIX", lock, par))
+	return c.MustFinalize()
+}
+
+// andTree builds a balanced 2-input AND tree over the nets.
+func andTree(c *logic.Circuit, prefix string, nets []int) int {
+	return gateTree(c, logic.And, prefix, nets)
+}
+
+// orTree builds a balanced 2-input OR tree over the nets.
+func orTree(c *logic.Circuit, prefix string, nets []int) int {
+	return gateTree(c, logic.Or, prefix, nets)
+}
+
+// xorTree builds a balanced 2-input XOR tree over the nets.
+func xorTree(c *logic.Circuit, prefix string, nets []int) int {
+	return gateTree(c, logic.Xor, prefix, nets)
+}
+
+func gateTree(c *logic.Circuit, t logic.GateType, prefix string, nets []int) int {
+	level := append([]int(nil), nets...)
+	n := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, c.AddGate(t, fmt.Sprintf("%s%d", prefix, n), level[i], level[i+1]))
+			n++
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}

@@ -1,0 +1,70 @@
+package circuits
+
+import (
+	"testing"
+
+	"dft/internal/logic"
+	"dft/internal/testability"
+)
+
+func TestHardcoreStructure(t *testing.T) {
+	c := Hardcore(8)
+	if c.NumDFFs() != 8/2+2 {
+		t.Fatalf("hardcore(8) has %d DFFs, want %d", c.NumDFFs(), 8/2+2)
+	}
+	if len(c.PIs) != 8 {
+		t.Fatalf("hardcore(8) has %d inputs, want 8", len(c.PIs))
+	}
+	if len(c.POs) != 3 {
+		t.Fatalf("hardcore(8) has %d outputs, want 3 (FRONT, UNLOCK, MIX)", len(c.POs))
+	}
+	if stems := testability.ReconvergentStems(c); len(stems) == 0 {
+		t.Fatal("hardcore has no reconvergent stems — it is supposed to be hard")
+	}
+}
+
+func TestHardcoreScales(t *testing.T) {
+	small := Hardcore(4)
+	big := Hardcore(16)
+	if big.NumGates() <= small.NumGates() || big.NumDFFs() <= small.NumDFFs() {
+		t.Fatalf("hardcore does not scale: %d/%d gates, %d/%d DFFs",
+			small.NumGates(), big.NumGates(), small.NumDFFs(), big.NumDFFs())
+	}
+}
+
+func TestHardcoreDeterministic(t *testing.T) {
+	if logic.CanonicalBench(Hardcore(8)) != logic.CanonicalBench(Hardcore(8)) {
+		t.Fatal("hardcore generator is not deterministic")
+	}
+}
+
+// TestHardcoreBuriedLogicIsDarkAtReset pins the property the advisor
+// demo depends on: with every flip-flop held at the reset value the
+// key-detector cone never reaches an output, so its signal changes are
+// invisible from the package pins.
+func TestHardcoreBuriedLogicIsDarkAtReset(t *testing.T) {
+	c := Hardcore(8)
+	cop := testability.ViewCOP(c, c.PIs, c.POs)
+	for _, name := range []string{"NKEY", "D0"} {
+		n, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		if cop.Obs[n] != 0 {
+			t.Fatalf("net %s observable (%.3f) at reset — the key cone leaks", name, cop.Obs[n])
+		}
+	}
+}
+
+func TestHardcoreBuiltinRegistered(t *testing.T) {
+	c, err := Builtin("hardcore", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDFFs() == 0 {
+		t.Fatal("default hardcore has no storage")
+	}
+	if _, err := Builtin("hardcore", 2); err == nil {
+		t.Fatal("hardcore(2) should be rejected")
+	}
+}

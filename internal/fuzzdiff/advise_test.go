@@ -1,0 +1,35 @@
+package fuzzdiff
+
+import (
+	"context"
+	"testing"
+
+	"dft/internal/circuits"
+)
+
+// TestCheckAdviseCleanOnHardcore pins the scan path of the advise
+// oracle: the hardcore builtin forces scan-ff/chain interventions, so
+// the backend-invariance sweep runs under a real partial-scan view.
+func TestCheckAdviseCleanOnHardcore(t *testing.T) {
+	c := circuits.Hardcore(8)
+	d, err := CheckAdvise(context.Background(), c, 1234)
+	if err != nil {
+		t.Fatalf("CheckAdvise: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("divergence on hardcore:\n%s", d.Repro())
+	}
+}
+
+func TestCheckAdviseCleanOnGenerated(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := Generate(ShapeConfig(seed), seed)
+		d, err := CheckAdvise(context.Background(), c, seed)
+		if err != nil {
+			t.Fatalf("seed %d: CheckAdvise: %v", seed, err)
+		}
+		if d != nil {
+			t.Fatalf("seed %d divergence:\n%s", seed, d.Repro())
+		}
+	}
+}

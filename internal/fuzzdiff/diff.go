@@ -94,8 +94,10 @@ type Divergence struct {
 	// matrix cells), "compact" (the compaction engine disagrees with
 	// the baseline grading oracle), "dict" (the fault-dictionary
 	// detail grade disagrees with the baseline, or is worker/backend
-	// dependent), or "lint" (the generator emitted an invalid netlist
-	// — a generator bug).
+	// dependent), "advise" (the DFT advisor emitted an unsound or
+	// seed-impure plan, or its instrumented netlist grades differently
+	// across backends), or "lint" (the generator emitted an invalid
+	// netlist — a generator bug).
 	Kind string
 	// Seed replays the circuit via Generate(ShapeConfig(Seed), Seed)
 	// when the divergence came out of Round; 0 for hand-built circuits.
@@ -458,6 +460,12 @@ func Round(cfg Config, seed int64, opt RoundOptions) *Divergence {
 		d, err = CheckDictionary(context.Background(), c, faults, pats, seed)
 		if err != nil {
 			d = &Divergence{Kind: "dict", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
+		}
+	}
+	if d == nil {
+		d, err = CheckAdvise(context.Background(), c, seed)
+		if err != nil {
+			d = &Divergence{Kind: "advise", Seed: seed, Circuit: c, Detail: "run error: " + err.Error()}
 		}
 	}
 	if d != nil {

@@ -40,8 +40,29 @@ const (
 // With SE=0 the scan circuit is functionally identical to the original
 // (the added L2 latches shadow the system state without driving it).
 func Insert(c *logic.Circuit, style Style) (*logic.Circuit, Ports) {
+	return InsertPartial(c, c.DFFs, style)
+}
+
+// InsertPartial threads only the given storage elements (net IDs, in
+// chain order) onto the scan chain, leaving the rest as plain system
+// flip-flops — the structural form of partial scan, where `scanset`
+// picks the subset and this routine pays the per-element mux cost only
+// for it. InsertPartial(c, c.DFFs, style) is exactly Insert.
+func InsertPartial(c *logic.Circuit, ffs []int, style Style) (*logic.Circuit, Ports) {
 	if c.NumDFFs() == 0 {
 		panic("lssd: Insert on a circuit without storage elements")
+	}
+	if len(ffs) == 0 {
+		panic("lssd: InsertPartial with an empty chain")
+	}
+	isDFF := make(map[int]bool, c.NumDFFs())
+	for _, dff := range c.DFFs {
+		isDFF[dff] = true
+	}
+	for _, ff := range ffs {
+		if !isDFF[ff] {
+			panic(fmt.Sprintf("lssd: net %d (%s) is not a storage element", ff, c.NameOf(ff)))
+		}
 	}
 	nc := c.Clone()
 	p := Ports{
@@ -50,7 +71,7 @@ func Insert(c *logic.Circuit, style Style) (*logic.Circuit, Ports) {
 	}
 	nse := nc.AddGate(logic.Not, "SE_N", p.ScanEnable)
 	prev := p.ScanIn
-	for _, dff := range c.DFFs {
+	for _, dff := range ffs {
 		name := c.NameOf(dff)
 		d := nc.Gates[dff].Fanin[0]
 		sysPath := nc.AddGate(logic.And, fmt.Sprintf("%s_sys", name), d, nse)

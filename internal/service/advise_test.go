@@ -1,0 +1,290 @@
+package service
+
+// Acceptance tests for the advise job kind — the service's first
+// long-running job type: an end-to-end run on the hardcore builtin
+// that must reach its coverage target while streaming per-iteration
+// phase and progress events, a mid-run client cancellation that must
+// surface the last checkpointed partial plan as the cancelled job's
+// report (race-tested via `go test -race`), and the admission-time
+// validation of the advise-only options.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adviseResults decodes the typed slice of the advise report results.
+type adviseResults struct {
+	Baseline   float64 `json:"baseline"`
+	Coverage   float64 `json:"coverage"`
+	Steps      int     `json:"steps"`
+	StopReason string  `json:"stop_reason"`
+	Overhead   float64 `json:"overhead"`
+	Plan       struct {
+		Bench  string            `json:"bench"`
+		Faults int               `json:"faults"`
+		Steps  []json.RawMessage `json:"steps"`
+	} `json:"plan"`
+}
+
+func decodeAdvise(t *testing.T, v JobView) adviseResults {
+	t.Helper()
+	var rep struct {
+		Results adviseResults `json:"results"`
+	}
+	if err := json.Unmarshal(v.Report, &rep); err != nil {
+		t.Fatalf("decode advise report: %v", err)
+	}
+	return rep.Results
+}
+
+// TestServiceAdviseEndToEnd is the tentpole acceptance criterion: an
+// advise job on the hardcore builtin reaches its 0.99 target from a
+// sub-0.90 baseline, and its SSE stream carries monotone
+// per-iteration progress from both advise trackers. (Phase events
+// need a multi-second run and are pinned by the cancellation test;
+// this job finishes in milliseconds, between monitor ticks.)
+func TestServiceAdviseEndToEnd(t *testing.T) {
+	_, ts, _ := testServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		ProgressInterval: time.Millisecond,
+	})
+
+	v, code, e := postJob(t, ts.URL, JobRequest{
+		Kind:    KindAdvise,
+		Builtin: "hardcore",
+		Options: Options{Target: 0.99, Seed: 7, Patterns: 2048},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, e.Error)
+	}
+	jv := waitTerminal(t, ts.URL, v.ID)
+	if jv.State != StateDone {
+		t.Fatalf("state %s, err %q", jv.State, jv.Error)
+	}
+
+	res := decodeAdvise(t, jv)
+	if res.StopReason != "target" {
+		t.Fatalf("stop reason %q, want target", res.StopReason)
+	}
+	if res.Baseline >= 0.90 {
+		t.Fatalf("baseline %.4f, want < 0.90 (hardcore must start hard)", res.Baseline)
+	}
+	if res.Coverage < 0.99 {
+		t.Fatalf("coverage %.4f, want >= 0.99", res.Coverage)
+	}
+	if res.Steps < 1 || len(res.Plan.Steps) != res.Steps {
+		t.Fatalf("steps %d (plan has %d), want >= 1 and consistent", res.Steps, len(res.Plan.Steps))
+	}
+	if res.Plan.Bench == "" || res.Plan.Faults == 0 {
+		t.Fatal("plan is missing its instrumented netlist or fault count")
+	}
+
+	// The finished stream must replay the long-running observability:
+	// monotone progress from both the steps and the coverage tracker
+	// (the monitor's final flush guarantees them even for a fast run).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events, terminal, err := streamEvents(ctx, ts.URL, v.ID, 0)
+	if err != nil || !terminal {
+		t.Fatalf("stream: terminal=%v err=%v", terminal, err)
+	}
+	progressed := checkAdviseProgress(t, events)
+	for _, name := range []string{"advise.steps.progress", "advise.coverage.progress"} {
+		if !progressed[name] {
+			t.Fatalf("tracker %s never ticked on the stream (saw %v)", name, progressed)
+		}
+	}
+}
+
+// checkAdviseProgress asserts every progress event on an advise stream
+// belongs to an advise.* tracker and moves monotonically within its
+// total, returning the set of trackers that ticked.
+func checkAdviseProgress(t *testing.T, events []JobEvent) map[string]bool {
+	t.Helper()
+	prev := map[string]int64{}
+	progressed := map[string]bool{}
+	for _, ev := range events {
+		if ev.Type != EventProgress {
+			continue
+		}
+		if !strings.HasPrefix(ev.Name, "advise.") {
+			t.Fatalf("progress tracker %q, want advise.*", ev.Name)
+		}
+		if ev.Done <= prev[ev.Name] || ev.Total <= 0 || ev.Done > ev.Total {
+			t.Fatalf("progress %s %d/%d after %d: not monotone within total",
+				ev.Name, ev.Done, ev.Total, prev[ev.Name])
+		}
+		prev[ev.Name] = ev.Done
+		progressed[ev.Name] = true
+	}
+	return progressed
+}
+
+// adviseSlowJob is an advise request that runs for many seconds: a
+// wide hardcore instance under an unreachable target and a heavy
+// per-probe pattern budget paces iterations at a few hundred
+// milliseconds each, so the monitor observes live phases between
+// steps and a mid-run DELETE lands while the loop is genuinely busy.
+func adviseSlowJob() JobRequest {
+	return JobRequest{
+		Kind:    KindAdvise,
+		Builtin: "hardcore",
+		N:       64,
+		Options: Options{Target: 1, Patterns: 131072, MaxSteps: 64, Seed: 3},
+	}
+}
+
+// TestServiceAdviseCancellation pins the long-running-job contract: a
+// client DELETE mid-run yields a cancelled job whose report is the
+// last per-iteration checkpoint — a flagged partial plan, never
+// cached — and the live stream saw advise.* phase events while the
+// loop ran.
+func TestServiceAdviseCancellation(t *testing.T) {
+	srv, ts, _ := testServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		ProgressInterval: time.Millisecond,
+	})
+	defer srv.Shutdown(context.Background())
+
+	v, code, e := postJob(t, ts.URL, adviseSlowJob())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, e.Error)
+	}
+	waitState(t, ts.URL, v.ID, StateRunning)
+
+	// Wait for the first applied step: by then the baseline checkpoint
+	// is durably on the job (the steps tracker only moves after it).
+	j, err := srv.Job(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if p, ok := j.reg.ProgressStats()["advise.steps.progress"]; ok && p.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("advisor never applied a step")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	jv := waitTerminal(t, ts.URL, v.ID)
+	if jv.State != StateCancelled || jv.CancelReason != CancelClient {
+		t.Fatalf("state=%s reason=%q, want cancelled/client", jv.State, jv.CancelReason)
+	}
+	if len(jv.Report) == 0 {
+		t.Fatal("cancelled advise job has no report — checkpoint lost")
+	}
+	var partial struct {
+		Schema  string `json:"schema"`
+		Partial bool   `json:"partial"`
+		Plan    struct {
+			Faults int    `json:"faults"`
+			Bench  string `json:"bench"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(jv.Report, &partial); err != nil {
+		t.Fatalf("decode partial plan: %v", err)
+	}
+	if partial.Schema != "dft.advise-plan/v1" || !partial.Partial {
+		t.Fatalf("partial report schema=%q partial=%v, want dft.advise-plan/v1 flagged partial",
+			partial.Schema, partial.Partial)
+	}
+	if partial.Plan.Faults == 0 || partial.Plan.Bench == "" {
+		t.Fatal("checkpointed plan is empty")
+	}
+
+	// The iterations ran slowly enough for the monitor to observe live
+	// phases: the replayed log must carry advise.* phase events and
+	// monotone advise.* progress.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events, terminal, err := streamEvents(ctx, ts.URL, v.ID, 0)
+	if err != nil || !terminal {
+		t.Fatalf("stream: terminal=%v err=%v", terminal, err)
+	}
+	sawAdvisePhase := false
+	for _, ev := range events {
+		if ev.Type == EventPhase && strings.HasPrefix(ev.Phase, "advise.") {
+			sawAdvisePhase = true
+		}
+	}
+	if !sawAdvisePhase {
+		t.Fatal("no advise.* phase event on the cancelled job's stream")
+	}
+	checkAdviseProgress(t, events)
+
+	// A partial plan never enters the result cache: resubmitting the
+	// identical request starts a fresh run instead of a cache hit.
+	rv, code, _ := postJob(t, ts.URL, adviseSlowJob())
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if rv.Cached {
+		t.Fatal("cancelled partial plan was served from the result cache")
+	}
+	if resp, err := newRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+rv.ID); err == nil {
+		resp.Body.Close()
+	}
+
+	// The server stays healthy after the cancellation: a small job
+	// still runs to completion.
+	sv, _, _ := postJob(t, ts.URL, JobRequest{
+		Kind: KindFaultSim, Builtin: "c17", Options: Options{Patterns: 64},
+	})
+	if got := waitTerminal(t, ts.URL, sv.ID); got.State != StateDone {
+		t.Fatalf("follow-up job state %s, err %q", got.State, got.Error)
+	}
+}
+
+// TestServiceAdviseValidation covers the advise-only admission rules.
+func TestServiceAdviseValidation(t *testing.T) {
+	_, ts, _ := testServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	cases := []struct {
+		name string
+		req  JobRequest
+		want string
+	}{
+		{"target out of range",
+			JobRequest{Kind: KindAdvise, Builtin: "c17", Options: Options{Target: 1.5}},
+			"out of range"},
+		{"negative budget",
+			JobRequest{Kind: KindAdvise, Builtin: "c17", Options: Options{Budget: -0.1}},
+			"negative"},
+		{"negative max_steps",
+			JobRequest{Kind: KindAdvise, Builtin: "c17", Options: Options{MaxSteps: -1}},
+			"negative"},
+		{"advise options on faultsim",
+			JobRequest{Kind: KindFaultSim, Builtin: "c17", Options: Options{Target: 0.9}},
+			"only apply to advise"},
+		{"scan on advise",
+			JobRequest{Kind: KindAdvise, Builtin: "c17", Options: Options{Scan: true}},
+			"choose their own scan"},
+		{"advise needs a circuit",
+			JobRequest{Kind: KindAdvise},
+			"need a circuit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, code, e := postJob(t, ts.URL, tc.req)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.want)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ const (
 	KindATPG     Kind = "atpg"
 	KindFuzz     Kind = "fuzz"
 	KindDiagnose Kind = "diagnose"
+	KindAdvise   Kind = "advise"
 )
 
 // Options mirrors the dftc flag surface for the jobbed subcommands.
@@ -79,6 +80,13 @@ type Options struct {
 	Inject    string `json:"inject,omitempty"`
 	Top       int    `json:"top,omitempty"`
 	DictFull  bool   `json:"dict_full,omitempty"`
+
+	// advise: coverage target in [0,1], DFT area budget as a fraction
+	// of the original circuit size, and the iteration cap. Zero values
+	// select the advisor defaults (0.99 / 0.5 / 32).
+	Target   float64 `json:"target,omitempty"`
+	Budget   float64 `json:"budget,omitempty"`
+	MaxSteps int     `json:"max_steps,omitempty"`
 }
 
 // JobRequest is the POST /v1/jobs body. The circuit comes either
@@ -122,15 +130,29 @@ type parsedRequest struct {
 // structural linting as CLI file loads.
 func parseRequest(req JobRequest) (*parsedRequest, error) {
 	switch req.Kind {
-	case KindFaultSim, KindATPG, KindFuzz, KindDiagnose:
+	case KindFaultSim, KindATPG, KindFuzz, KindDiagnose, KindAdvise:
 	case "":
-		return nil, fmt.Errorf("missing kind (want faultsim, atpg, fuzz or diagnose)")
+		return nil, fmt.Errorf("missing kind (want faultsim, atpg, fuzz, diagnose or advise)")
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want faultsim, atpg, fuzz or diagnose)", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want faultsim, atpg, fuzz, diagnose or advise)", req.Kind)
 	}
 	if req.Options.Patterns < 0 || req.Options.Random < 0 || req.Options.Rounds < 0 ||
-		req.Options.Workers < 0 || req.Options.TimeoutMs < 0 || req.Options.Top < 0 {
+		req.Options.Workers < 0 || req.Options.TimeoutMs < 0 || req.Options.Top < 0 ||
+		req.Options.MaxSteps < 0 {
 		return nil, fmt.Errorf("negative option values are invalid")
+	}
+	if req.Options.Target < 0 || req.Options.Target > 1 {
+		return nil, fmt.Errorf("target %v out of range [0,1]", req.Options.Target)
+	}
+	if req.Options.Budget < 0 {
+		return nil, fmt.Errorf("budget %v is negative", req.Options.Budget)
+	}
+	if req.Kind != KindAdvise &&
+		(req.Options.Target != 0 || req.Options.Budget != 0 || req.Options.MaxSteps != 0) {
+		return nil, fmt.Errorf("target/budget/max_steps only apply to advise jobs")
+	}
+	if req.Kind == KindAdvise && req.Options.Scan {
+		return nil, fmt.Errorf("advise jobs choose their own scan elements; drop scan")
 	}
 	if req.Kind == KindDiagnose {
 		switch {
@@ -269,6 +291,15 @@ type Job struct {
 
 	cancel func()        // non-nil while cancellable
 	done   chan struct{} // closed on terminal state
+
+	// checkpoint holds the latest per-iteration snapshot of a
+	// long-running job (advise plans, marshalled by the Checkpoint
+	// hook). Written only by the job's own worker goroutine while the
+	// job runs, read by the same goroutine after execute returns; a
+	// cancelled job attaches it as its report so clients still get the
+	// partial plan. Never enters the result cache (finishLocked caches
+	// StateDone reports only).
+	checkpoint []byte
 }
 
 // JobView is the JSON rendering of a job's state returned by the

@@ -3,8 +3,10 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"math/rand"
 
+	"dft/internal/advise"
 	"dft/internal/atpg"
 	"dft/internal/compact"
 	"dft/internal/core"
@@ -35,6 +37,8 @@ func (s *Server) execute(ctx context.Context, j *Job) (*telemetry.Report, error)
 		rep, err = runATPG(ctx, p, reg)
 	case KindDiagnose:
 		rep, err = s.runDiagnose(ctx, p, reg)
+	case KindAdvise:
+		rep, err = runAdvise(ctx, j)
 	default:
 		rep, err = runFuzz(ctx, p, reg)
 	}
@@ -235,6 +239,70 @@ func runATPG(ctx context.Context, p *parsedRequest, reg *telemetry.Registry) (*t
 		rep.Results["replay_passes"] = ts.Compaction.ReplayPasses
 	}
 	return rep, nil
+}
+
+// runAdvise mirrors `dftc advise`: the closed-loop DFT advisor — the
+// service's first long-running job type. Every iteration the advisor's
+// Checkpoint hook snapshots the partial plan onto the job, so a
+// cancelled run still hands its client everything decided so far, and
+// the advise.iteration spans plus the steps/coverage progress trackers
+// stream over the job's SSE event log through the standard monitor.
+func runAdvise(ctx context.Context, j *Job) (*telemetry.Report, error) {
+	p, reg := j.parsed, j.reg
+	o := p.req.Options
+	seed := seedOf(o)
+	opt := advise.Options{
+		Target:   o.Target,
+		Budget:   o.Budget,
+		MaxSteps: o.MaxSteps,
+		Patterns: o.Patterns,
+		Seed:     uint64(seed),
+		Workers:  o.Workers,
+		Metrics:  reg,
+		Checkpoint: func(pl *advise.Plan) {
+			// The plan pointer is only valid for this call; retain bytes.
+			if enc, err := json.Marshal(partialPlan{
+				Schema:  "dft.advise-plan/v1",
+				Partial: true,
+				Input:   p.input,
+				Plan:    pl,
+			}); err == nil {
+				j.checkpoint = enc
+			}
+		},
+	}
+	plan, err := advise.Run(ctx, p.circuit, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := telemetry.NewReport("dftd", string(KindAdvise), p.input)
+	rep.Config = map[string]any{
+		"target": plan.Target, "budget": plan.Budget,
+		"max_steps": o.MaxSteps, "workers": o.Workers,
+	}
+	recordSeed(rep, o, seed)
+	rep.Results = map[string]any{
+		"baseline":       plan.Baseline,
+		"coverage":       plan.Coverage,
+		"steps":          len(plan.Steps),
+		"scanned":        len(plan.Scanned),
+		"overhead":       plan.Overhead,
+		"overhead_gates": plan.OverheadGates,
+		"pins":           plan.Pins,
+		"stop_reason":    plan.StopReason,
+		"plan":           plan,
+	}
+	return rep, nil
+}
+
+// partialPlan is the report document attached to a cancelled advise
+// job: the last checkpointed plan, flagged so clients can tell it from
+// a completed run's report.
+type partialPlan struct {
+	Schema  string       `json:"schema"`
+	Partial bool         `json:"partial"`
+	Input   string       `json:"input"`
+	Plan    *advise.Plan `json:"plan"`
 }
 
 // runFuzz mirrors `dftc fuzz`: sweep seeds 1..Rounds through the

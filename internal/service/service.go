@@ -464,7 +464,9 @@ func (s *Server) runJob(j *Job) {
 				j.cancelReason = CancelClient
 			}
 		}
-		s.finishLocked(j, StateCancelled, err.Error(), nil)
+		// A long-running job that checkpointed (advise) keeps its last
+		// per-iteration snapshot as the cancelled report.
+		s.finishLocked(j, StateCancelled, err.Error(), j.checkpoint)
 	default:
 		s.finishLocked(j, StateFailed, err.Error(), nil)
 	}

@@ -28,8 +28,13 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter("diagnose.dict.patterns").Add(64)
 	r.Counter("service.dict.hits").Add(3)
 	r.Counter("service.dict.misses").Inc()
+	r.Counter("advise.candidates.scored").Add(96)
+	r.Counter("advise.interventions.applied").Add(2)
+	r.Counter("advise.probe.patterns").Add(512)
+	r.Gauge("advise.coverage").Set(9934)
 	r.Gauge("diagnose.dict.bytes").Set(2048)
 	r.Gauge("service.queue.depth").Set(7)
+	r.Timer("advise.run").Observe(250 * time.Millisecond)
 	r.Timer("service.job.run").Observe(1500 * time.Millisecond)
 	r.Timer("service.job.run").Observe(500 * time.Millisecond)
 	h := r.Histogram("fault.engine.shard_faults")
@@ -47,6 +52,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 	p := r.Progress("fault.sim.progress")
 	p.SetTotal(2640)
 	p.Add(1200)
+	ap := r.Progress("advise.steps.progress")
+	ap.SetTotal(32)
+	ap.Add(2)
 
 	var buf bytes.Buffer
 	if err := r.Snapshot().WritePrometheus(&buf); err != nil {

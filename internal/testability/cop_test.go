@@ -1,0 +1,160 @@
+package testability
+
+import (
+	"math"
+	"testing"
+
+	"dft/internal/fault"
+	"dft/internal/logic"
+)
+
+// buriedFF returns X0,X1 -> G=AND -> D of FF R -> OUT=AND(R, X1):
+// the D cone is invisible from the pins, R is held at 0 by reset.
+func buriedFF(t *testing.T) (*logic.Circuit, int, int) {
+	t.Helper()
+	c := logic.New("buried")
+	x0 := c.AddInput("X0")
+	x1 := c.AddInput("X1")
+	r := c.AddDFF("R", 0)
+	g := c.AddGate(logic.And, "G", x0, x1)
+	c.Gates[r].Fanin[0] = g
+	c.MarkOutput(c.AddGate(logic.And, "OUT", r, x1))
+	return c.MustFinalize(), r, g
+}
+
+func TestViewCOPPrimaryMatchesCombinationalBaseline(t *testing.T) {
+	c := logic.New("comb")
+	a := c.AddInput("A")
+	b := c.AddInput("B")
+	d := c.AddInput("C")
+	n1 := c.AddGate(logic.And, "N1", a, b)
+	n2 := c.AddGate(logic.Or, "N2", n1, d)
+	c.MarkOutput(n2)
+	c.MarkOutput(c.AddGate(logic.Xor, "N3", n1, d))
+	c.MustFinalize()
+
+	cop := ViewCOP(c, c.PIs, c.POs)
+	p := SignalProbabilities(c, nil)
+	obs := Observabilities(c, p)
+	for n := 0; n < c.NumNets(); n++ {
+		if math.Abs(cop.P[n]-p[n]) > 1e-12 {
+			t.Fatalf("net %s: ViewCOP p %.6f vs SignalProbabilities %.6f", c.NameOf(n), cop.P[n], p[n])
+		}
+		if math.Abs(cop.Obs[n]-obs[n]) > 1e-12 {
+			t.Fatalf("net %s: ViewCOP obs %.6f vs Observabilities %.6f", c.NameOf(n), cop.Obs[n], obs[n])
+		}
+	}
+}
+
+func TestViewCOPHoldsUnscannedStorageAtZero(t *testing.T) {
+	c, r, g := buriedFF(t)
+	cop := ViewCOP(c, c.PIs, c.POs)
+	if cop.P[r] != 0 {
+		t.Fatalf("unscanned DFF p = %v, want 0 (engine holds reset state)", cop.P[r])
+	}
+	if cop.Obs[g] != 0 {
+		t.Fatalf("D-cone net observability = %v, want 0 under primary view", cop.Obs[g])
+	}
+	// OUT = AND(R, X1) with R stuck 0: the output is dead too.
+	out, _ := c.NetByName("OUT")
+	if cop.P[out] != 0 {
+		t.Fatalf("output p = %v, want 0 with storage held at 0", cop.P[out])
+	}
+}
+
+func TestViewCOPScannedViewOpensTheCone(t *testing.T) {
+	c, r, g := buriedFF(t)
+	// Partial-scan view: R becomes an input, its D net an output.
+	inputs := append(append([]int(nil), c.PIs...), r)
+	outputs := append(append([]int(nil), c.POs...), c.Gates[r].Fanin[0])
+	cop := ViewCOP(c, inputs, outputs)
+	if cop.P[r] != 0.5 {
+		t.Fatalf("scanned DFF p = %v, want 0.5", cop.P[r])
+	}
+	if cop.Obs[g] != 1 {
+		t.Fatalf("D net observability = %v, want 1 as a view output", cop.Obs[g])
+	}
+	f := fault.Fault{Gate: g, Pin: fault.Stem, SA: logic.Zero}
+	if dp := cop.Detect(c, f); dp <= 0 {
+		t.Fatalf("scanned view detect probability = %v, want > 0", dp)
+	}
+}
+
+func TestReconvergentStemsFindsDiamond(t *testing.T) {
+	// A diamond: S fans out to two branches that reconverge at R.
+	c := logic.New("diamond")
+	a := c.AddInput("A")
+	b := c.AddInput("B")
+	s := c.AddGate(logic.And, "S", a, b)
+	u := c.AddGate(logic.Not, "U", s)
+	v := c.AddGate(logic.Buf, "V", s)
+	c.MarkOutput(c.AddGate(logic.And, "R", u, v))
+	c.MustFinalize()
+	stems := ReconvergentStems(c)
+	if len(stems) != 1 || stems[0] != s {
+		t.Fatalf("stems = %v, want [%d] (the diamond stem)", stems, s)
+	}
+}
+
+func TestReconvergentStemsEmptyOnTree(t *testing.T) {
+	// A pure tree: every net has one reader, no reconvergence anywhere.
+	c := logic.New("tree")
+	var leaves []int
+	for i := 0; i < 4; i++ {
+		leaves = append(leaves, c.AddInput(string(rune('A'+i))))
+	}
+	l := c.AddGate(logic.And, "L", leaves[0], leaves[1])
+	r := c.AddGate(logic.Or, "R", leaves[2], leaves[3])
+	c.MarkOutput(c.AddGate(logic.Xor, "T", l, r))
+	c.MustFinalize()
+	if stems := ReconvergentStems(c); len(stems) != 0 {
+		t.Fatalf("tree reported reconvergent stems %v", stems)
+	}
+}
+
+func TestReconvergentStemsMultiBranchFanout(t *testing.T) {
+	// Fanout without reconvergence: S feeds two disjoint outputs.
+	c := logic.New("fan")
+	a := c.AddInput("A")
+	b := c.AddInput("B")
+	s := c.AddGate(logic.And, "S", a, b)
+	c.MarkOutput(c.AddGate(logic.Not, "O1", s))
+	c.MarkOutput(c.AddGate(logic.Buf, "O2", s))
+	c.MustFinalize()
+	if stems := ReconvergentStems(c); len(stems) != 0 {
+		t.Fatalf("disjoint fanout reported reconvergence: %v", stems)
+	}
+}
+
+func TestReportSectionShape(t *testing.T) {
+	c, _, g := buriedFF(t)
+	faults := fault.CollapseEquiv(c, fault.Universe(c)).Reps
+	sec := ReportSection(c, c.PIs, c.POs, faults, 5)
+	if _, ok := sec["scoap"]; !ok {
+		t.Fatal("no scoap summary")
+	}
+	nets, ok := sec["hardest_nets"].([]map[string]any)
+	if !ok || len(nets) == 0 {
+		t.Fatalf("hardest_nets missing or empty: %v", sec["hardest_nets"])
+	}
+	for _, row := range nets {
+		for _, k := range []string{"net", "cc0", "cc1", "co", "p1", "obs"} {
+			if _, ok := row[k]; !ok {
+				t.Fatalf("hardest_nets row missing %q: %v", k, row)
+			}
+		}
+	}
+	if n, ok := sec["reconvergent_stems"].(int); !ok || n < 0 {
+		t.Fatalf("reconvergent_stems missing: %v", sec["reconvergent_stems"])
+	}
+	_ = g
+}
+
+func TestCeilInf(t *testing.T) {
+	if ceilInf(Inf) != -1 || ceilInf(Inf+5) != -1 {
+		t.Fatal("Inf sentinel not mapped to -1")
+	}
+	if ceilInf(7) != 7 {
+		t.Fatal("finite measure distorted")
+	}
+}
